@@ -1,0 +1,1 @@
+bin/calibrate.ml: List Nt_analysis Nt_core Nt_util Printf

@@ -1,0 +1,1 @@
+bin/nfsanon.ml: Arg Cmd Cmdliner Int64 Nt_trace Option Printf Seq Term

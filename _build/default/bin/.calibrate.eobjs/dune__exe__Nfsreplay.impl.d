@@ -1,0 +1,1 @@
+bin/nfsreplay.ml: Arg Cmd Cmdliner Hashtbl Int64 List Nt_nfs Nt_sim Nt_trace Nt_util Printf Queue Term

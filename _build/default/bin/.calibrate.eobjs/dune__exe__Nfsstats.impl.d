@@ -1,0 +1,1 @@
+bin/nfsstats.ml: Arg Cmd Cmdliner List Nt_analysis Nt_nfs Nt_trace Nt_util Printf Term

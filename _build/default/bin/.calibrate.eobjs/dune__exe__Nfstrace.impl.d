@@ -1,0 +1,1 @@
+bin/nfstrace.ml: Arg Cmd Cmdliner Nt_net Nt_trace Printf Term

@@ -1,0 +1,1 @@
+bin/nfswlgen.ml: Arg Cmd Cmdliner Fun Nt_core Nt_net Nt_trace Nt_util Nt_workload Printf Term

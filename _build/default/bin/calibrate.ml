@@ -1,0 +1,49 @@
+(* Calibration harness: simulate one day (Wednesday) of each system and
+   compare the headline Table 2 statistics against the paper, rescaled
+   by the configured population fraction. Used while tuning workload
+   constants; kept as a fast sanity-check tool. *)
+
+let () =
+  let day = Nt_util.Trace_week.time_of ~day:Nt_util.Trace_week.Wed ~hour:0 ~minute:0 in
+  let stop = day +. 86400. in
+  let report label ~scale ~(target : Nt_analysis.Prior_studies.daily_activity) stats_fn =
+    let summary = Nt_analysis.Summary.create () in
+    let names = Nt_analysis.Names.create () in
+    let run : Nt_core.Pipeline.run_stats =
+      stats_fn (fun r ->
+          Nt_analysis.Summary.observe summary r;
+          Nt_analysis.Names.observe names r)
+    in
+    let d = Nt_analysis.Summary.daily ~scale summary in
+    Printf.printf "\n=== %s (1 day, scale %.3f) — rescaled vs paper Table 2 ===\n" label scale;
+    Printf.printf "records=%d sessions=%d deliveries=%d compiles=%d\n" run.records run.sessions
+      run.deliveries run.compiles;
+    let row name measured paper =
+      Printf.printf "  %-18s %10.3f   paper %10.3f   ratio %5.2f\n" name measured paper
+        (if paper = 0. then 0. else measured /. paper)
+    in
+    row "total ops (M/day)" d.total_ops_m target.total_ops_m;
+    row "data read (GB)" d.data_read_gb target.data_read_gb;
+    row "read ops (M)" d.read_ops_m target.read_ops_m;
+    row "data written (GB)" d.data_written_gb target.data_written_gb;
+    row "write ops (M)" d.write_ops_m target.write_ops_m;
+    row "R/W bytes" d.rw_byte_ratio target.rw_byte_ratio;
+    row "R/W ops" d.rw_op_ratio target.rw_op_ratio;
+    Printf.printf "  data ops %% of calls: %.1f%%  unique files: %d\n"
+      (Nt_analysis.Summary.data_ops_pct summary)
+      (Nt_analysis.Summary.unique_files_accessed summary);
+    Printf.printf "  locks among created+deleted: %.1f%% (n=%d)\n"
+      (Nt_analysis.Names.lock_created_deleted_pct names)
+      (Nt_analysis.Names.created_deleted_total names);
+    List.iter
+      (fun (cat, (s : Nt_analysis.Names.category_stats)) ->
+        Printf.printf "    %-14s files=%5d cd=%5d medsz=%9.0f medlife=%8.2f ro%%=%4.1f wo%%=%4.1f\n"
+          (Nt_analysis.Names.category_to_string cat)
+          s.files_seen s.created_deleted s.median_size s.median_lifetime s.read_only_pct
+          s.write_only_pct)
+      (Nt_analysis.Names.stats names)
+  in
+  report "CAMPUS" ~scale:0.01 ~target:Nt_analysis.Prior_studies.campus_week (fun sink ->
+      Nt_core.Pipeline.simulate_campus ~start:day ~stop ~sink ());
+  report "EECS" ~scale:0.01 ~target:Nt_analysis.Prior_studies.eecs_week (fun sink ->
+      Nt_core.Pipeline.simulate_eecs ~start:day ~stop ~sink ())

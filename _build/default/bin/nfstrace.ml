@@ -1,0 +1,39 @@
+(* nfstrace: the passive tracer. Decode a pcap capture of NFS traffic
+   into nfsdump-style text trace records.
+
+   Example: nfstrace capture.pcap -o capture.trace *)
+
+open Cmdliner
+
+let run input output =
+  let ic = if input = "-" then stdin else open_in_bin input in
+  let reader = Nt_net.Pcap.reader_of_channel ic in
+  let oc = if output = "-" then stdout else open_out output in
+  let emit r =
+    output_string oc (Nt_trace.Record.to_line r);
+    output_char oc '\n'
+  in
+  (* Stream records as replies complete; unanswered calls flush at EOF. *)
+  let capture = Nt_trace.Capture.create ~emit () in
+  Nt_trace.Capture.feed_pcap capture reader;
+  let stats, _ = Nt_trace.Capture.finish capture in
+  if input <> "-" then close_in ic;
+  if output <> "-" then close_out oc;
+  Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats);
+  0
+
+let input =
+  Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"PCAP" ~doc:"Input pcap file (- for stdin).")
+
+let output =
+  Arg.(
+    value & opt string "-"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file (- for stdout).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "nfstrace" ~doc:"Decode a pcap capture into NFS trace records")
+    Term.(const run $ input $ output)
+
+let () = exit (Cmd.eval' cmd)

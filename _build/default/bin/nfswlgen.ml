@@ -1,0 +1,92 @@
+(* nfswlgen: generate a synthetic CAMPUS or EECS workload as either an
+   nfsdump-style text trace or a pcap capture.
+
+   Examples:
+     nfswlgen --system campus --hours 2 -o campus.trace
+     nfswlgen --system eecs --users 10 --format pcap -o eecs.pcap *)
+
+open Cmdliner
+
+let run system users start_hour hours format loss output =
+  let day = Nt_util.Trace_week.Wed in
+  let start = Nt_util.Trace_week.time_of ~day ~hour:start_hour ~minute:0 in
+  let stop = start +. (3600. *. hours) in
+  let with_out f =
+    match output with
+    | "-" -> f stdout
+    | path ->
+        let oc = open_out_bin path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  in
+  let emit_trace oc =
+    let n = ref 0 in
+    let sink r =
+      output_string oc (Nt_trace.Record.to_line r);
+      output_char oc '\n';
+      incr n
+    in
+    (match system with
+    | `Campus ->
+        let config = { Nt_workload.Email.default_config with users } in
+        ignore (Nt_core.Pipeline.simulate_campus ~config ~start ~stop ~sink ())
+    | `Eecs ->
+        let config = { Nt_workload.Research.default_config with users } in
+        ignore (Nt_core.Pipeline.simulate_eecs ~config ~start ~stop ~sink ()));
+    Printf.eprintf "nfswlgen: wrote %d records\n%!" !n
+  in
+  let emit_pcap oc =
+    let writer = Nt_net.Pcap.writer_to_channel oc in
+    let stats =
+      match system with
+      | `Campus ->
+          let config = { Nt_workload.Email.default_config with users } in
+          Nt_core.Pipeline.campus_to_pcap ~config ~monitor_loss:loss ~start ~stop ~writer ()
+      | `Eecs ->
+          let config = { Nt_workload.Research.default_config with users } in
+          Nt_core.Pipeline.eecs_to_pcap ~config ~monitor_loss:loss ~start ~stop ~writer ()
+    in
+    Printf.eprintf "nfswlgen: %d records, %d packets written, %d dropped at monitor\n%!"
+      stats.run.records stats.packets_written stats.packets_dropped
+  in
+  with_out (match format with `Trace -> emit_trace | `Pcap -> emit_pcap);
+  0
+
+let system =
+  Arg.(
+    value
+    & opt (enum [ ("campus", `Campus); ("eecs", `Eecs) ]) `Campus
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:"Workload to generate: campus (email) or eecs (research).")
+
+let users =
+  Arg.(value & opt int 25 & info [ "u"; "users" ] ~docv:"N" ~doc:"Simulated user population.")
+
+let start_hour =
+  Arg.(
+    value & opt int 9 & info [ "start-hour" ] ~docv:"H" ~doc:"Hour of (Wednesday) trace start, 0-23.")
+
+let hours =
+  Arg.(value & opt float 1. & info [ "hours" ] ~docv:"H" ~doc:"Length of the trace window in hours.")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("trace", `Trace); ("pcap", `Pcap) ]) `Trace
+    & info [ "f"; "format" ] ~docv:"FMT"
+        ~doc:"Output format: trace (text records) or pcap (packets).")
+
+let loss =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P" ~doc:"Monitor-port packet loss probability (pcap format only).")
+
+let output =
+  Arg.(
+    value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (- for stdout).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "nfswlgen" ~doc:"Generate a synthetic NFS workload trace or capture")
+    Term.(const run $ system $ users $ start_hour $ hours $ format $ loss $ output)
+
+let () = exit (Cmd.eval' cmd)

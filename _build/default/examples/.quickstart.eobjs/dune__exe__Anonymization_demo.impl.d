@@ -1,0 +1,1 @@
+examples/anonymization_demo.ml: List Nt_analysis Nt_core Nt_trace Nt_util Nt_workload Printf

@@ -1,0 +1,1 @@
+examples/anonymization_demo.mli:

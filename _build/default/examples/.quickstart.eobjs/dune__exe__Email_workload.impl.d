@@ -1,0 +1,1 @@
+examples/email_workload.ml: Float Nt_analysis Nt_core Nt_util Nt_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashtbl List Nt_core Nt_nfs Nt_trace Nt_util Nt_workload Option Printf

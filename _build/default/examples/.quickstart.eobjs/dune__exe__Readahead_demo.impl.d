@@ -1,0 +1,1 @@
+examples/readahead_demo.ml: List Nt_sim Printf

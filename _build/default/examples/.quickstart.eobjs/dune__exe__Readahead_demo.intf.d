@@ -1,0 +1,1 @@
+examples/readahead_demo.mli:

@@ -1,0 +1,1 @@
+examples/research_workload.ml: Float List Nt_analysis Nt_core Nt_nfs Nt_util Nt_workload Printf

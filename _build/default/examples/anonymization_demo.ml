@@ -1,0 +1,74 @@
+(* The paper's anonymization pipeline, §2: capture a trace, anonymize
+   it with consistent random mappings, and show that (a) sensitive
+   values are gone, (b) the structural properties every analysis needs
+   survive — shared suffixes, the lock/backup/autosave markers, and all
+   sizes and offsets.
+
+   Run with: dune exec examples/anonymization_demo.exe *)
+
+module Anonymize = Nt_trace.Anonymize
+module Record = Nt_trace.Record
+module Summary = Nt_analysis.Summary
+module Names = Nt_analysis.Names
+module Tw = Nt_util.Trace_week
+
+let () =
+  (* 1. A small raw trace. *)
+  let start = Tw.time_of ~day:Tw.Mon ~hour:11 ~minute:0 in
+  let records = ref [] in
+  let config = { Nt_workload.Email.default_config with users = 12 } in
+  ignore
+    (Nt_core.Pipeline.simulate_campus ~config ~start ~stop:(start +. 1200.)
+       ~sink:(fun r -> records := r :: !records)
+       ());
+  let records = List.rev !records in
+  Printf.printf "raw trace: %d records\n\n" (List.length records);
+
+  (* 2. Component mappings in action. *)
+  let anon = Anonymize.create ~seed:0x5EC4E7L Anonymize.default_config in
+  Printf.printf "component mappings (consistent, random, structure-preserving):\n";
+  List.iter
+    (fun n -> Printf.printf "  %-22s -> %s\n" n (Anonymize.name anon n))
+    [
+      "grant-proposal.doc"; "grant-proposal.doc" (* identical again *); "budget.doc";
+      "thesis.tex"; "thesis.tex~"; "#thesis.tex#"; "thesis.tex,v"; ".inbox"; ".inbox.lock";
+      ".pinerc"; ".forward"; "CVS";
+    ];
+  Printf.printf "\nuid 1004 -> %d (stable: %d); root stays %d\n" (Anonymize.uid anon 1004)
+    (Anonymize.uid anon 1004) (Anonymize.uid anon 0);
+
+  (* 3. Anonymize the whole trace and compare analyses. *)
+  let anonymized = List.map (Anonymize.record anon) records in
+  let summarize rs =
+    let s = Summary.create () in
+    List.iter (Summary.observe s) rs;
+    s
+  in
+  let s_raw = summarize records and s_anon = summarize anonymized in
+  Printf.printf "\nanalysis on raw vs anonymized trace:\n";
+  Printf.printf "  ops           %d vs %d\n" (Summary.total_ops s_raw) (Summary.total_ops s_anon);
+  Printf.printf "  bytes read    %.0f vs %.0f\n" (Summary.bytes_read s_raw)
+    (Summary.bytes_read s_anon);
+  let locks rs =
+    let n = Names.create () in
+    List.iter (Names.observe n) rs;
+    Names.lock_created_deleted_pct n
+  in
+  Printf.printf "  lock share    %.1f%% vs %.1f%% (markers survive by design)\n" (locks records)
+    (locks anonymized);
+
+  (* 4. One record before and after. *)
+  (match
+     List.find_opt
+       (fun (r, _) -> match Record.name r with Some n -> n <> ".inbox.lock" | None -> false)
+       (List.combine records anonymized)
+   with
+  | Some (before, after) ->
+      Printf.printf "\nbefore: %s\nafter : %s\n" (Record.to_line before) (Record.to_line after)
+  | None -> ());
+
+  (* 5. Different seeds give unrelated mappings: no cross-site joins. *)
+  let other = Anonymize.create ~seed:999L Anonymize.default_config in
+  Printf.printf "\nsame file under a different site's seed: %s vs %s\n"
+    (Anonymize.name anon "thesis.tex")
+    (Anonymize.name other "thesis.tex")

@@ -1,0 +1,25 @@
+(* The paper's read-ahead experiment (§6.4): an NFS server whose
+   prefetch heuristic uses the sequentiality metric keeps streaming
+   through nfsiod-reordered requests, while the classic fragile
+   heuristic collapses toward no-read-ahead behaviour.
+
+   Run with: dune exec examples/readahead_demo.exe *)
+
+module Ra = Nt_sim.Readahead
+
+let () =
+  Printf.printf "16 MB sequential transfer, requests reordered by nfsiod scheduling\n\n";
+  Printf.printf "%-10s %-12s %-12s %-12s %s\n" "reordered" "no-RA" "fragile" "seq-metric"
+    "metric vs fragile";
+  List.iter
+    (fun frac ->
+      let none = Ra.run ~reorder_fraction:frac Ra.No_readahead in
+      let fragile = Ra.run ~reorder_fraction:frac Ra.Fragile in
+      let metric = Ra.run ~reorder_fraction:frac Ra.Metric in
+      Printf.printf "%8.0f%%  %9.3f s  %9.3f s  %9.3f s  %+.1f%%\n" (100. *. frac)
+        none.total_time fragile.total_time metric.total_time
+        (Ra.speedup ~baseline:fragile metric))
+    [ 0.0; 0.02; 0.05; 0.10; 0.15; 0.20; 0.30 ];
+  Printf.printf
+    "\nThe paper observed ~10%% reordering on a loaded client and >5%% end-to-end\n\
+     improvement from the metric-driven heuristic; the same crossover appears here.\n"

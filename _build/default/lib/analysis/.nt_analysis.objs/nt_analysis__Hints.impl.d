@@ -1,0 +1,1 @@
+lib/analysis/hints.ml: Hashtbl Int64 List Names Nt_nfs Nt_trace Option

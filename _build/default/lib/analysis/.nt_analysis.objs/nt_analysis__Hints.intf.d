@@ -1,0 +1,1 @@
+lib/analysis/hints.mli: Nt_trace

@@ -1,0 +1,1 @@
+lib/analysis/hourly.ml: Hashtbl List Nt_nfs Nt_trace Nt_util

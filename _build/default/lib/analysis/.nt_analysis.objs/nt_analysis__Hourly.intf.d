@@ -1,0 +1,1 @@
+lib/analysis/hourly.mli: Nt_trace

@@ -1,0 +1,1 @@
+lib/analysis/io_log.ml: Array Hashtbl Int64 List Nt_nfs Nt_trace

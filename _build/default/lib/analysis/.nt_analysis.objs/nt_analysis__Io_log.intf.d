@@ -1,0 +1,1 @@
+lib/analysis/io_log.mli: Nt_nfs Nt_trace

@@ -1,0 +1,1 @@
+lib/analysis/lifetime.ml: Array Hashtbl Int64 List Nt_nfs Nt_trace Nt_util

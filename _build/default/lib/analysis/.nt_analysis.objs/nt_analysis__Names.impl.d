@@ -1,0 +1,1 @@
+lib/analysis/names.ml: Array Fun Hashtbl Int64 List Nt_nfs Nt_trace Nt_util Option String

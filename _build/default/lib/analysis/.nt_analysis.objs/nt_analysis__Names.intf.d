@@ -1,0 +1,1 @@
+lib/analysis/names.mli: Nt_trace

@@ -1,0 +1,1 @@
+lib/analysis/nvram.ml: Hashtbl Int64 List Nt_nfs Nt_trace Queue

@@ -1,0 +1,1 @@
+lib/analysis/nvram.mli: Nt_trace

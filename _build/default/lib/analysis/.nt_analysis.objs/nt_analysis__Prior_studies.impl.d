@@ -1,0 +1,1 @@
+lib/analysis/prior_studies.ml:

@@ -1,0 +1,1 @@
+lib/analysis/reorder.ml: Array Float Io_log List

@@ -1,0 +1,1 @@
+lib/analysis/reorder.mli: Io_log

@@ -1,0 +1,1 @@
+lib/analysis/runs.ml: Array Io_log List

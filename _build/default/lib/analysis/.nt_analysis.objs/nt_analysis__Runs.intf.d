@@ -1,0 +1,1 @@
+lib/analysis/runs.mli: Io_log

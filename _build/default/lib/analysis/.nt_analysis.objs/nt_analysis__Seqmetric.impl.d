@@ -1,0 +1,1 @@
+lib/analysis/seqmetric.ml: Array Io_log List Runs

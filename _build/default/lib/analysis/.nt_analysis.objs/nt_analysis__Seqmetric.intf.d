@@ -1,0 +1,1 @@
+lib/analysis/seqmetric.mli: Io_log

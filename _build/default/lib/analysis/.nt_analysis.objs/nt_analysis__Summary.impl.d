@@ -1,0 +1,1 @@
+lib/analysis/summary.ml: Hashtbl List Nt_nfs Nt_trace Option

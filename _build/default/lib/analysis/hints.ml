@@ -1,0 +1,173 @@
+module Record = Nt_trace.Record
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+
+type size_class = Tiny | Small | Medium | Large
+
+type lifetime_class = Subsecond | Transient | Session | Durable
+
+let size_class_of bytes =
+  if bytes <= 8192. then Tiny
+  else if bytes <= 65536. then Small
+  else if bytes <= 1_048_576. then Medium
+  else Large
+
+let lifetime_class_of seconds =
+  if seconds <= 1. then Subsecond
+  else if seconds <= 60. then Transient
+  else if seconds <= 3600. then Session
+  else Durable
+
+(* Per-category frequency counts; prediction = argmax. *)
+type model = {
+  size_counts : (size_class, int) Hashtbl.t;
+  lifetime_counts : (lifetime_class, int) Hashtbl.t;
+}
+
+let fresh_model () = { size_counts = Hashtbl.create 4; lifetime_counts = Hashtbl.create 4 }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let argmax tbl =
+  Hashtbl.fold
+    (fun k n best -> match best with Some (_, bn) when bn >= n -> best | _ -> Some (k, n))
+    tbl None
+  |> Option.map fst
+
+(* An open prediction awaiting ground truth. *)
+type pending = {
+  category : Names.category;
+  created_at : float;
+  predicted_size : size_class option;
+  predicted_lifetime : lifetime_class option;
+  mutable max_size : float;
+}
+
+module Fh_tbl = Hashtbl.Make (struct
+  type t = Fh.t
+
+  let equal = Fh.equal
+  let hash = Fh.hash
+end)
+
+type t = {
+  models : (Names.category, model) Hashtbl.t;
+  pending : pending Fh_tbl.t;
+  names : (string * string, Fh.t) Hashtbl.t;
+  mutable predictions : int;
+  mutable size_correct : int;
+  mutable size_scored : int;
+  mutable lifetime_scored : int;
+  mutable lifetime_correct : int;
+  mutable cold_creates : int;
+}
+
+let create () =
+  {
+    models = Hashtbl.create 32;
+    pending = Fh_tbl.create 1024;
+    names = Hashtbl.create 1024;
+    predictions = 0;
+    size_correct = 0;
+    size_scored = 0;
+    lifetime_scored = 0;
+    lifetime_correct = 0;
+    cold_creates = 0;
+  }
+
+let model_for t category =
+  match Hashtbl.find_opt t.models category with
+  | Some m -> m
+  | None ->
+      let m = fresh_model () in
+      Hashtbl.add t.models category m;
+      m
+
+let name_key dir name = (Fh.to_hex_full dir, name)
+
+(* Ground truth for a file's size arrives when the file is deleted or
+   at end of trace; we score size on the maximum size observed. *)
+let settle t fh ~deleted_at =
+  match Fh_tbl.find_opt t.pending fh with
+  | None -> ()
+  | Some p ->
+      let m = model_for t p.category in
+      let actual_size = size_class_of p.max_size in
+      (match p.predicted_size with
+      | Some predicted ->
+          t.size_scored <- t.size_scored + 1;
+          if predicted = actual_size then t.size_correct <- t.size_correct + 1
+      | None -> ());
+      bump m.size_counts actual_size;
+      (match deleted_at with
+      | Some d ->
+          let actual_lt = lifetime_class_of (d -. p.created_at) in
+          (match p.predicted_lifetime with
+          | Some predicted ->
+              t.lifetime_scored <- t.lifetime_scored + 1;
+              if predicted = actual_lt then t.lifetime_correct <- t.lifetime_correct + 1
+          | None -> ());
+          bump m.lifetime_counts actual_lt
+      | None -> ());
+      Fh_tbl.remove t.pending fh
+
+let observe t (r : Record.t) =
+  match (r.call, r.result) with
+  | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
+      Hashtbl.replace t.names (name_key dir name) fh
+  | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+      Hashtbl.replace t.names (name_key dir name) fh;
+      let category = Names.categorize name in
+      let m = model_for t category in
+      let predicted_size = argmax m.size_counts in
+      let predicted_lifetime = argmax m.lifetime_counts in
+      if predicted_size = None && predicted_lifetime = None then
+        t.cold_creates <- t.cold_creates + 1
+      else t.predictions <- t.predictions + 1;
+      Fh_tbl.replace t.pending fh
+        { category; created_at = r.time; predicted_size; predicted_lifetime; max_size = 0. }
+  | Ops.Remove { dir; name }, Some (Ok _) -> (
+      match Hashtbl.find_opt t.names (name_key dir name) with
+      | Some fh ->
+          settle t fh ~deleted_at:(Some r.time);
+          Hashtbl.remove t.names (name_key dir name)
+      | None -> ())
+  | (Ops.Write { fh; _ } | Ops.Read { fh; _ }), _ -> (
+      match Fh_tbl.find_opt t.pending fh with
+      | Some p -> (
+          match Record.post_size r with
+          | Some s -> if Int64.to_float s > p.max_size then p.max_size <- Int64.to_float s
+          | None -> ())
+      | None -> ())
+  | _ -> ()
+
+type score = {
+  predictions : int;
+  size_scored : int;
+  size_correct : int;
+  lifetime_scored : int;
+  lifetime_correct : int;
+  cold_creates : int;
+  model_categories : int;
+}
+
+let score t =
+  (* Files never deleted settle their size class now. *)
+  let open_fhs = Fh_tbl.fold (fun fh _ acc -> fh :: acc) t.pending [] in
+  List.iter (fun fh -> settle t fh ~deleted_at:None) open_fhs;
+  {
+    predictions = t.predictions;
+    size_scored = t.size_scored;
+    size_correct = t.size_correct;
+    lifetime_scored = t.lifetime_scored;
+    lifetime_correct = t.lifetime_correct;
+    cold_creates = t.cold_creates;
+    model_categories = Hashtbl.length t.models;
+  }
+
+let size_accuracy (s : score) =
+  if s.size_scored = 0 then nan else float_of_int s.size_correct /. float_of_int s.size_scored
+
+let lifetime_accuracy (s : score) =
+  if s.lifetime_scored = 0 then nan
+  else float_of_int s.lifetime_correct /. float_of_int s.lifetime_scored

@@ -1,0 +1,47 @@
+(** Online filename-hint learning (paper §6.3 / §7).
+
+    The paper closes by asking "how much data and computation are
+    necessary for a general purpose file system to derive and take
+    advantage of the strong correlation between filenames and file size
+    or lifespan". This module answers the measurement half: a causal,
+    online learner that sees the trace exactly as a file server would.
+
+    At every CREATE it predicts the new file's size class, lifetime
+    class and access pattern from what it has learned {e so far} about
+    that name category; when the ground truth becomes observable (the
+    file is deleted, or its final size settles), the prediction is
+    scored and the model updated. Unlike {!Names.predict}, there is no
+    train/test split: the model never peeks at the future. *)
+
+type size_class = Tiny  (** <= 8 KB *) | Small  (** <= 64 KB *) | Medium  (** <= 1 MB *) | Large
+
+type lifetime_class =
+  | Subsecond  (** <= 1 s *)
+  | Transient  (** <= 60 s *)
+  | Session  (** <= 1 h *)
+  | Durable
+
+val size_class_of : float -> size_class
+val lifetime_class_of : float -> lifetime_class
+
+type t
+
+val create : unit -> t
+val observe : t -> Nt_trace.Record.t -> unit
+
+type score = {
+  predictions : int;  (** creates for which the model ventured a prediction *)
+  size_scored : int;  (** size predictions with observable ground truth *)
+  size_correct : int;
+  lifetime_scored : int;  (** predictions whose file was deleted in-trace *)
+  lifetime_correct : int;
+  cold_creates : int;  (** creates with no history for the category yet *)
+  model_categories : int;  (** distinct categories with learned state *)
+}
+
+val score : t -> score
+
+val size_accuracy : score -> float
+(** Fraction of size predictions that were right; nan if none. *)
+
+val lifetime_accuracy : score -> float

@@ -1,0 +1,116 @@
+module Record = Nt_trace.Record
+module Proc = Nt_nfs.Proc
+module Tw = Nt_util.Trace_week
+module Stats = Nt_util.Stats
+
+type bucket = {
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : float;
+  mutable bytes_written : float;
+}
+
+type t = { buckets : (int, bucket) Hashtbl.t }
+
+let create () = { buckets = Hashtbl.create 256 }
+
+let bucket_for t hour =
+  match Hashtbl.find_opt t.buckets hour with
+  | Some b -> b
+  | None ->
+      let b = { ops = 0; reads = 0; writes = 0; bytes_read = 0.; bytes_written = 0. } in
+      Hashtbl.add t.buckets hour b;
+      b
+
+let observe t (r : Record.t) =
+  let b = bucket_for t (Tw.hour_index r.time) in
+  b.ops <- b.ops + 1;
+  match Proc.kind (Record.proc r) with
+  | Proc.Data_read ->
+      b.reads <- b.reads + 1;
+      b.bytes_read <- b.bytes_read +. float_of_int (Record.io_bytes r)
+  | Proc.Data_write ->
+      b.writes <- b.writes + 1;
+      b.bytes_written <- b.bytes_written +. float_of_int (Record.io_bytes r)
+  | Proc.Metadata_read | Proc.Metadata_write -> ()
+
+type hour_point = {
+  hour : int;
+  ops : int;
+  reads : int;
+  writes : int;
+  bytes_read : float;
+  bytes_written : float;
+}
+
+let series t =
+  let hours = Hashtbl.fold (fun h _ acc -> h :: acc) t.buckets [] in
+  match hours with
+  | [] -> []
+  | _ ->
+      let lo = List.fold_left min (List.hd hours) hours in
+      let hi = List.fold_left max (List.hd hours) hours in
+      List.init (hi - lo + 1) (fun i ->
+          let hour = lo + i in
+          match Hashtbl.find_opt t.buckets hour with
+          | Some b ->
+              {
+                hour;
+                ops = b.ops;
+                reads = b.reads;
+                writes = b.writes;
+                bytes_read = b.bytes_read;
+                bytes_written = b.bytes_written;
+              }
+          | None -> { hour; ops = 0; reads = 0; writes = 0; bytes_read = 0.; bytes_written = 0. })
+
+let rw_ratio (p : hour_point) =
+  if p.writes = 0 then 0. else float_of_int p.reads /. float_of_int p.writes
+
+type variance_row = { mean : float; stddev_pct : float }
+
+type variance = {
+  total_ops_k : variance_row;
+  data_read_mb : variance_row;
+  read_ops_k : variance_row;
+  data_written_mb : variance_row;
+  write_ops_k : variance_row;
+  rw_op_ratio : variance_row;
+}
+
+let hour_is_peak hour =
+  let time = Tw.week_start +. (float_of_int hour *. 3600.) in
+  Tw.is_peak time
+
+let variance_of t ~filter =
+  let acc () = Stats.create () in
+  let total = acc () and dr = acc () and ro = acc () and dw = acc () and wo = acc () and rw = acc () in
+  List.iter
+    (fun (p : hour_point) ->
+      if filter p.hour then begin
+        Stats.add total (float_of_int p.ops /. 1000.);
+        Stats.add dr (p.bytes_read /. (1024. *. 1024.));
+        Stats.add ro (float_of_int p.reads /. 1000.);
+        Stats.add dw (p.bytes_written /. (1024. *. 1024.));
+        Stats.add wo (float_of_int p.writes /. 1000.);
+        if p.writes > 0 then Stats.add rw (rw_ratio p)
+      end)
+    (series t);
+  let row s = { mean = Stats.mean s; stddev_pct = Stats.stddev_pct_of_mean s } in
+  {
+    total_ops_k = row total;
+    data_read_mb = row dr;
+    read_ops_k = row ro;
+    data_written_mb = row dw;
+    write_ops_k = row wo;
+    rw_op_ratio = row rw;
+  }
+
+let all_hours t = variance_of t ~filter:(fun _ -> true)
+let peak_hours t = variance_of t ~filter:hour_is_peak
+
+let variance_reduction t =
+  let all = (all_hours t).total_ops_k.stddev_pct in
+  let peak = (peak_hours t).total_ops_k.stddev_pct in
+  if peak = 0. then 0. else all /. peak

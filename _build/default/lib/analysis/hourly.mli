@@ -1,0 +1,46 @@
+(** Hourly activity series and peak-hour variance (§6.2, Figure 4,
+    Table 5).
+
+    Buckets every record into its hour of the trace week and derives
+    the two Figure 4 series (hourly operation counts, hourly R/W op
+    ratio) and Table 5's all-hours vs peak-hours (9am–6pm weekdays)
+    mean ± standard deviation rows. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> Nt_trace.Record.t -> unit
+
+type hour_point = {
+  hour : int;  (** hour index since week start *)
+  ops : int;
+  reads : int;
+  writes : int;
+  bytes_read : float;
+  bytes_written : float;
+}
+
+val series : t -> hour_point list
+(** Hour-by-hour points covering the observed span (Figure 4). *)
+
+val rw_ratio : hour_point -> float
+
+type variance_row = { mean : float; stddev_pct : float }
+
+type variance = {
+  total_ops_k : variance_row;  (** thousands of ops per hour *)
+  data_read_mb : variance_row;
+  read_ops_k : variance_row;
+  data_written_mb : variance_row;
+  write_ops_k : variance_row;
+  rw_op_ratio : variance_row;
+}
+
+val all_hours : t -> variance
+val peak_hours : t -> variance
+(** Table 5's two halves. Peak = 9am–6pm Monday–Friday. *)
+
+val variance_reduction : t -> float
+(** Factor by which the normalised standard deviation of hourly total
+    ops shrinks when restricted to peak hours (the paper reports at
+    least 4x for CAMPUS). *)

@@ -1,0 +1,324 @@
+module Record = Nt_trace.Record
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+module Stats = Nt_util.Stats
+
+type category =
+  | Lock
+  | Mailbox
+  | Mail_composer
+  | Dot_file
+  | Applet
+  | Browser_cache
+  | Temp_build
+  | Autosave
+  | Backup
+  | Rcs_archive
+  | Source
+  | Object_file
+  | Log_index
+  | Dataset
+  | Other
+
+let all_categories =
+  [ Lock; Mailbox; Mail_composer; Dot_file; Applet; Browser_cache; Temp_build; Autosave;
+    Backup; Rcs_archive; Source; Object_file; Log_index; Dataset; Other ]
+
+let category_to_string = function
+  | Lock -> "lock"
+  | Mailbox -> "mailbox"
+  | Mail_composer -> "mail-composer"
+  | Dot_file -> "dot-file"
+  | Applet -> "applet"
+  | Browser_cache -> "browser-cache"
+  | Temp_build -> "temp-build"
+  | Autosave -> "autosave"
+  | Backup -> "backup"
+  | Rcs_archive -> "rcs-archive"
+  | Source -> "source"
+  | Object_file -> "object"
+  | Log_index -> "log-index"
+  | Dataset -> "dataset"
+  | Other -> "other"
+
+let has_suffix s suf =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+
+let has_prefix s pre =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let categorize name =
+  let n = String.length name in
+  if n = 0 then Other
+  else if has_suffix name ".lock" || name = "lock" then Lock
+  else if name = ".inbox" || name = "mbox" || name = "inbox" || has_prefix name "saved-" then
+    Mailbox
+  else if has_prefix name "pine-tmp" then Mail_composer
+  else if has_prefix name "Applet_" && has_suffix name "_Extern" then Applet
+  else if has_prefix name "cache" && n >= 10 then Browser_cache
+  else if n > 2 && name.[0] = '#' && name.[n - 1] = '#' then Autosave
+  else if name.[n - 1] = '~' then Backup
+  else if has_suffix name ",v" then Rcs_archive
+  else if has_suffix name ".tmp" || has_prefix name "ld-" || has_prefix name "result-" then
+    Temp_build
+  else if has_suffix name ".c" || has_suffix name ".h" || has_suffix name ".ml" || name = "Makefile"
+  then Source
+  else if has_suffix name ".o" then Object_file
+  else if has_suffix name ".log" || has_suffix name ".db" || name = ".history" then Log_index
+  else if has_suffix name ".dat" || has_suffix name ".out" then Dataset
+  else if name.[0] = '.' then Dot_file
+  else Other
+
+type file_info = {
+  category : category;
+  mutable created : float option;
+  mutable deleted : float option;
+  mutable max_size : float;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes : float;  (* READ+WRITE bytes against this file *)
+}
+
+module Fh_tbl = Hashtbl.Make (struct
+  type t = Fh.t
+
+  let equal = Fh.equal
+  let hash = Fh.hash
+end)
+
+type t = {
+  files : file_info Fh_tbl.t;
+  names : (string * string, Fh.t) Hashtbl.t;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+let create () =
+  { files = Fh_tbl.create 4096; names = Hashtbl.create 4096; t_min = infinity; t_max = neg_infinity }
+
+let info_for t fh ~name =
+  match Fh_tbl.find_opt t.files fh with
+  | Some info -> info
+  | None ->
+      let info =
+        { category = categorize name; created = None; deleted = None; max_size = 0.; reads = 0;
+          writes = 0; bytes = 0. }
+      in
+      Fh_tbl.add t.files fh info;
+      info
+
+let key dir name = (Fh.to_hex_full dir, name)
+
+let note_size info size = if size > info.max_size then info.max_size <- size
+
+let observe t (r : Record.t) =
+  if r.time < t.t_min then t.t_min <- r.time;
+  if r.time > t.t_max then t.t_max <- r.time;
+  match (r.call, r.result) with
+  | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; obj; _ })) ->
+      Hashtbl.replace t.names (key dir name) fh;
+      let info = info_for t fh ~name in
+      (match obj with Some a -> note_size info (Int64.to_float a.size) | None -> ())
+  | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ }))
+  | Ops.Mkdir { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+      Hashtbl.replace t.names (key dir name) fh;
+      let info = info_for t fh ~name in
+      if info.created = None then info.created <- Some r.time
+  | Ops.Remove { dir; name }, Some (Ok _) -> (
+      match Hashtbl.find_opt t.names (key dir name) with
+      | Some fh -> (
+          Hashtbl.remove t.names (key dir name);
+          match Fh_tbl.find_opt t.files fh with
+          | Some info -> if info.deleted = None then info.deleted <- Some r.time
+          | None -> ())
+      | None -> ())
+  | Ops.Read { fh; _ }, _ -> (
+      match Fh_tbl.find_opt t.files fh with
+      | Some info ->
+          info.reads <- info.reads + 1;
+          info.bytes <- info.bytes +. float_of_int (Record.io_bytes r);
+          (match Record.post_size r with
+          | Some s -> note_size info (Int64.to_float s)
+          | None -> ())
+      | None -> ())
+  | Ops.Write { fh; _ }, _ -> (
+      match Fh_tbl.find_opt t.files fh with
+      | Some info ->
+          info.writes <- info.writes + 1;
+          info.bytes <- info.bytes +. float_of_int (Record.io_bytes r);
+          (match Record.post_size r with
+          | Some s -> note_size info (Int64.to_float s)
+          | None -> ())
+      | None -> ())
+  | _ -> ()
+
+let lifetime info =
+  match (info.created, info.deleted) with
+  | Some c, Some d when d >= c -> Some (d -. c)
+  | _ -> None
+
+type category_stats = {
+  files_seen : int;
+  created_deleted : int;
+  median_size : float;
+  median_lifetime : float;
+  read_only_pct : float;
+  write_only_pct : float;
+}
+
+let infos t = Fh_tbl.fold (fun _ info acc -> info :: acc) t.files []
+
+let stats t =
+  let all = infos t in
+  List.filter_map
+    (fun cat ->
+      let members = List.filter (fun i -> i.category = cat) all in
+      match members with
+      | [] -> None
+      | _ ->
+          let n = List.length members in
+          let sizes = Array.of_list (List.map (fun i -> i.max_size) members) in
+          let lifetimes = List.filter_map lifetime members in
+          let accessed = List.filter (fun i -> i.reads + i.writes > 0) members in
+          let na = max 1 (List.length accessed) in
+          let read_only =
+            List.length (List.filter (fun i -> i.reads > 0 && i.writes = 0) accessed)
+          in
+          let write_only =
+            List.length (List.filter (fun i -> i.writes > 0 && i.reads = 0) accessed)
+          in
+          Some
+            ( cat,
+              {
+                files_seen = n;
+                created_deleted =
+                  List.length
+                    (List.filter (fun i -> i.created <> None && i.deleted <> None) members);
+                median_size = Stats.median sizes;
+                median_lifetime =
+                  (match lifetimes with
+                  | [] -> nan
+                  | _ -> Stats.median (Array.of_list lifetimes));
+                read_only_pct = 100. *. float_of_int read_only /. float_of_int na;
+                write_only_pct = 100. *. float_of_int write_only /. float_of_int na;
+              } ))
+    all_categories
+
+let created_deleted t =
+  List.filter (fun i -> i.created <> None && i.deleted <> None) (infos t)
+
+let created_deleted_total t = List.length (created_deleted t)
+
+let byte_share t cat =
+  let all = infos t in
+  let total = List.fold_left (fun acc i -> acc +. i.bytes) 0. all in
+  if total = 0. then 0.
+  else
+    List.fold_left (fun acc i -> if i.category = cat then acc +. i.bytes else acc) 0. all /. total
+
+let unique_file_share t cat =
+  let all = infos t in
+  let n = List.length all in
+  if n = 0 then 0.
+  else
+    float_of_int (List.length (List.filter (fun i -> i.category = cat) all)) /. float_of_int n
+
+let lock_created_deleted_pct t =
+  let cd = created_deleted t in
+  let total = List.length cd in
+  if total = 0 then 0.
+  else
+    100.
+    *. float_of_int (List.length (List.filter (fun i -> i.category = Lock) cd))
+    /. float_of_int total
+
+let fraction_under values threshold =
+  match values with
+  | [] -> nan
+  | _ ->
+      float_of_int (List.length (List.filter (fun v -> v <= threshold) values))
+      /. float_of_int (List.length values)
+
+let lock_lifetime_under t seconds =
+  let ls = List.filter_map lifetime (List.filter (fun i -> i.category = Lock) (infos t)) in
+  fraction_under ls seconds
+
+let composer_size_under t bytes =
+  let sizes =
+    List.map (fun i -> i.max_size) (List.filter (fun i -> i.category = Mail_composer) (infos t))
+  in
+  fraction_under sizes bytes
+
+let composer_lifetime_under t seconds =
+  let ls =
+    List.filter_map lifetime (List.filter (fun i -> i.category = Mail_composer) (infos t))
+  in
+  fraction_under ls seconds
+
+(* --- the prediction experiment --- *)
+
+type prediction = {
+  tested : int;
+  size_accuracy : float;
+  lifetime_accuracy : float;
+  pattern_accuracy : float;
+}
+
+let size_class s = if s <= 8192. then 0 else if s <= 1_048_576. then 1 else 2
+let lifetime_class l = if l <= 1. then 0 else if l <= 60. then 1 else if l <= 3600. then 2 else 3
+
+let pattern_class info =
+  if info.reads > 0 && info.writes = 0 then 0
+  else if info.writes > 0 && info.reads = 0 then 1
+  else 2
+
+let majority classes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl c (1 + Option.value (Hashtbl.find_opt tbl c) ~default:0))
+    classes;
+  Hashtbl.fold (fun c n acc -> match acc with Some (_, bn) when bn >= n -> acc | _ -> Some (c, n)) tbl None
+  |> Option.map fst
+
+let predict t =
+  let mid = (t.t_min +. t.t_max) /. 2. in
+  let all = List.filter (fun i -> i.created <> None) (infos t) in
+  let train, test =
+    List.partition (fun i -> Option.value i.created ~default:0. < mid) all
+  in
+  let learn extract members =
+    List.filter_map
+      (fun cat ->
+        let of_cat = List.filter (fun i -> i.category = cat) members in
+        match majority (List.filter_map extract of_cat) with
+        | Some c -> Some (cat, c)
+        | None -> None)
+      all_categories
+  in
+  let size_of i = Some (size_class i.max_size) in
+  let lt_of i = Option.map lifetime_class (lifetime i) in
+  let pat_of i = if i.reads + i.writes > 0 then Some (pattern_class i) else None in
+  let size_model = learn size_of train in
+  let lt_model = learn lt_of train in
+  let pat_model = learn pat_of train in
+  let accuracy model extract =
+    let scored =
+      List.filter_map
+        (fun i ->
+          match (List.assoc_opt i.category model, extract i) with
+          | Some predicted, Some actual -> Some (predicted = actual)
+          | _ -> None)
+        test
+    in
+    match scored with
+    | [] -> nan
+    | _ ->
+        float_of_int (List.length (List.filter Fun.id scored)) /. float_of_int (List.length scored)
+  in
+  {
+    tested = List.length test;
+    size_accuracy = accuracy size_model size_of;
+    lifetime_accuracy = accuracy lt_model lt_of;
+    pattern_accuracy = accuracy pat_model pat_of;
+  }

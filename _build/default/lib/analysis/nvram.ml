@@ -1,0 +1,162 @@
+module Record = Nt_trace.Record
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+
+type config = {
+  capacity_bytes : int;
+  flush_delay : float;
+  block : int;
+}
+
+(* Buffered dirty blocks, keyed by (fh hex, block index). [seq] gives
+   FIFO flush order; a rewrite refreshes the entry (the old version is
+   absorbed, the new one re-enters at the tail). *)
+type entry = { mutable deadline : float; mutable seq : int; mutable live : bool }
+
+type t = {
+  cfg : config;
+  entries : (string * int, entry) Hashtbl.t;
+  queue : (float * int * (string * int)) Queue.t;  (* deadline, seq, key *)
+  names : (string * string, Fh.t) Hashtbl.t;
+  mutable next_seq : int;
+  mutable buffered : int;  (* live entries *)
+  mutable block_writes : int;
+  mutable absorbed : int;
+  mutable disk_writes : int;
+  mutable overflow_flushes : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    entries = Hashtbl.create 4096;
+    queue = Queue.create ();
+    names = Hashtbl.create 1024;
+    next_seq = 0;
+    buffered = 0;
+    block_writes = 0;
+    absorbed = 0;
+    disk_writes = 0;
+    overflow_flushes = 0;
+  }
+
+let capacity_blocks t = max 1 (t.cfg.capacity_bytes / t.cfg.block)
+
+let flush t ~forced key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e when e.live ->
+      e.live <- false;
+      t.buffered <- t.buffered - 1;
+      t.disk_writes <- t.disk_writes + 1;
+      if forced then t.overflow_flushes <- t.overflow_flushes + 1
+  | _ -> ()
+
+(* Flush entries whose deadline has passed, then enforce capacity. The
+   queue may hold stale (refreshed or absorbed) tickets; an entry is
+   only flushed when the ticket matches its current sequence number. *)
+let expire t ~now =
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.queue with
+    | Some (deadline, seq, key) when deadline <= now ->
+        ignore (Queue.pop t.queue);
+        (match Hashtbl.find_opt t.entries key with
+        | Some e when e.live && e.seq = seq -> flush t ~forced:false key
+        | _ -> ())
+    | Some _ | None -> continue := false
+  done;
+  while t.buffered > capacity_blocks t && not (Queue.is_empty t.queue) do
+    let _, seq, key = Queue.pop t.queue in
+    match Hashtbl.find_opt t.entries key with
+    | Some e when e.live && e.seq = seq -> flush t ~forced:true key
+    | _ -> ()
+  done
+
+let absorb t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e when e.live ->
+      e.live <- false;
+      t.buffered <- t.buffered - 1;
+      t.absorbed <- t.absorbed + 1
+  | _ -> ()
+
+let write_block t ~now key =
+  t.block_writes <- t.block_writes + 1;
+  absorb t key (* previous buffered version, if any, dies here *);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let deadline = now +. t.cfg.flush_delay in
+  (match Hashtbl.find_opt t.entries key with
+  | Some e ->
+      e.deadline <- deadline;
+      e.seq <- seq;
+      e.live <- true
+  | None -> Hashtbl.add t.entries key { deadline; seq; live = true });
+  t.buffered <- t.buffered + 1;
+  Queue.push (deadline, seq, key) t.queue
+
+(* Blocks of a removed/truncated file that are still buffered never
+   need to reach the disk at all. *)
+let drop_file t fh_hex =
+  let keys =
+    Hashtbl.fold
+      (fun ((h, _) as k) e acc -> if h = fh_hex && e.live then k :: acc else acc)
+      t.entries []
+  in
+  List.iter (absorb t) keys
+
+let name_key dir name = (Fh.to_hex_full dir, name)
+
+let observe t (r : Record.t) =
+  expire t ~now:r.time;
+  (match (r.call, r.result) with
+  | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
+      Hashtbl.replace t.names (name_key dir name) fh
+  | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+      Hashtbl.replace t.names (name_key dir name) fh
+  | _ -> ());
+  match r.call with
+  | Ops.Write { fh; offset; count; _ } when count > 0 ->
+      let hex = Fh.to_hex_full fh in
+      let b0 = Int64.to_int offset / t.cfg.block in
+      let b1 = (Int64.to_int offset + count - 1) / t.cfg.block in
+      for b = b0 to b1 do
+        write_block t ~now:r.time (hex, b)
+      done
+  | Ops.Setattr { fh; attrs = { set_size = Some s; _ } } when Int64.equal s 0L ->
+      drop_file t (Fh.to_hex_full fh)
+  | Ops.Remove { dir; name } when Record.is_ok r -> (
+      match Hashtbl.find_opt t.names (name_key dir name) with
+      | Some fh ->
+          drop_file t (Fh.to_hex_full fh);
+          Hashtbl.remove t.names (name_key dir name)
+      | None -> ())
+  | _ -> ()
+
+type result = {
+  block_writes : int;
+  absorbed : int;
+  disk_writes : int;
+  absorbed_pct : float;
+  overflow_flushes : int;
+}
+
+let result (t : t) =
+  (* Final flush of everything still buffered. *)
+  Hashtbl.iter
+    (fun _ e ->
+      if e.live then begin
+        e.live <- false;
+        t.disk_writes <- t.disk_writes + 1
+      end)
+    t.entries;
+  t.buffered <- 0;
+  {
+    block_writes = t.block_writes;
+    absorbed = t.absorbed;
+    disk_writes = t.disk_writes;
+    absorbed_pct =
+      (if t.block_writes = 0 then 0.
+       else 100. *. float_of_int t.absorbed /. float_of_int t.block_writes);
+    overflow_flushes = t.overflow_flushes;
+  }

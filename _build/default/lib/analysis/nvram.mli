@@ -1,0 +1,39 @@
+(** NVRAM delayed-write ablation (paper §6.1/§7).
+
+    The paper concludes that "mechanisms for delaying writes, such as
+    NVRAM, would improve performance for both the CAMPUS and EECS
+    workloads" because so many blocks die young. This module quantifies
+    that: it simulates a battery-backed write buffer in front of the
+    disk and counts how many block writes are absorbed — overwritten or
+    deleted while still buffered — and so never reach the platters.
+
+    A block enters the buffer when written and leaves when its flush
+    deadline expires or the buffer overflows (oldest flushed first).
+    A write to a still-buffered block replaces it in place: the earlier
+    version is absorbed. *)
+
+type config = {
+  capacity_bytes : int;
+  flush_delay : float;  (** seconds a dirty block may linger *)
+  block : int;
+}
+
+type t
+
+val create : config -> t
+
+val observe : t -> Nt_trace.Record.t -> unit
+(** Feed records in time order; WRITE, SETATTR(truncate) and REMOVE
+    affect the buffer (removes need name bindings, learned from
+    lookups/creates like the lifetime analysis). *)
+
+type result = {
+  block_writes : int;  (** dirty-block versions produced by the workload *)
+  absorbed : int;  (** versions that died in the buffer *)
+  disk_writes : int;  (** versions that reached the disk *)
+  absorbed_pct : float;
+  overflow_flushes : int;  (** early flushes forced by capacity *)
+}
+
+val result : t -> result
+(** Flushes everything still buffered (counted as disk writes). *)

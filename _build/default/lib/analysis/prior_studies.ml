@@ -1,0 +1,120 @@
+type daily_activity = {
+  label : string;
+  year : int;
+  days : int;
+  total_ops_m : float;
+  data_read_gb : float;
+  read_ops_m : float;
+  data_written_gb : float;
+  write_ops_m : float;
+  rw_byte_ratio : float;
+  rw_op_ratio : float;
+}
+
+(* Table 2, rightmost columns. *)
+let ins =
+  { label = "INS"; year = 2000; days = 31; total_ops_m = 8.30; data_read_gb = 3.05;
+    read_ops_m = 2.32; data_written_gb = 0.542; write_ops_m = 0.15; rw_byte_ratio = 5.6;
+    rw_op_ratio = 15.4 }
+
+let res =
+  { label = "RES"; year = 2000; days = 31; total_ops_m = 3.20; data_read_gb = 1.70;
+    read_ops_m = 0.303; data_written_gb = 0.455; write_ops_m = 0.071; rw_byte_ratio = 3.7;
+    rw_op_ratio = 4.27 }
+
+let nt =
+  { label = "NT"; year = 2000; days = 31; total_ops_m = 3.87; data_read_gb = 4.04;
+    read_ops_m = 1.27; data_written_gb = 0.639; write_ops_m = 0.231; rw_byte_ratio = 6.3;
+    rw_op_ratio = 4.49 }
+
+let sprite =
+  { label = "Sprite"; year = 1991; days = 8; total_ops_m = 0.432; data_read_gb = 5.36;
+    read_ops_m = 0.207; data_written_gb = 1.16; write_ops_m = 0.057; rw_byte_ratio = 4.6;
+    rw_op_ratio = 3.61 }
+
+let table2_comparisons = [ ins; res; nt; sprite ]
+
+(* Table 2, the 10/21–10/27 columns. *)
+let campus_week =
+  { label = "CAMPUS"; year = 2001; days = 7; total_ops_m = 26.7; data_read_gb = 119.6;
+    read_ops_m = 17.29; data_written_gb = 44.57; write_ops_m = 5.73; rw_byte_ratio = 2.68;
+    rw_op_ratio = 3.01 }
+
+let eecs_week =
+  { label = "EECS"; year = 2001; days = 7; total_ops_m = 4.44; data_read_gb = 5.10;
+    read_ops_m = 0.461; data_written_gb = 9.086; write_ops_m = 0.667; rw_byte_ratio = 0.56;
+    rw_op_ratio = 0.69 }
+
+type run_breakdown = {
+  label : string;
+  reads_pct : float;
+  read_entire : float;
+  read_seq : float;
+  read_random : float;
+  writes_pct : float;
+  write_entire : float;
+  write_seq : float;
+  write_random : float;
+  rw_pct : float;
+  rw_entire : float;
+  rw_seq : float;
+  rw_random : float;
+}
+
+(* Table 3. *)
+let nt_runs =
+  { label = "NT"; reads_pct = 73.8; read_entire = 64.6; read_seq = 7.1; read_random = 28.3;
+    writes_pct = 23.5; write_entire = 41.6; write_seq = 57.1; write_random = 1.3; rw_pct = 2.7;
+    rw_entire = 15.9; rw_seq = 0.3; rw_random = 83.8 }
+
+let sprite_runs =
+  { label = "Sprite"; reads_pct = 83.5; read_entire = 72.5; read_seq = 25.4; read_random = 2.1;
+    writes_pct = 15.4; write_entire = 67.0; write_seq = 28.9; write_random = 4.0; rw_pct = 1.1;
+    rw_entire = 0.1; rw_seq = 0.0; rw_random = 99.9 }
+
+let bsd_runs =
+  { label = "BSD"; reads_pct = 64.5; read_entire = 67.1; read_seq = 24.0; read_random = 8.9;
+    writes_pct = 27.5; write_entire = 82.5; write_seq = 17.2; write_random = 0.3; rw_pct = 7.9;
+    rw_entire = nan; rw_seq = nan; rw_random = 75.1 }
+
+let campus_runs_raw =
+  { label = "CAMPUS raw"; reads_pct = 53.1; read_entire = 47.7; read_seq = 29.3;
+    read_random = 23.0; writes_pct = 43.8; write_entire = 37.2; write_seq = 52.3;
+    write_random = 10.5; rw_pct = 3.1; rw_entire = 1.4; rw_seq = 0.9; rw_random = 97.8 }
+
+let campus_runs_processed =
+  { label = "CAMPUS processed"; reads_pct = 53.1; read_entire = 57.6; read_seq = 33.9;
+    read_random = 8.6; writes_pct = 43.9; write_entire = 37.8; write_seq = 53.2;
+    write_random = 9.0; rw_pct = 3.0; rw_entire = 3.5; rw_seq = 2.1; rw_random = 94.3 }
+
+let eecs_runs_raw =
+  { label = "EECS raw"; reads_pct = 16.6; read_entire = 53.9; read_seq = 36.8;
+    read_random = 9.3; writes_pct = 82.3; write_entire = 19.6; write_seq = 76.2;
+    write_random = 4.1; rw_pct = 1.1; rw_entire = 4.4; rw_seq = 1.8; rw_random = 93.9 }
+
+let eecs_runs_processed =
+  { label = "EECS processed"; reads_pct = 16.5; read_entire = 57.2; read_seq = 39.0;
+    read_random = 3.8; writes_pct = 82.3; write_entire = 19.6; write_seq = 78.3;
+    write_random = 2.1; rw_pct = 1.1; rw_entire = 5.8; rw_seq = 7.3; rw_random = 86.8 }
+
+type block_life = {
+  label : string;
+  births_m : float;
+  births_write_pct : float;
+  births_extension_pct : float;
+  deaths_m : float;
+  deaths_overwrite_pct : float;
+  deaths_truncate_pct : float;
+  deaths_deletion_pct : float;
+}
+
+(* Table 4 (daily figures for 10/22–10/26). *)
+let campus_block_life =
+  { label = "CAMPUS"; births_m = 28.4; births_write_pct = 99.9; births_extension_pct = 0.1;
+    deaths_m = 27.5; deaths_overwrite_pct = 99.1; deaths_truncate_pct = 0.6;
+    deaths_deletion_pct = 0.3 }
+
+let eecs_block_life =
+  { label = "EECS"; births_m = 9.8; births_write_pct = 75.5; births_extension_pct = 24.5;
+    deaths_m = 9.2; deaths_overwrite_pct = 42.4; deaths_truncate_pct = 5.8;
+    deaths_deletion_pct = 51.8 }

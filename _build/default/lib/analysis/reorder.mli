@@ -1,0 +1,18 @@
+(** Reorder-window analysis (paper §4.2, Figure 1).
+
+    Measures how many accesses get swapped when the reorder window is
+    applied at each candidate size, reproducing the knee the paper uses
+    to pick 5 ms (EECS) and 10 ms (CAMPUS) windows, and quantifies raw
+    out-of-order arrivals for the §4.1.5 nfsiod experiment. *)
+
+val swap_percentages : Io_log.t -> windows_ms:float list -> (float * float) list
+(** [(window_ms, percent_of_accesses_swapped)] for each window size. *)
+
+val knee : (float * float) list -> float
+(** Smallest window (ms) after which growing the window further yields
+    < 10% relative improvement — the paper's "knee" selection rule. *)
+
+val out_of_order_fraction : Io_log.t -> float
+(** Fraction of consecutive same-file access pairs whose offsets run
+    backwards in arrival order — the raw reordering level (the paper
+    observed up to ~10% under load). *)

@@ -1,0 +1,92 @@
+module Record = Nt_trace.Record
+module Proc = Nt_nfs.Proc
+module Fh = Nt_nfs.Fh
+
+module Fh_set = Hashtbl.Make (struct
+  type t = Fh.t
+
+  let equal = Fh.equal
+  let hash = Fh.hash
+end)
+
+type t = {
+  per_proc : (Proc.t, int) Hashtbl.t;
+  mutable total : int;
+  mutable bytes_read : float;
+  mutable bytes_written : float;
+  touched : unit Fh_set.t;
+  mutable first : float;
+  mutable last : float;
+}
+
+let create () =
+  {
+    per_proc = Hashtbl.create 32;
+    total = 0;
+    bytes_read = 0.;
+    bytes_written = 0.;
+    touched = Fh_set.create 4096;
+    first = infinity;
+    last = neg_infinity;
+  }
+
+let observe t (r : Record.t) =
+  let proc = Record.proc r in
+  Hashtbl.replace t.per_proc proc (1 + Option.value (Hashtbl.find_opt t.per_proc proc) ~default:0);
+  t.total <- t.total + 1;
+  if r.time < t.first then t.first <- r.time;
+  if r.time > t.last then t.last <- r.time;
+  (match Proc.kind proc with
+  | Proc.Data_read -> t.bytes_read <- t.bytes_read +. float_of_int (Record.io_bytes r)
+  | Proc.Data_write -> t.bytes_written <- t.bytes_written +. float_of_int (Record.io_bytes r)
+  | Proc.Metadata_read | Proc.Metadata_write -> ());
+  match Record.target_fh r with
+  | Some fh -> if not (Fh_set.mem t.touched fh) then Fh_set.add t.touched fh ()
+  | None -> ()
+
+let total_ops t = t.total
+let ops_for t proc = Option.value (Hashtbl.find_opt t.per_proc proc) ~default:0
+let read_ops t = ops_for t Proc.Read
+let write_ops t = ops_for t Proc.Write
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+
+let data_ops_pct t =
+  if t.total = 0 then 0.
+  else 100. *. float_of_int (read_ops t + write_ops t) /. float_of_int t.total
+
+let ratio a b = if b = 0. then 0. else a /. b
+let read_write_byte_ratio t = ratio t.bytes_read t.bytes_written
+let read_write_op_ratio t = ratio (float_of_int (read_ops t)) (float_of_int (write_ops t))
+let unique_files_accessed t = Fh_set.length t.touched
+
+let days t =
+  if t.last <= t.first then 1e-6 /. 86400. else (t.last -. t.first) /. 86400.
+
+type daily = {
+  total_ops_m : float;
+  data_read_gb : float;
+  read_ops_m : float;
+  data_written_gb : float;
+  write_ops_m : float;
+  rw_byte_ratio : float;
+  rw_op_ratio : float;
+}
+
+let daily ?(scale = 1.0) t =
+  let d = days t in
+  let per_day x = x /. d /. scale in
+  let gb = 1024. *. 1024. *. 1024. in
+  {
+    total_ops_m = per_day (float_of_int t.total) /. 1e6;
+    data_read_gb = per_day t.bytes_read /. gb;
+    read_ops_m = per_day (float_of_int (read_ops t)) /. 1e6;
+    data_written_gb = per_day t.bytes_written /. gb;
+    write_ops_m = per_day (float_of_int (write_ops t)) /. 1e6;
+    rw_byte_ratio = read_write_byte_ratio t;
+    rw_op_ratio = read_write_op_ratio t;
+  }
+
+let top_procs t =
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.per_proc []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

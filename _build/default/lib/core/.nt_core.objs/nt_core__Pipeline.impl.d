@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Nt_net Nt_sim Nt_trace Nt_workload

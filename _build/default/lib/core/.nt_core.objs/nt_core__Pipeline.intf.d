@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Nt_net Nt_trace Nt_workload

@@ -1,0 +1,90 @@
+module Engine = Nt_sim.Engine
+module Server = Nt_sim.Server
+module Record_sorter = Nt_sim.Record_sorter
+module Packet_pipe = Nt_sim.Packet_pipe
+module Email = Nt_workload.Email
+module Research = Nt_workload.Research
+module Ip_addr = Nt_net.Ip_addr
+
+type run_stats = {
+  records : int;
+  sessions : int;
+  deliveries : int;
+  compiles : int;
+  server_calls : int;
+}
+
+let campus_server_ip = Ip_addr.v 10 1 1 2 (* "home02" *)
+let eecs_server_ip = Ip_addr.v 10 2 1 2
+
+let simulate_campus ?(config = Email.default_config) ~start ~stop ~sink () =
+  let engine = Engine.create ~start:(start -. 1.) () in
+  let server = Server.create ~fsid:2 ~ip:campus_server_ip () in
+  let count = ref 0 in
+  let sorter =
+    Record_sorter.create (fun r ->
+        incr count;
+        sink r)
+  in
+  let wl = Email.setup config ~engine ~server ~sink:(Record_sorter.push sorter) in
+  Email.schedule wl ~start ~stop;
+  Engine.run_until engine stop;
+  Record_sorter.flush sorter;
+  {
+    records = !count;
+    sessions = Email.sessions_started wl;
+    deliveries = Email.deliveries_made wl;
+    compiles = 0;
+    server_calls = Server.calls_handled server;
+  }
+
+let simulate_eecs ?(config = Research.default_config) ~start ~stop ~sink () =
+  let engine = Engine.create ~start:(start -. 1.) () in
+  let server = Server.create ~fsid:3 ~ip:eecs_server_ip () in
+  let count = ref 0 in
+  let sorter =
+    Record_sorter.create (fun r ->
+        incr count;
+        sink r)
+  in
+  let wl = Research.setup config ~engine ~server ~sink:(Record_sorter.push sorter) in
+  Research.schedule wl ~start ~stop;
+  Engine.run_until engine stop;
+  Record_sorter.flush sorter;
+  {
+    records = !count;
+    sessions = 0;
+    deliveries = 0;
+    compiles = Research.compiles_run wl;
+    server_calls = Server.calls_handled server;
+  }
+
+type pcap_stats = {
+  run : run_stats;
+  packets_written : int;
+  packets_dropped : int;
+}
+
+let to_pcap ~transport ~monitor_loss ~writer ~simulate =
+  let pipe = Packet_pipe.create ~monitor_loss ~transport ~writer () in
+  let run = simulate ~sink:(Packet_pipe.push pipe) in
+  Packet_pipe.finish pipe;
+  {
+    run;
+    packets_written = Packet_pipe.packets_written pipe;
+    packets_dropped = Packet_pipe.packets_dropped pipe;
+  }
+
+let campus_to_pcap ?config ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~transport:Packet_pipe.Tcp_transport ~monitor_loss ~writer ~simulate:(fun ~sink ->
+      simulate_campus ?config ~start ~stop ~sink ())
+
+let eecs_to_pcap ?config ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer ~simulate:(fun ~sink ->
+      simulate_eecs ?config ~start ~stop ~sink ())
+
+let capture_pcap pcap_bytes =
+  let reader = Nt_net.Pcap.reader_of_string pcap_bytes in
+  let capture = Nt_trace.Capture.create () in
+  Nt_trace.Capture.feed_pcap capture reader;
+  Nt_trace.Capture.finish capture

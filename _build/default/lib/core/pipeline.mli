@@ -1,0 +1,63 @@
+(** One-call pipelines: simulate a system, get a trace.
+
+    These wire together the engine, server, workload generators,
+    record sorter and (optionally) the packet pipe + capture engine, so
+    examples, tests and benches all drive the same code paths. *)
+
+type run_stats = {
+  records : int;  (** trace records emitted to the sink *)
+  sessions : int;  (** interactive sessions started (CAMPUS) *)
+  deliveries : int;  (** messages delivered (CAMPUS) *)
+  compiles : int;  (** compile jobs (EECS) *)
+  server_calls : int;
+}
+
+val simulate_campus :
+  ?config:Nt_workload.Email.config ->
+  start:float ->
+  stop:float ->
+  sink:(Nt_trace.Record.t -> unit) ->
+  unit ->
+  run_stats
+(** Run the CAMPUS email workload over [start, stop); records arrive at
+    [sink] sorted by call time. *)
+
+val simulate_eecs :
+  ?config:Nt_workload.Research.config ->
+  start:float ->
+  stop:float ->
+  sink:(Nt_trace.Record.t -> unit) ->
+  unit ->
+  run_stats
+
+type pcap_stats = {
+  run : run_stats;
+  packets_written : int;
+  packets_dropped : int;  (** lost at the monitor port *)
+}
+
+val campus_to_pcap :
+  ?config:Nt_workload.Email.config ->
+  ?monitor_loss:float ->
+  start:float ->
+  stop:float ->
+  writer:Nt_net.Pcap.writer ->
+  unit ->
+  pcap_stats
+(** Full wire path: CAMPUS traffic as NFSv3-over-TCP jumbo-frame
+    packets in a pcap stream, with optional capture loss — the input
+    the paper's own tracer consumed. *)
+
+val eecs_to_pcap :
+  ?config:Nt_workload.Research.config ->
+  ?monitor_loss:float ->
+  start:float ->
+  stop:float ->
+  writer:Nt_net.Pcap.writer ->
+  unit ->
+  pcap_stats
+(** EECS traffic as NFS-over-UDP packets (mixed v2/v3 clients). *)
+
+val capture_pcap : string -> Nt_trace.Capture.stats * Nt_trace.Record.t list
+(** Decode a pcap byte string back into trace records — the passive
+    tracer itself. *)

@@ -1,0 +1,1 @@
+lib/net/frame.ml: Bytes Char Ip_addr Printf String

@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Buffer Bytes Char Float Printf Seq String

@@ -1,0 +1,1 @@
+lib/net/tcp_reassembly.ml: Hashtbl Int Ip_addr List Map String

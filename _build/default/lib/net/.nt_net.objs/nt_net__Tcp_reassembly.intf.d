@@ -1,0 +1,1 @@
+lib/net/tcp_reassembly.mli: Ip_addr

@@ -1,0 +1,151 @@
+type transport =
+  | Udp of { src_port : int; dst_port : int; payload : string }
+  | Tcp of { src_port : int; dst_port : int; seq : int; syn : bool; fin : bool; payload : string }
+
+type t = {
+  src_mac : string;
+  dst_mac : string;
+  src_ip : Ip_addr.t;
+  dst_ip : Ip_addr.t;
+  transport : transport;
+}
+
+let default_src_mac = "\x02\x00\x00\x00\x00\x01"
+let default_dst_mac = "\x02\x00\x00\x00\x00\x02"
+let ethertype_ipv4 = 0x0800
+let proto_tcp = 6
+let proto_udp = 17
+
+let udp ?(src_mac = default_src_mac) ?(dst_mac = default_dst_mac) ~src_ip ~dst_ip ~src_port
+    ~dst_port payload =
+  { src_mac; dst_mac; src_ip; dst_ip; transport = Udp { src_port; dst_port; payload } }
+
+let tcp ?(src_mac = default_src_mac) ?(dst_mac = default_dst_mac) ?(syn = false) ?(fin = false)
+    ~src_ip ~dst_ip ~src_port ~dst_port ~seq payload =
+  { src_mac; dst_mac; src_ip; dst_ip; transport = Tcp { src_port; dst_port; seq; syn; fin; payload } }
+
+let set16 b pos v =
+  Bytes.set b pos (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr (v land 0xFF))
+
+let set32 b pos v =
+  set16 b pos ((v lsr 16) land 0xFFFF);
+  set16 b (pos + 2) (v land 0xFFFF)
+
+let get8 s pos = Char.code s.[pos]
+let get16 s pos = (get8 s pos lsl 8) lor get8 s (pos + 1)
+let get32 s pos = (get16 s pos lsl 16) lor get16 s (pos + 2)
+
+let ipv4_checksum s ~pos ~len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + get16 s (pos + !i);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (get8 s (pos + len - 1) lsl 8);
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let encode t =
+  let payload, proto, transport_len =
+    match t.transport with
+    | Udp { payload; _ } -> (payload, proto_udp, 8 + String.length payload)
+    | Tcp { payload; _ } -> (payload, proto_tcp, 20 + String.length payload)
+  in
+  let ip_len = 20 + transport_len in
+  let b = Bytes.make (14 + ip_len) '\000' in
+  Bytes.blit_string t.dst_mac 0 b 0 6;
+  Bytes.blit_string t.src_mac 0 b 6 6;
+  set16 b 12 ethertype_ipv4;
+  (* IPv4 header *)
+  let ip = 14 in
+  Bytes.set b ip '\x45';
+  set16 b (ip + 2) ip_len;
+  Bytes.set b (ip + 8) '\x40' (* TTL 64 *);
+  Bytes.set b (ip + 9) (Char.chr proto);
+  set32 b (ip + 12) t.src_ip;
+  set32 b (ip + 16) t.dst_ip;
+  let cksum = ipv4_checksum (Bytes.unsafe_to_string b) ~pos:ip ~len:20 in
+  set16 b (ip + 10) cksum;
+  (* Transport header + payload *)
+  let tp = ip + 20 in
+  (match t.transport with
+  | Udp { src_port; dst_port; payload } ->
+      set16 b tp src_port;
+      set16 b (tp + 2) dst_port;
+      set16 b (tp + 4) (8 + String.length payload);
+      Bytes.blit_string payload 0 b (tp + 8) (String.length payload)
+  | Tcp { src_port; dst_port; seq; syn; fin; payload } ->
+      set16 b tp src_port;
+      set16 b (tp + 2) dst_port;
+      set32 b (tp + 4) (seq land 0xFFFFFFFF);
+      (* data offset 5 words, flags: ACK always, SYN/FIN as requested *)
+      Bytes.set b (tp + 12) '\x50';
+      let flags = 0x10 lor (if syn then 0x02 else 0) lor if fin then 0x01 else 0 in
+      Bytes.set b (tp + 13) (Char.chr flags);
+      set16 b (tp + 14) 0xFFFF (* window *);
+      Bytes.blit_string payload 0 b (tp + 20) (String.length payload));
+  ignore payload;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  let len = String.length s in
+  if len < 34 then Error "frame too short"
+  else if get16 s 12 <> ethertype_ipv4 then Error "not IPv4"
+  else begin
+    let ip = 14 in
+    let vihl = get8 s ip in
+    if vihl lsr 4 <> 4 then Error "not IP version 4"
+    else begin
+      let ihl = (vihl land 0xF) * 4 in
+      if ihl < 20 then Error "bad IP header length"
+      else begin
+        let total = get16 s (ip + 2) in
+        if ip + total > len || total < ihl then Error "truncated IP packet"
+        else begin
+          let proto = get8 s (ip + 9) in
+          let src_ip = get32 s (ip + 12) in
+          let dst_ip = get32 s (ip + 16) in
+          let tp = ip + ihl in
+          let dst_mac = String.sub s 0 6 in
+          let src_mac = String.sub s 6 6 in
+          if proto = proto_udp then begin
+            if ip + total - tp < 8 then Error "truncated UDP header"
+            else begin
+              let src_port = get16 s tp in
+              let dst_port = get16 s (tp + 2) in
+              let udp_len = get16 s (tp + 4) in
+              if tp + udp_len > ip + total || udp_len < 8 then Error "bad UDP length"
+              else
+                let payload = String.sub s (tp + 8) (udp_len - 8) in
+                Ok { src_mac; dst_mac; src_ip; dst_ip; transport = Udp { src_port; dst_port; payload } }
+            end
+          end
+          else if proto = proto_tcp then begin
+            if ip + total - tp < 20 then Error "truncated TCP header"
+            else begin
+              let src_port = get16 s tp in
+              let dst_port = get16 s (tp + 2) in
+              let seq = get32 s (tp + 4) in
+              let doff = (get8 s (tp + 12) lsr 4) * 4 in
+              if doff < 20 || tp + doff > ip + total then Error "bad TCP data offset"
+              else begin
+                let flags = get8 s (tp + 13) in
+                let syn = flags land 0x02 <> 0 in
+                let fin = flags land 0x01 <> 0 in
+                let payload = String.sub s (tp + doff) (ip + total - tp - doff) in
+                Ok
+                  { src_mac; dst_mac; src_ip; dst_ip;
+                    transport = Tcp { src_port; dst_port; seq; syn; fin; payload } }
+              end
+            end
+          end
+          else Error (Printf.sprintf "unsupported IP protocol %d" proto)
+        end
+      end
+    end
+  end

@@ -1,0 +1,42 @@
+(** Ethernet / IPv4 / UDP / TCP frame construction and parsing.
+
+    The simulator builds complete frames with these functions and the
+    capture engine parses them back, so both directions are honest wire
+    formats: big-endian fields, real IPv4 header checksums, correct
+    length fields. Jumbo (9000-byte MTU) frames are just frames with a
+    large payload — nothing special is required beyond not fragmenting.
+
+    TCP here carries only what reassembly needs (ports, sequence number,
+    SYN/FIN flags); window/urgent/options are fixed benign values. *)
+
+type transport =
+  | Udp of { src_port : int; dst_port : int; payload : string }
+  | Tcp of { src_port : int; dst_port : int; seq : int; syn : bool; fin : bool; payload : string }
+
+type t = {
+  src_mac : string;  (** 6 bytes *)
+  dst_mac : string;  (** 6 bytes *)
+  src_ip : Ip_addr.t;
+  dst_ip : Ip_addr.t;
+  transport : transport;
+}
+
+val default_src_mac : string
+val default_dst_mac : string
+
+val udp : ?src_mac:string -> ?dst_mac:string -> src_ip:Ip_addr.t -> dst_ip:Ip_addr.t ->
+  src_port:int -> dst_port:int -> string -> t
+
+val tcp : ?src_mac:string -> ?dst_mac:string -> ?syn:bool -> ?fin:bool -> src_ip:Ip_addr.t ->
+  dst_ip:Ip_addr.t -> src_port:int -> dst_port:int -> seq:int -> string -> t
+
+val encode : t -> string
+(** Full Ethernet frame bytes. *)
+
+val decode : string -> (t, string) result
+(** Parse a frame; [Error] describes why it was rejected (non-IPv4
+    ethertype, truncation, bad header length, unsupported protocol).
+    The capture engine counts and skips rejected frames. *)
+
+val ipv4_checksum : string -> pos:int -> len:int -> int
+(** One's-complement checksum over a header region, exposed for tests. *)

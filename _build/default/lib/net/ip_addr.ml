@@ -1,0 +1,23 @@
+type t = int
+
+let v a b c d =
+  assert (a land 0xFF = a && b land 0xFF = b && c land 0xFF = c && d land 0xFF = d);
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF) (t land 0xFF)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+      | Some a, Some b, Some c, Some d
+        when a >= 0 && a < 256 && b >= 0 && b < 256 && c >= 0 && c < 256 && d >= 0 && d < 256 ->
+          Some (v a b c d)
+      | _ -> None)
+  | _ -> None
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash

@@ -1,0 +1,12 @@
+(** IPv4 addresses as plain ints (0 .. 2^32-1, host order). *)
+
+type t = int
+
+val v : int -> int -> int -> int -> t
+(** [v 10 0 0 1] is 10.0.0.1. Each octet must be 0–255. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int

@@ -1,0 +1,139 @@
+type packet = { time : float; orig_len : int; data : string }
+
+exception Bad_format of string
+
+let magic_us = 0xA1B2C3D4
+let magic_ns = 0xA1B23C4D
+let linktype_ethernet = 1
+
+(* --- writing (little-endian, microsecond) --- *)
+
+type sink = To_buffer of Buffer.t | To_channel of out_channel
+
+type writer = { sink : sink; snaplen : int }
+
+let put16le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let put32le buf v =
+  put16le buf (v land 0xFFFF);
+  put16le buf ((v lsr 16) land 0xFFFF)
+
+let global_header snaplen =
+  let buf = Buffer.create 24 in
+  put32le buf magic_us;
+  put16le buf 2;
+  put16le buf 4;
+  put32le buf 0 (* thiszone *);
+  put32le buf 0 (* sigfigs *);
+  put32le buf snaplen;
+  put32le buf linktype_ethernet;
+  Buffer.contents buf
+
+let emit w s =
+  match w.sink with To_buffer b -> Buffer.add_string b s | To_channel oc -> output_string oc s
+
+let make_writer ?(snaplen = 65535) sink =
+  let w = { sink; snaplen } in
+  emit w (global_header snaplen);
+  w
+
+let writer_to_buffer ?snaplen b = make_writer ?snaplen (To_buffer b)
+let writer_to_channel ?snaplen oc = make_writer ?snaplen (To_channel oc)
+
+let write w ~time data =
+  let sec = int_of_float (Float.floor time) in
+  let usec = int_of_float (Float.round ((time -. Float.of_int sec) *. 1e6)) in
+  let sec, usec = if usec >= 1_000_000 then (sec + 1, usec - 1_000_000) else (sec, usec) in
+  let incl = min (String.length data) w.snaplen in
+  let buf = Buffer.create (16 + incl) in
+  put32le buf sec;
+  put32le buf usec;
+  put32le buf incl;
+  put32le buf (String.length data);
+  Buffer.add_substring buf data 0 incl;
+  emit w (Buffer.contents buf)
+
+(* --- reading --- *)
+
+type source = From_string of { data : string; mutable pos : int } | From_channel of in_channel
+
+type reader = {
+  source : source;
+  big_endian : bool;
+  nanosecond : bool;
+}
+
+let read_exact source n =
+  match source with
+  | From_string s ->
+      if String.length s.data - s.pos < n then None
+      else begin
+        let r = String.sub s.data s.pos n in
+        s.pos <- s.pos + n;
+        Some r
+      end
+  | From_channel ic -> (
+      let b = Bytes.create n in
+      try
+        really_input ic b 0 n;
+        Some (Bytes.to_string b)
+      with End_of_file -> None)
+
+let u32 ~be s pos =
+  let b i = Char.code s.[pos + i] in
+  if be then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  else (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
+
+let make_reader source =
+  match read_exact source 24 with
+  | None -> raise (Bad_format "missing global header")
+  | Some hdr ->
+      let try_magic be =
+        let m = u32 ~be hdr 0 in
+        if m = magic_us then Some (be, false)
+        else if m = magic_ns then Some (be, true)
+        else None
+      in
+      let big_endian, nanosecond =
+        match try_magic true with
+        | Some r -> r
+        | None -> (
+            match try_magic false with
+            | Some r -> r
+            | None -> raise (Bad_format "bad magic number"))
+      in
+      let linktype = u32 ~be:big_endian hdr 20 in
+      if linktype <> linktype_ethernet then
+        raise (Bad_format (Printf.sprintf "unsupported linktype %d" linktype));
+      { source; big_endian; nanosecond }
+
+let reader_of_string s = make_reader (From_string { data = s; pos = 0 })
+let reader_of_channel ic = make_reader (From_channel ic)
+
+let read_next r =
+  match read_exact r.source 16 with
+  | None -> None
+  | Some hdr ->
+      let be = r.big_endian in
+      let sec = u32 ~be hdr 0 in
+      let frac = u32 ~be hdr 4 in
+      let incl = u32 ~be hdr 8 in
+      let orig_len = u32 ~be hdr 12 in
+      if incl > 0x4000000 then raise (Bad_format "absurd packet length");
+      let data =
+        match read_exact r.source incl with
+        | Some d -> d
+        | None -> raise (Bad_format "truncated packet record")
+      in
+      let scale = if r.nanosecond then 1e-9 else 1e-6 in
+      Some { time = Float.of_int sec +. (Float.of_int frac *. scale); orig_len; data }
+
+let fold r f init =
+  let rec go acc = match read_next r with None -> acc | Some p -> go (f acc p) in
+  go init
+
+let packets r =
+  let rec next () = match read_next r with None -> Seq.Nil | Some p -> Seq.Cons (p, next) in
+  next

@@ -1,0 +1,33 @@
+(** libpcap savefile format (tcpdump's on-disk format).
+
+    The paper's tracer was a modified tcpdump; ours round-trips the same
+    file format so that synthetic captures written by the simulator are
+    ordinary pcap files, and the analysis pipeline could equally consume
+    a capture produced by a real tcpdump.
+
+    Both byte orders and both microsecond and nanosecond timestamp
+    magics are accepted on read; writes are microsecond little-endian,
+    linktype EN10MB. *)
+
+type packet = { time : float; orig_len : int; data : string }
+(** [data] may be shorter than [orig_len] when the capture snapped. *)
+
+exception Bad_format of string
+
+type writer
+
+val writer_to_buffer : ?snaplen:int -> Buffer.t -> writer
+val writer_to_channel : ?snaplen:int -> out_channel -> writer
+val write : writer -> time:float -> string -> unit
+(** Appends one packet record, truncating to the snaplen. *)
+
+type reader
+
+val reader_of_string : string -> reader
+val reader_of_channel : in_channel -> reader
+val read_next : reader -> packet option
+(** [None] at end of file. Raises {!Bad_format} on a corrupt header. *)
+
+val fold : reader -> ('a -> packet -> 'a) -> 'a -> 'a
+val packets : reader -> packet Seq.t
+(** Lazily read remaining packets. The sequence must be consumed once. *)

@@ -1,0 +1,128 @@
+type flow = { src_ip : Ip_addr.t; src_port : int; dst_ip : Ip_addr.t; dst_port : int }
+
+type event = Data of string | Gap of int
+
+module Flow_key = struct
+  type t = flow
+
+  let equal a b =
+    a.src_ip = b.src_ip && a.src_port = b.src_port && a.dst_ip = b.dst_ip
+    && a.dst_port = b.dst_port
+
+  let hash = Hashtbl.hash
+end
+
+module Flow_tbl = Hashtbl.Make (Flow_key)
+module Seq_map = Map.Make (Int)
+
+type flow_state = {
+  mutable expected : int;  (* next expected sequence number, mod 2^32 *)
+  mutable synced : bool;
+  mutable buffered : string Seq_map.t;  (* keyed by unwrapped distance-adjusted seq *)
+  mutable buffered_count : int;
+}
+
+type t = {
+  table : flow_state Flow_tbl.t;
+  max_buffered : int;
+  mutable gap_count : int;
+}
+
+let create ?(max_buffered_segments = 64) () =
+  { table = Flow_tbl.create 64; max_buffered = max_buffered_segments; gap_count = 0 }
+
+let modulus = 0x100000000
+
+(* Signed circular distance from [a] to [b]: positive when b is ahead. *)
+let seq_diff a b =
+  let d = (b - a) land (modulus - 1) in
+  if d >= modulus / 2 then d - modulus else d
+
+let flows t = Flow_tbl.length t.table
+let gaps t = t.gap_count
+
+let get_state t flow ~seq =
+  match Flow_tbl.find_opt t.table flow with
+  | Some st -> st
+  | None ->
+      let st = { expected = seq; synced = false; buffered = Seq_map.empty; buffered_count = 0 } in
+      Flow_tbl.add t.table flow st;
+      st
+
+(* Drain buffered segments that are now contiguous with [expected]. *)
+let drain st acc =
+  let acc = ref acc in
+  let continue = ref true in
+  while !continue do
+    match Seq_map.min_binding_opt st.buffered with
+    | None -> continue := false
+    | Some (seq, payload) ->
+        let d = seq_diff st.expected seq in
+        if d > 0 then continue := false
+        else begin
+          st.buffered <- Seq_map.remove seq st.buffered;
+          st.buffered_count <- st.buffered_count - 1;
+          if d <= 0 && d + String.length payload > 0 then begin
+            (* Overlap with already-delivered bytes: trim the front. *)
+            let skip = -d in
+            let fresh = String.sub payload skip (String.length payload - skip) in
+            if String.length fresh > 0 then begin
+              acc := Data fresh :: !acc;
+              st.expected <- (st.expected + String.length fresh) land (modulus - 1)
+            end
+          end
+        end
+  done;
+  !acc
+
+let force_resync t st acc =
+  match Seq_map.min_binding_opt st.buffered with
+  | None -> acc
+  | Some (seq, _) ->
+      let lost = seq_diff st.expected seq in
+      t.gap_count <- t.gap_count + 1;
+      st.expected <- seq;
+      drain st (Gap (max lost 0) :: acc)
+
+let push t flow ~seq ~syn payload =
+  let st = get_state t flow ~seq in
+  if syn then begin
+    st.expected <- (seq + 1) land (modulus - 1);
+    st.synced <- true;
+    st.buffered <- Seq_map.empty;
+    st.buffered_count <- 0;
+    []
+  end
+  else begin
+    if not st.synced then begin
+      (* First data segment of a flow we joined mid-stream. *)
+      st.expected <- seq;
+      st.synced <- true
+    end;
+    let n = String.length payload in
+    if n = 0 then []
+    else begin
+      let d = seq_diff st.expected seq in
+      if d < 0 && d + n <= 0 then [] (* pure retransmission of delivered data *)
+      else begin
+        let acc =
+          if d <= 0 then begin
+            (* In-order (possibly overlapping the delivered prefix). *)
+            let skip = -d in
+            let fresh = String.sub payload skip (n - skip) in
+            st.expected <- (st.expected + String.length fresh) land (modulus - 1);
+            drain st [ Data fresh ]
+          end
+          else begin
+            (* Out of order: hold until the hole fills, or resync. *)
+            if not (Seq_map.mem seq st.buffered) then begin
+              st.buffered <- Seq_map.add seq payload st.buffered;
+              st.buffered_count <- st.buffered_count + 1
+            end;
+            if st.buffered_count > t.max_buffered then force_resync t st [] else []
+          end
+        in
+        List.rev acc
+      end
+    end
+  end

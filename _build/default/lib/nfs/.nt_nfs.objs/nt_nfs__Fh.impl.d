@@ -1,0 +1,1 @@
+lib/nfs/fh.ml: Buffer Bytes Char Hashtbl Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/nfs/mount.ml: Fh List Nt_xdr Types

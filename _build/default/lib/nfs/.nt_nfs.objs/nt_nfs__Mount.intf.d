@@ -1,0 +1,1 @@
+lib/nfs/mount.mli: Fh Nt_xdr Types

@@ -1,0 +1,1 @@
+lib/nfs/ops.ml: Fh Printf Proc Stdlib Types

@@ -1,0 +1,1 @@
+lib/nfs/ops.mli: Fh Proc Stdlib Types

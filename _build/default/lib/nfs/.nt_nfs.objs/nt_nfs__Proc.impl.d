@@ -1,0 +1,1 @@
+lib/nfs/proc.ml: List

@@ -1,0 +1,1 @@
+lib/nfs/types.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/nfs/v2.ml: Fh Int64 List Nt_xdr Ops Option Printf Proc String Types

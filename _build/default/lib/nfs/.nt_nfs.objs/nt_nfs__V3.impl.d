@@ -1,0 +1,1 @@
+lib/nfs/v3.ml: Bytes Fh Int64 List Nt_xdr Ops Option Printf Proc String Types

@@ -1,0 +1,1 @@
+lib/nfs/v3.mli: Nt_xdr Ops Proc Types

@@ -1,0 +1,65 @@
+type t = string
+
+let magic = "NFH1"
+let v2_size = 32
+
+let of_raw s =
+  assert (String.length s <= 64);
+  s
+
+let to_raw t = t
+
+let make ~fsid ~fileid =
+  let b = Bytes.make v2_size '\000' in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_be b 4 (Int32.of_int fsid);
+  Bytes.set_int64_be b 8 (Int64.of_int fileid);
+  Bytes.unsafe_to_string b
+
+let fileid t =
+  if String.length t >= 16 && String.sub t 0 4 = magic then
+    Some (Int64.to_int (String.get_int64_be t 8))
+  else None
+
+let to_hex t =
+  let n = min (String.length t) 16 in
+  let buf = Buffer.create (n * 2) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code t.[i]))
+  done;
+  Buffer.contents buf
+
+let to_hex_full t =
+  let buf = Buffer.create (String.length t * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 || n > 128 then None
+  else
+    let hex c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let b = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (hex s.[2 * i], hex s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.unsafe_to_string b) else None
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+
+let to_v2_raw t =
+  let n = String.length t in
+  if n = v2_size then t
+  else if n > v2_size then String.sub t 0 v2_size
+  else t ^ String.make (v2_size - n) '\000'

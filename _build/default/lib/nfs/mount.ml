@@ -1,0 +1,75 @@
+module E = Nt_xdr.Encode
+module D = Nt_xdr.Decode
+
+let program = 100005
+
+type proc = Null | Mnt | Dump | Umnt | Umntall | Export
+
+let proc_number = function
+  | Null -> 0
+  | Mnt -> 1
+  | Dump -> 2
+  | Umnt -> 3
+  | Umntall -> 4
+  | Export -> 5
+
+let proc_of_number = function
+  | 0 -> Some Null
+  | 1 -> Some Mnt
+  | 2 -> Some Dump
+  | 3 -> Some Umnt
+  | 4 -> Some Umntall
+  | 5 -> Some Export
+  | _ -> None
+
+type mnt_result = { fh : Fh.t; auth_flavors : int list }
+
+let encode_mnt_call e path = E.string e path
+let decode_mnt_call d = D.string d
+
+let encode_mnt_result e = function
+  | Ok { fh; auth_flavors } ->
+      E.uint32 e 0;
+      E.opaque e (Fh.to_raw fh);
+      E.array e (E.uint32 e) auth_flavors
+  | Error st -> E.uint32 e (Types.nfsstat_to_int st)
+
+let decode_mnt_result d =
+  match Types.nfsstat_of_int (D.uint32 d) with
+  | Types.Ok_ ->
+      let fh = Fh.of_raw (D.opaque d) in
+      let auth_flavors = D.array d D.uint32 in
+      Ok { fh; auth_flavors }
+  | err -> Error err
+
+let encode_umnt_call = encode_mnt_call
+let decode_umnt_call = decode_mnt_call
+
+type export = { dir : string; groups : string list }
+
+(* The export list is a linked structure on the wire: bool more, then
+   the entry, for both exports and their group lists. *)
+let encode_export_result e exports =
+  List.iter
+    (fun { dir; groups } ->
+      E.bool e true;
+      E.string e dir;
+      List.iter
+        (fun g ->
+          E.bool e true;
+          E.string e g)
+        groups;
+      E.bool e false)
+    exports;
+  E.bool e false
+
+let decode_export_result d =
+  let rec entries acc =
+    if D.bool d then begin
+      let dir = D.string d in
+      let rec groups acc = if D.bool d then groups (D.string d :: acc) else List.rev acc in
+      entries ({ dir; groups = groups [] } :: acc)
+    end
+    else List.rev acc
+  in
+  entries []

@@ -1,0 +1,38 @@
+(** The MOUNT protocol, version 3 (RFC 1813, Appendix I).
+
+    Before any NFS traffic, a client asks mountd for the file handle of
+    an exported root; a passive tracer on a real network sees this
+    exchange (RPC program 100005) alongside the NFS program and can use
+    it to seed its handle→path map with true export roots. The
+    simulator's clients receive their root handles out of band, so this
+    codec exists for protocol completeness and for consumers decoding
+    real captures. *)
+
+val program : int
+(** 100005. *)
+
+type proc = Null | Mnt | Dump | Umnt | Umntall | Export
+
+val proc_number : proc -> int
+val proc_of_number : int -> proc option
+
+type mnt_result = {
+  fh : Fh.t;
+  auth_flavors : int list;  (** flavors the server accepts for this export *)
+}
+
+val encode_mnt_call : Nt_xdr.Encode.t -> string -> unit
+(** Argument is the export's directory path. *)
+
+val decode_mnt_call : Nt_xdr.Decode.t -> string
+
+val encode_mnt_result : Nt_xdr.Encode.t -> (mnt_result, Types.nfsstat) result -> unit
+val decode_mnt_result : Nt_xdr.Decode.t -> (mnt_result, Types.nfsstat) result
+
+val encode_umnt_call : Nt_xdr.Encode.t -> string -> unit
+val decode_umnt_call : Nt_xdr.Decode.t -> string
+
+type export = { dir : string; groups : string list }
+
+val encode_export_result : Nt_xdr.Encode.t -> export list -> unit
+val decode_export_result : Nt_xdr.Decode.t -> export list

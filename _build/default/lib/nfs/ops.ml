@@ -1,0 +1,116 @@
+type call =
+  | Null
+  | Getattr of Fh.t
+  | Setattr of { fh : Fh.t; attrs : Types.sattr }
+  | Lookup of { dir : Fh.t; name : string }
+  | Access of { fh : Fh.t; access : int }
+  | Readlink of Fh.t
+  | Read of { fh : Fh.t; offset : int64; count : int }
+  | Write of { fh : Fh.t; offset : int64; count : int; stable : Types.stable_how }
+  | Create of { dir : Fh.t; name : string; mode : int; exclusive : bool }
+  | Mkdir of { dir : Fh.t; name : string; mode : int }
+  | Symlink of { dir : Fh.t; name : string; target : string }
+  | Mknod of { dir : Fh.t; name : string }
+  | Remove of { dir : Fh.t; name : string }
+  | Rmdir of { dir : Fh.t; name : string }
+  | Rename of { from_dir : Fh.t; from_name : string; to_dir : Fh.t; to_name : string }
+  | Link of { fh : Fh.t; to_dir : Fh.t; to_name : string }
+  | Readdir of { dir : Fh.t; cookie : int64; count : int }
+  | Readdirplus of { dir : Fh.t; cookie : int64; count : int }
+  | Statfs of Fh.t
+  | Fsinfo of Fh.t
+  | Pathconf of Fh.t
+  | Commit of { fh : Fh.t; offset : int64; count : int }
+
+type dir_entry = { entry_fileid : int64; entry_name : string; entry_cookie : int64 }
+
+type success =
+  | R_null
+  | R_attr of Types.fattr
+  | R_lookup of { fh : Fh.t; obj : Types.fattr option; dir : Types.fattr option }
+  | R_access of int
+  | R_readlink of string
+  | R_read of { attr : Types.fattr option; count : int; eof : bool }
+  | R_write of { count : int; committed : Types.stable_how; attr : Types.fattr option }
+  | R_create of { fh : Fh.t option; attr : Types.fattr option }
+  | R_empty
+  | R_readdir of { entries : dir_entry list; eof : bool }
+  | R_statfs of { total_bytes : int64; free_bytes : int64 }
+  | R_fsinfo of { rtmax : int; wtmax : int }
+  | R_pathconf of { name_max : int }
+
+type result = (success, Types.nfsstat) Stdlib.result
+
+let proc_of_call : call -> Proc.t = function
+  | Null -> Proc.Null
+  | Getattr _ -> Proc.Getattr
+  | Setattr _ -> Proc.Setattr
+  | Lookup _ -> Proc.Lookup
+  | Access _ -> Proc.Access
+  | Readlink _ -> Proc.Readlink
+  | Read _ -> Proc.Read
+  | Write _ -> Proc.Write
+  | Create _ -> Proc.Create
+  | Mkdir _ -> Proc.Mkdir
+  | Symlink _ -> Proc.Symlink
+  | Mknod _ -> Proc.Mknod
+  | Remove _ -> Proc.Remove
+  | Rmdir _ -> Proc.Rmdir
+  | Rename _ -> Proc.Rename
+  | Link _ -> Proc.Link
+  | Readdir _ -> Proc.Readdir
+  | Readdirplus _ -> Proc.Readdirplus
+  | Statfs _ -> Proc.Statfs
+  | Fsinfo _ -> Proc.Fsinfo
+  | Pathconf _ -> Proc.Pathconf
+  | Commit _ -> Proc.Commit
+
+let call_fh = function
+  | Null -> None
+  | Getattr fh | Readlink fh | Statfs fh | Fsinfo fh | Pathconf fh -> Some fh
+  | Setattr { fh; _ } | Access { fh; _ } | Read { fh; _ } | Write { fh; _ } | Commit { fh; _ } ->
+      Some fh
+  | Lookup { dir; _ } | Create { dir; _ } | Mkdir { dir; _ } | Symlink { dir; _ }
+  | Mknod { dir; _ } | Remove { dir; _ } | Rmdir { dir; _ } | Readdir { dir; _ }
+  | Readdirplus { dir; _ } ->
+      Some dir
+  | Rename { from_dir; _ } -> Some from_dir
+  | Link { fh; _ } -> Some fh
+
+let call_name = function
+  | Lookup { name; _ } | Create { name; _ } | Mkdir { name; _ } | Symlink { name; _ }
+  | Mknod { name; _ } | Remove { name; _ } | Rmdir { name; _ } ->
+      Some name
+  | Rename { from_name; _ } -> Some from_name
+  | Link { to_name; _ } -> Some to_name
+  | Null | Getattr _ | Setattr _ | Access _ | Readlink _ | Read _ | Write _ | Readdir _
+  | Readdirplus _ | Statfs _ | Fsinfo _ | Pathconf _ | Commit _ ->
+      None
+
+let describe_call c =
+  let proc = Proc.to_string (proc_of_call c) in
+  match c with
+  | Null -> proc
+  | Getattr fh | Readlink fh | Statfs fh | Fsinfo fh | Pathconf fh ->
+      Printf.sprintf "%s fh=%s" proc (Fh.to_hex fh)
+  | Setattr { fh; _ } | Access { fh; _ } -> Printf.sprintf "%s fh=%s" proc (Fh.to_hex fh)
+  | Read { fh; offset; count } | Commit { fh; offset; count } ->
+      Printf.sprintf "%s fh=%s off=%Ld count=%d" proc (Fh.to_hex fh) offset count
+  | Write { fh; offset; count; stable } ->
+      Printf.sprintf "%s fh=%s off=%Ld count=%d stable=%d" proc (Fh.to_hex fh) offset count
+        (Types.stable_how_to_int stable)
+  | Lookup { dir; name } | Mknod { dir; name } | Remove { dir; name } | Rmdir { dir; name } ->
+      Printf.sprintf "%s dir=%s name=%S" proc (Fh.to_hex dir) name
+  | Create { dir; name; mode; exclusive } ->
+      Printf.sprintf "%s dir=%s name=%S mode=%o excl=%b" proc (Fh.to_hex dir) name mode exclusive
+  | Mkdir { dir; name; mode } ->
+      Printf.sprintf "%s dir=%s name=%S mode=%o" proc (Fh.to_hex dir) name mode
+  | Symlink { dir; name; target } ->
+      Printf.sprintf "%s dir=%s name=%S target=%S" proc (Fh.to_hex dir) name target
+  | Rename { from_dir; from_name; to_dir; to_name } ->
+      Printf.sprintf "%s from=%s/%S to=%s/%S" proc (Fh.to_hex from_dir) from_name
+        (Fh.to_hex to_dir) to_name
+  | Link { fh; to_dir; to_name } ->
+      Printf.sprintf "%s fh=%s to=%s/%S" proc (Fh.to_hex fh) (Fh.to_hex to_dir) to_name
+  | Readdir { dir; cookie; count } | Readdirplus { dir; cookie; count } ->
+      Printf.sprintf "%s dir=%s cookie=%Ld count=%d" proc (Fh.to_hex dir) cookie count

@@ -1,0 +1,66 @@
+(** Version-independent NFS operations.
+
+    The simulator issues these, the v2/v3 codecs put them on the wire,
+    and the capture engine recovers them. Representing calls and results
+    once keeps every downstream consumer (trace records, analyses)
+    agnostic about which protocol version a client spoke — exactly the
+    property the paper's tracer needed, since EECS mixed NFSv2 and v3.
+
+    WRITE data content is not represented (only its length): the
+    analyses never look at payload bytes, and the packet codec
+    materialises deterministic filler when a real wire image is needed. *)
+
+type call =
+  | Null
+  | Getattr of Fh.t
+  | Setattr of { fh : Fh.t; attrs : Types.sattr }
+  | Lookup of { dir : Fh.t; name : string }
+  | Access of { fh : Fh.t; access : int }
+  | Readlink of Fh.t
+  | Read of { fh : Fh.t; offset : int64; count : int }
+  | Write of { fh : Fh.t; offset : int64; count : int; stable : Types.stable_how }
+  | Create of { dir : Fh.t; name : string; mode : int; exclusive : bool }
+  | Mkdir of { dir : Fh.t; name : string; mode : int }
+  | Symlink of { dir : Fh.t; name : string; target : string }
+  | Mknod of { dir : Fh.t; name : string }
+  | Remove of { dir : Fh.t; name : string }
+  | Rmdir of { dir : Fh.t; name : string }
+  | Rename of { from_dir : Fh.t; from_name : string; to_dir : Fh.t; to_name : string }
+  | Link of { fh : Fh.t; to_dir : Fh.t; to_name : string }
+  | Readdir of { dir : Fh.t; cookie : int64; count : int }
+  | Readdirplus of { dir : Fh.t; cookie : int64; count : int }
+  | Statfs of Fh.t
+  | Fsinfo of Fh.t
+  | Pathconf of Fh.t
+  | Commit of { fh : Fh.t; offset : int64; count : int }
+
+type dir_entry = { entry_fileid : int64; entry_name : string; entry_cookie : int64 }
+
+type success =
+  | R_null
+  | R_attr of Types.fattr  (** getattr, setattr, write-style attr-only results *)
+  | R_lookup of { fh : Fh.t; obj : Types.fattr option; dir : Types.fattr option }
+  | R_access of int
+  | R_readlink of string
+  | R_read of { attr : Types.fattr option; count : int; eof : bool }
+  | R_write of { count : int; committed : Types.stable_how; attr : Types.fattr option }
+  | R_create of { fh : Fh.t option; attr : Types.fattr option }
+  | R_empty  (** remove, rmdir, rename, link, commit: just status + attrs *)
+  | R_readdir of { entries : dir_entry list; eof : bool }
+  | R_statfs of { total_bytes : int64; free_bytes : int64 }
+  | R_fsinfo of { rtmax : int; wtmax : int }
+  | R_pathconf of { name_max : int }
+
+type result = (success, Types.nfsstat) Stdlib.result
+
+val proc_of_call : call -> Proc.t
+
+val call_fh : call -> Fh.t option
+(** Primary handle the call operates on (the directory for name ops). *)
+
+val call_name : call -> string option
+(** Filename argument, when the call carries one. *)
+
+val describe_call : call -> string
+(** One-line rendering for trace dumps, e.g.
+    ["read fh=6e66... off=8192 count=8192"]. *)

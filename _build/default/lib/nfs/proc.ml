@@ -1,0 +1,124 @@
+type t =
+  | Null
+  | Getattr
+  | Setattr
+  | Root
+  | Lookup
+  | Access
+  | Readlink
+  | Read
+  | Writecache
+  | Write
+  | Create
+  | Mkdir
+  | Symlink
+  | Mknod
+  | Remove
+  | Rmdir
+  | Rename
+  | Link
+  | Readdir
+  | Readdirplus
+  | Statfs
+  | Fsinfo
+  | Pathconf
+  | Commit
+
+let to_string = function
+  | Null -> "null"
+  | Getattr -> "getattr"
+  | Setattr -> "setattr"
+  | Root -> "root"
+  | Lookup -> "lookup"
+  | Access -> "access"
+  | Readlink -> "readlink"
+  | Read -> "read"
+  | Writecache -> "writecache"
+  | Write -> "write"
+  | Create -> "create"
+  | Mkdir -> "mkdir"
+  | Symlink -> "symlink"
+  | Mknod -> "mknod"
+  | Remove -> "remove"
+  | Rmdir -> "rmdir"
+  | Rename -> "rename"
+  | Link -> "link"
+  | Readdir -> "readdir"
+  | Readdirplus -> "readdirplus"
+  | Statfs -> "statfs"
+  | Fsinfo -> "fsinfo"
+  | Pathconf -> "pathconf"
+  | Commit -> "commit"
+
+let v2_number = function
+  | Null -> Some 0
+  | Getattr -> Some 1
+  | Setattr -> Some 2
+  | Root -> Some 3
+  | Lookup -> Some 4
+  | Readlink -> Some 5
+  | Read -> Some 6
+  | Writecache -> Some 7
+  | Write -> Some 8
+  | Create -> Some 9
+  | Remove -> Some 10
+  | Rename -> Some 11
+  | Link -> Some 12
+  | Symlink -> Some 13
+  | Mkdir -> Some 14
+  | Rmdir -> Some 15
+  | Readdir -> Some 16
+  | Statfs -> Some 17
+  | Access | Mknod | Readdirplus | Fsinfo | Pathconf | Commit -> None
+
+let v3_number = function
+  | Null -> Some 0
+  | Getattr -> Some 1
+  | Setattr -> Some 2
+  | Lookup -> Some 3
+  | Access -> Some 4
+  | Readlink -> Some 5
+  | Read -> Some 6
+  | Write -> Some 7
+  | Create -> Some 8
+  | Mkdir -> Some 9
+  | Symlink -> Some 10
+  | Mknod -> Some 11
+  | Remove -> Some 12
+  | Rmdir -> Some 13
+  | Rename -> Some 14
+  | Link -> Some 15
+  | Readdir -> Some 16
+  | Readdirplus -> Some 17
+  | Statfs -> Some 18 (* FSSTAT *)
+  | Fsinfo -> Some 19
+  | Pathconf -> Some 20
+  | Commit -> Some 21
+  | Root | Writecache -> None
+
+let all =
+  [ Null; Getattr; Setattr; Root; Lookup; Access; Readlink; Read; Writecache; Write; Create;
+    Mkdir; Symlink; Mknod; Remove; Rmdir; Rename; Link; Readdir; Readdirplus; Statfs; Fsinfo;
+    Pathconf; Commit ]
+
+let invert numbering n = List.find_opt (fun p -> numbering p = Some n) all
+
+let of_v2_number n = invert v2_number n
+let of_v3_number n = invert v3_number n
+
+let number ~version p = if version = 2 then v2_number p else v3_number p
+let of_number ~version n = if version = 2 then of_v2_number n else of_v3_number n
+
+type kind = Data_read | Data_write | Metadata_read | Metadata_write
+
+let kind = function
+  | Read -> Data_read
+  | Write -> Data_write
+  | Setattr | Create | Mkdir | Symlink | Mknod | Remove | Rmdir | Rename | Link | Commit
+  | Writecache ->
+      Metadata_write
+  | Null | Getattr | Root | Lookup | Access | Readlink | Readdir | Readdirplus | Statfs | Fsinfo
+  | Pathconf ->
+      Metadata_read
+
+let is_data p = match kind p with Data_read | Data_write -> true | Metadata_read | Metadata_write -> false

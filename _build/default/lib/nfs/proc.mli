@@ -1,0 +1,50 @@
+(** NFS procedure numbering and workload classification.
+
+    The paper's headline characterisation ("most EECS calls are for
+    metadata, most CAMPUS calls are for data") relies on classifying
+    procedures; the classification here follows the paper's usage:
+    READ/WRITE are data, everything else is metadata. *)
+
+type t =
+  | Null
+  | Getattr
+  | Setattr
+  | Root  (** v2 only, obsolete *)
+  | Lookup
+  | Access  (** v3 only *)
+  | Readlink
+  | Read
+  | Writecache  (** v2 only, unused *)
+  | Write
+  | Create
+  | Mkdir
+  | Symlink
+  | Mknod  (** v3 only *)
+  | Remove
+  | Rmdir
+  | Rename
+  | Link
+  | Readdir
+  | Readdirplus  (** v3 only *)
+  | Statfs  (** v2; the v3 codec maps FSSTAT here *)
+  | Fsinfo  (** v3 only *)
+  | Pathconf  (** v3 only *)
+  | Commit  (** v3 only *)
+
+val to_string : t -> string
+
+val v2_number : t -> int option
+(** Wire procedure number under NFSv2; [None] if the procedure does not
+    exist in v2. *)
+
+val v3_number : t -> int option
+val of_v2_number : int -> t option
+val of_v3_number : int -> t option
+val number : version:int -> t -> int option
+val of_number : version:int -> int -> t option
+
+type kind = Data_read | Data_write | Metadata_read | Metadata_write
+
+val kind : t -> kind
+val is_data : t -> bool
+val all : t list

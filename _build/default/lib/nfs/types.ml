@@ -1,0 +1,162 @@
+type ftype = Reg | Dir | Blk | Chr | Lnk | Sock | Fifo
+
+let ftype_to_string = function
+  | Reg -> "REG"
+  | Dir -> "DIR"
+  | Blk -> "BLK"
+  | Chr -> "CHR"
+  | Lnk -> "LNK"
+  | Sock -> "SOCK"
+  | Fifo -> "FIFO"
+
+type time = { seconds : int; nanos : int }
+
+let time_of_float f =
+  let sec = int_of_float (Float.floor f) in
+  let nanos = int_of_float (Float.round ((f -. float_of_int sec) *. 1e9)) in
+  if nanos >= 1_000_000_000 then { seconds = sec + 1; nanos = nanos - 1_000_000_000 }
+  else { seconds = sec; nanos }
+
+let time_to_float t = float_of_int t.seconds +. (float_of_int t.nanos *. 1e-9)
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int64;
+  used : int64;
+  fsid : int64;
+  fileid : int64;
+  atime : time;
+  mtime : time;
+  ctime : time;
+}
+
+let default_fattr =
+  let zero = { seconds = 0; nanos = 0 } in
+  {
+    ftype = Reg;
+    mode = 0o644;
+    nlink = 1;
+    uid = 0;
+    gid = 0;
+    size = 0L;
+    used = 0L;
+    fsid = 1L;
+    fileid = 0L;
+    atime = zero;
+    mtime = zero;
+    ctime = zero;
+  }
+
+type sattr = {
+  set_mode : int option;
+  set_uid : int option;
+  set_gid : int option;
+  set_size : int64 option;
+  set_atime : time option;
+  set_mtime : time option;
+}
+
+let empty_sattr =
+  { set_mode = None; set_uid = None; set_gid = None; set_size = None; set_atime = None;
+    set_mtime = None }
+
+type nfsstat =
+  | Ok_
+  | Err_perm
+  | Err_noent
+  | Err_io
+  | Err_acces
+  | Err_exist
+  | Err_notdir
+  | Err_isdir
+  | Err_inval
+  | Err_fbig
+  | Err_nospc
+  | Err_rofs
+  | Err_nametoolong
+  | Err_notempty
+  | Err_dquot
+  | Err_stale
+  | Err_badhandle
+  | Err_notsupp
+  | Err_serverfault
+  | Err_jukebox
+  | Err_unknown of int
+
+let nfsstat_to_int = function
+  | Ok_ -> 0
+  | Err_perm -> 1
+  | Err_noent -> 2
+  | Err_io -> 5
+  | Err_acces -> 13
+  | Err_exist -> 17
+  | Err_notdir -> 20
+  | Err_isdir -> 21
+  | Err_inval -> 22
+  | Err_fbig -> 27
+  | Err_nospc -> 28
+  | Err_rofs -> 30
+  | Err_nametoolong -> 63
+  | Err_notempty -> 66
+  | Err_dquot -> 69
+  | Err_stale -> 70
+  | Err_badhandle -> 10001
+  | Err_notsupp -> 10004
+  | Err_serverfault -> 10006
+  | Err_jukebox -> 10008
+  | Err_unknown n -> n
+
+let nfsstat_of_int = function
+  | 0 -> Ok_
+  | 1 -> Err_perm
+  | 2 -> Err_noent
+  | 5 -> Err_io
+  | 13 -> Err_acces
+  | 17 -> Err_exist
+  | 20 -> Err_notdir
+  | 21 -> Err_isdir
+  | 22 -> Err_inval
+  | 27 -> Err_fbig
+  | 28 -> Err_nospc
+  | 30 -> Err_rofs
+  | 63 -> Err_nametoolong
+  | 66 -> Err_notempty
+  | 69 -> Err_dquot
+  | 70 -> Err_stale
+  | 10001 -> Err_badhandle
+  | 10004 -> Err_notsupp
+  | 10006 -> Err_serverfault
+  | 10008 -> Err_jukebox
+  | n -> Err_unknown n
+
+let nfsstat_to_string = function
+  | Ok_ -> "OK"
+  | Err_perm -> "EPERM"
+  | Err_noent -> "ENOENT"
+  | Err_io -> "EIO"
+  | Err_acces -> "EACCES"
+  | Err_exist -> "EEXIST"
+  | Err_notdir -> "ENOTDIR"
+  | Err_isdir -> "EISDIR"
+  | Err_inval -> "EINVAL"
+  | Err_fbig -> "EFBIG"
+  | Err_nospc -> "ENOSPC"
+  | Err_rofs -> "EROFS"
+  | Err_nametoolong -> "ENAMETOOLONG"
+  | Err_notempty -> "ENOTEMPTY"
+  | Err_dquot -> "EDQUOT"
+  | Err_stale -> "ESTALE"
+  | Err_badhandle -> "EBADHANDLE"
+  | Err_notsupp -> "ENOTSUPP"
+  | Err_serverfault -> "ESERVERFAULT"
+  | Err_jukebox -> "EJUKEBOX"
+  | Err_unknown n -> Printf.sprintf "ERR%d" n
+
+type stable_how = Unstable | Data_sync | File_sync
+
+let stable_how_to_int = function Unstable -> 0 | Data_sync -> 1 | File_sync -> 2
+let stable_how_of_int = function 0 -> Unstable | 1 -> Data_sync | _ -> File_sync

@@ -1,0 +1,75 @@
+(** NFS wire-level data types shared by NFSv2 (RFC 1094) and NFSv3
+    (RFC 1813).
+
+    The unified representation follows NFSv3 (64-bit sizes, nanosecond
+    times); the v2 codec narrows on encode and widens on decode. *)
+
+type ftype = Reg | Dir | Blk | Chr | Lnk | Sock | Fifo
+
+val ftype_to_string : ftype -> string
+
+type time = { seconds : int; nanos : int }
+
+val time_of_float : float -> time
+val time_to_float : time -> float
+
+type fattr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int64;
+  used : int64;
+  fsid : int64;
+  fileid : int64;
+  atime : time;
+  mtime : time;
+  ctime : time;
+}
+
+val default_fattr : fattr
+(** A regular empty root-owned file; callers override fields of note. *)
+
+type sattr = {
+  set_mode : int option;
+  set_uid : int option;
+  set_gid : int option;
+  set_size : int64 option;
+  set_atime : time option;
+  set_mtime : time option;
+}
+
+val empty_sattr : sattr
+
+type nfsstat =
+  | Ok_
+  | Err_perm
+  | Err_noent
+  | Err_io
+  | Err_acces
+  | Err_exist
+  | Err_notdir
+  | Err_isdir
+  | Err_inval
+  | Err_fbig
+  | Err_nospc
+  | Err_rofs
+  | Err_nametoolong
+  | Err_notempty
+  | Err_dquot
+  | Err_stale
+  | Err_badhandle  (** v3 only *)
+  | Err_notsupp  (** v3 only *)
+  | Err_serverfault  (** v3 only *)
+  | Err_jukebox  (** v3 only *)
+  | Err_unknown of int
+
+val nfsstat_to_int : nfsstat -> int
+val nfsstat_of_int : int -> nfsstat
+val nfsstat_to_string : nfsstat -> string
+
+type stable_how = Unstable | Data_sync | File_sync
+
+val stable_how_to_int : stable_how -> int
+val stable_how_of_int : int -> stable_how

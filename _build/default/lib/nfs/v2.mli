@@ -1,0 +1,18 @@
+(** NFSv2 wire codec (RFC 1094).
+
+    EECS clients are a mix of v2 and v3; this codec lets the simulator
+    put genuine v2 traffic on the wire and the capture engine recover
+    it. Differences from v3 handled here: fixed 32-byte handles, 32-bit
+    sizes and offsets, microsecond timestamps, combined status+attr
+    reply shapes, no ACCESS / READDIRPLUS / COMMIT / MKNOD. *)
+
+exception Unsupported of string
+(** Raised when asked to encode a v3-only call as v2. *)
+
+val encode_call : Nt_xdr.Encode.t -> Ops.call -> unit
+val decode_call : proc:Proc.t -> Nt_xdr.Decode.t -> Ops.call
+val encode_result : Nt_xdr.Encode.t -> proc:Proc.t -> Ops.result -> unit
+val decode_result : proc:Proc.t -> Nt_xdr.Decode.t -> Ops.result
+
+val encode_fattr : Nt_xdr.Encode.t -> Types.fattr -> unit
+val decode_fattr : Nt_xdr.Decode.t -> Types.fattr

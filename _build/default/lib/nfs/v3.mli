@@ -1,0 +1,21 @@
+(** NFSv3 wire codec (RFC 1813).
+
+    Encodes unified {!Ops} values into procedure argument/result bodies
+    and decodes bodies captured off the wire. Result decoding needs the
+    procedure, which the capture engine recovers by pairing the reply's
+    XID with its call.
+
+    WRITE and READ data: on encode, [write_filler] bytes are
+    materialised so the wire image has the correct length; on decode the
+    data is measured, not retained. *)
+
+exception Unsupported of string
+(** Raised when asked to encode a call that has no v3 form. *)
+
+val encode_call : Nt_xdr.Encode.t -> Ops.call -> unit
+val decode_call : proc:Proc.t -> Nt_xdr.Decode.t -> Ops.call
+val encode_result : Nt_xdr.Encode.t -> proc:Proc.t -> Ops.result -> unit
+val decode_result : proc:Proc.t -> Nt_xdr.Decode.t -> Ops.result
+
+val encode_fattr : Nt_xdr.Encode.t -> Types.fattr -> unit
+val decode_fattr : Nt_xdr.Decode.t -> Types.fattr

@@ -1,0 +1,1 @@
+lib/rpc/record_mark.ml: Buffer Bytes Char List String

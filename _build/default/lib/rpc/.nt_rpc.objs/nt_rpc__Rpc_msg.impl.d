@@ -1,0 +1,1 @@
+lib/rpc/rpc_msg.ml: Nt_xdr Printf

@@ -1,0 +1,1 @@
+lib/rpc/rpc_msg.mli: Nt_xdr

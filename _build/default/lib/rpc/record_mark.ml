@@ -1,0 +1,70 @@
+let header ~last len =
+  let v = if last then len lor 0x80000000 else len in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (v land 0xFF));
+  Bytes.to_string b
+
+let frame msg = header ~last:true (String.length msg) ^ msg
+
+let frame_fragmented ~fragment_size msg =
+  assert (fragment_size > 0);
+  let n = String.length msg in
+  let buf = Buffer.create (n + 16) in
+  let rec go off =
+    let len = min fragment_size (n - off) in
+    let last = off + len >= n in
+    Buffer.add_string buf (header ~last len);
+    Buffer.add_string buf (String.sub msg off len);
+    if not last then go (off + len)
+  in
+  if n = 0 then Buffer.add_string buf (header ~last:true 0) else go 0;
+  Buffer.contents buf
+
+type reassembler = {
+  stream : Buffer.t;  (* unconsumed stream bytes *)
+  record : Buffer.t;  (* fragments of the record in progress *)
+}
+
+let create_reassembler () = { stream = Buffer.create 4096; record = Buffer.create 4096 }
+
+let pending_bytes t = Buffer.length t.stream + Buffer.length t.record
+
+let push t bytes =
+  Buffer.add_string t.stream bytes;
+  let data = Buffer.contents t.stream in
+  let n = String.length data in
+  let completed = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if n - !pos < 4 then continue := false
+    else begin
+      let b i = Char.code data.[!pos + i] in
+      let hdr = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      let last = hdr land 0x80000000 <> 0 in
+      let len = hdr land 0x7FFFFFFF in
+      if len > 0x100000 then begin
+        (* No sane NFS message exceeds 1 MB: we are desynchronised
+           (e.g. the capture port dropped a segment mid-record). All
+           XDR/RPC boundaries are 4-aligned, so scan forward a word at
+           a time until a plausible header reappears. *)
+        Buffer.clear t.record;
+        pos := !pos + 4
+      end
+      else if n - !pos - 4 < len then continue := false
+      else begin
+        Buffer.add_substring t.record data (!pos + 4) len;
+        pos := !pos + 4 + len;
+        if last then begin
+          completed := Buffer.contents t.record :: !completed;
+          Buffer.clear t.record
+        end
+      end
+    end
+  done;
+  Buffer.clear t.stream;
+  if !pos < n then Buffer.add_substring t.stream data !pos (n - !pos);
+  List.rev !completed

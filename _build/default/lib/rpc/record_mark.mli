@@ -1,0 +1,27 @@
+(** RPC record marking over TCP (RFC 5531 §11).
+
+    On TCP, RPC messages are delimited by 4-byte fragment headers: the
+    top bit flags the last fragment of a record and the low 31 bits give
+    the fragment length. CAMPUS traffic is NFSv3-over-TCP, so the capture
+    path must reassemble records from an arbitrary byte stream — packets
+    may split a record, and one jumbo frame may carry several records
+    (the "TCP packet coalescing" the paper's tracer supports). *)
+
+val frame : string -> string
+(** Wrap one RPC message in a single last-fragment record. *)
+
+val frame_fragmented : fragment_size:int -> string -> string
+(** Split the message into fragments of at most [fragment_size] bytes;
+    used by tests to exercise multi-fragment reassembly. *)
+
+type reassembler
+
+val create_reassembler : unit -> reassembler
+
+val push : reassembler -> string -> string list
+(** Feed stream bytes in arrival order; returns the complete RPC records
+    finished by these bytes (possibly several, possibly none). *)
+
+val pending_bytes : reassembler -> int
+(** Bytes buffered waiting for the rest of a record; useful for loss
+    accounting at the end of a capture. *)

@@ -1,0 +1,147 @@
+module E = Nt_xdr.Encode
+module D = Nt_xdr.Decode
+
+type auth_flavor =
+  | Auth_null
+  | Auth_unix of { stamp : int; machine : string; uid : int; gid : int; gids : int list }
+  | Auth_other of int * string
+
+type call = {
+  xid : int;
+  rpcvers : int;
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : auth_flavor;
+  verf : auth_flavor;
+}
+
+type reject_reason = Rpc_mismatch of int * int | Auth_error of int
+
+type accept_status =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of int * int
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type reply = { xid : int; verf : auth_flavor; status : reply_status }
+and reply_status = Accepted of accept_status | Denied of reject_reason
+
+type msg = Call of call | Reply of reply
+
+let nfs_program = 100003
+let msg_type_call = 0
+let msg_type_reply = 1
+
+let encode_auth e = function
+  | Auth_null ->
+      E.uint32 e 0;
+      E.uint32 e 0
+  | Auth_unix { stamp; machine; uid; gid; gids } ->
+      E.uint32 e 1;
+      let body = E.create ~initial_size:64 () in
+      E.uint32 body stamp;
+      E.string body machine;
+      E.uint32 body uid;
+      E.uint32 body gid;
+      E.array body (E.uint32 body) gids;
+      E.opaque e (E.contents body)
+  | Auth_other (flavor, body) ->
+      E.uint32 e flavor;
+      E.opaque e body
+
+let decode_auth d =
+  let flavor = D.uint32 d in
+  let body = D.opaque d in
+  match flavor with
+  | 0 -> Auth_null
+  | 1 ->
+      let bd = D.of_string body in
+      let stamp = D.uint32 bd in
+      let machine = D.string bd in
+      let uid = D.uint32 bd in
+      let gid = D.uint32 bd in
+      let gids = D.array bd D.uint32 in
+      Auth_unix { stamp; machine; uid; gid; gids }
+  | n -> Auth_other (n, body)
+
+let encode_call e (c : call) =
+  E.uint32 e c.xid;
+  E.uint32 e msg_type_call;
+  E.uint32 e c.rpcvers;
+  E.uint32 e c.prog;
+  E.uint32 e c.vers;
+  E.uint32 e c.proc;
+  encode_auth e c.cred;
+  encode_auth e c.verf
+
+let encode_reply e (r : reply) =
+  E.uint32 e r.xid;
+  E.uint32 e msg_type_reply;
+  match r.status with
+  | Accepted st -> (
+      E.uint32 e 0;
+      encode_auth e r.verf;
+      match st with
+      | Success -> E.uint32 e 0
+      | Prog_unavail -> E.uint32 e 1
+      | Prog_mismatch (lo, hi) ->
+          E.uint32 e 2;
+          E.uint32 e lo;
+          E.uint32 e hi
+      | Proc_unavail -> E.uint32 e 3
+      | Garbage_args -> E.uint32 e 4
+      | System_err -> E.uint32 e 5)
+  | Denied reason -> (
+      E.uint32 e 1;
+      match reason with
+      | Rpc_mismatch (lo, hi) ->
+          E.uint32 e 0;
+          E.uint32 e lo;
+          E.uint32 e hi
+      | Auth_error stat ->
+          E.uint32 e 1;
+          E.uint32 e stat)
+
+let decode s ~pos ~len =
+  let d = D.of_string ~pos ~len s in
+  let xid = D.uint32 d in
+  match D.uint32 d with
+  | 0 ->
+      let rpcvers = D.uint32 d in
+      if rpcvers <> 2 then raise (D.Error (Printf.sprintf "unsupported RPC version %d" rpcvers));
+      let prog = D.uint32 d in
+      let vers = D.uint32 d in
+      let proc = D.uint32 d in
+      let cred = decode_auth d in
+      let verf = decode_auth d in
+      (Call { xid; rpcvers; prog; vers; proc; cred; verf }, D.pos d)
+  | 1 -> (
+      match D.uint32 d with
+      | 0 -> (
+          let verf = decode_auth d in
+          match D.uint32 d with
+          | 0 -> (Reply { xid; verf; status = Accepted Success }, D.pos d)
+          | 1 -> (Reply { xid; verf; status = Accepted Prog_unavail }, D.pos d)
+          | 2 ->
+              let lo = D.uint32 d in
+              let hi = D.uint32 d in
+              (Reply { xid; verf; status = Accepted (Prog_mismatch (lo, hi)) }, D.pos d)
+          | 3 -> (Reply { xid; verf; status = Accepted Proc_unavail }, D.pos d)
+          | 4 -> (Reply { xid; verf; status = Accepted Garbage_args }, D.pos d)
+          | 5 -> (Reply { xid; verf; status = Accepted System_err }, D.pos d)
+          | n -> raise (D.Error (Printf.sprintf "bad accept status %d" n)))
+      | 1 -> (
+          match D.uint32 d with
+          | 0 ->
+              let lo = D.uint32 d in
+              let hi = D.uint32 d in
+              (Reply { xid; verf = Auth_null; status = Denied (Rpc_mismatch (lo, hi)) }, D.pos d)
+          | 1 ->
+              let stat = D.uint32 d in
+              (Reply { xid; verf = Auth_null; status = Denied (Auth_error stat) }, D.pos d)
+          | n -> raise (D.Error (Printf.sprintf "bad reject status %d" n)))
+      | n -> raise (D.Error (Printf.sprintf "bad reply status %d" n)))
+  | n -> raise (D.Error (Printf.sprintf "bad message type %d" n))

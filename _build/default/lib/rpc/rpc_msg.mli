@@ -1,0 +1,58 @@
+(** ONC RPC version 2 message layer (RFC 5531).
+
+    Every NFS call and reply travels inside one of these messages. The
+    tracer only ever sees bytes on the wire, so this module provides both
+    directions: the simulator encodes, the capture engine decodes.
+
+    The message *body* (procedure arguments or results) is carried as an
+    opaque region: its interpretation depends on (program, version,
+    procedure), which is the job of [Nt_nfs]. Decoding therefore returns
+    the offset at which the body starts. *)
+
+type auth_flavor =
+  | Auth_null
+  | Auth_unix of { stamp : int; machine : string; uid : int; gid : int; gids : int list }
+  | Auth_other of int * string
+      (** flavor number, raw body — preserved but not interpreted. *)
+
+type call = {
+  xid : int;
+  rpcvers : int;  (** always 2 on the wire; preserved to detect garbage *)
+  prog : int;
+  vers : int;
+  proc : int;
+  cred : auth_flavor;
+  verf : auth_flavor;
+}
+
+type reject_reason =
+  | Rpc_mismatch of int * int  (** low, high supported versions *)
+  | Auth_error of int
+
+type accept_status =
+  | Success
+  | Prog_unavail
+  | Prog_mismatch of int * int
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type reply = { xid : int; verf : auth_flavor; status : reply_status }
+and reply_status = Accepted of accept_status | Denied of reject_reason
+
+type msg = Call of call | Reply of reply
+
+val nfs_program : int
+(** 100003, the NFS program number. *)
+
+val encode_call : Nt_xdr.Encode.t -> call -> unit
+(** Writes the call header; the caller appends the procedure arguments. *)
+
+val encode_reply : Nt_xdr.Encode.t -> reply -> unit
+(** Writes the reply header; the caller appends results when the status
+    is [Accepted Success]. *)
+
+val decode : string -> pos:int -> len:int -> msg * int
+(** [decode s ~pos ~len] parses one RPC message from [s.(pos .. pos+len)]
+    and returns it with the absolute offset of the first body byte.
+    Raises [Nt_xdr.Decode.Error] on malformed input. *)

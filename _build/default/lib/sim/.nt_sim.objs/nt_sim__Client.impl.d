@@ -1,0 +1,1 @@
+lib/sim/client.ml: Float Hashtbl Int64 List Nt_net Nt_nfs Nt_trace Nt_util Option Server

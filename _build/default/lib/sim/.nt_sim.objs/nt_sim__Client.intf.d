@@ -1,0 +1,1 @@
+lib/sim/client.mli: Nt_net Nt_nfs Nt_trace Nt_util Server

@@ -1,0 +1,1 @@
+lib/sim/packet_pipe.ml: Array Hashtbl Nt_net Nt_nfs Nt_rpc Nt_trace Nt_util Nt_xdr String

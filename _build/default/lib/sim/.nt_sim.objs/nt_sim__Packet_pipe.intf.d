@@ -1,0 +1,1 @@
+lib/sim/packet_pipe.mli: Nt_net Nt_trace

@@ -1,0 +1,1 @@
+lib/sim/readahead.ml: Array Disk Nt_util Queue

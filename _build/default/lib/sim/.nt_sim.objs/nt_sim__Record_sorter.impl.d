@@ -1,0 +1,1 @@
+lib/sim/record_sorter.ml: Array Nt_nfs Nt_trace

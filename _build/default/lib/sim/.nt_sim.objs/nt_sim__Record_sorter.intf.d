@@ -1,0 +1,1 @@
+lib/sim/record_sorter.mli: Nt_trace

@@ -1,0 +1,1 @@
+lib/sim/server.ml: Int64 List Nt_net Nt_nfs Sim_fs String

@@ -1,0 +1,1 @@
+lib/sim/server.mli: Nt_net Nt_nfs Sim_fs

@@ -1,0 +1,1 @@
+lib/sim/sim_fs.ml: Hashtbl Int64 Nt_nfs String

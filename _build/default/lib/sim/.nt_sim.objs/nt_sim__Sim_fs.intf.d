@@ -1,0 +1,1 @@
+lib/sim/sim_fs.mli: Nt_nfs

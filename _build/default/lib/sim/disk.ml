@@ -1,0 +1,58 @@
+type config = {
+  seek_time : float;
+  settle_time : float;
+  transfer_rate : float;
+  near_threshold : int;
+  block_size : int;
+}
+
+let default_config =
+  {
+    seek_time = 0.005;
+    settle_time = 0.002;
+    transfer_rate = 40_000_000.;
+    near_threshold = 10;
+    block_size = 8192;
+  }
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  config : config;
+  mutable head_pos : int;
+  mutable buffered : Int_set.t;  (* blocks in the prefetch buffer *)
+  mutable busy : float;
+}
+
+let create ?(config = default_config) () =
+  { config; head_pos = 0; buffered = Int_set.empty; busy = 0. }
+
+let platter_read t ~block ~nblocks =
+  let c = t.config in
+  let distance = abs (block - t.head_pos) in
+  let seek = if distance <= c.near_threshold then 0. else c.seek_time in
+  let transfer = float_of_int (nblocks * c.block_size) /. c.transfer_rate in
+  t.head_pos <- block + nblocks;
+  let cost = seek +. c.settle_time +. transfer in
+  t.busy <- t.busy +. cost;
+  cost
+
+let read t ~block ~nblocks =
+  (* Any buffered prefix is free; the remainder hits the platter. *)
+  let rec buffered_prefix b n = if n = 0 || not (Int_set.mem b t.buffered) then (b, n) else buffered_prefix (b + 1) (n - 1) in
+  let first_missing, missing = buffered_prefix block nblocks in
+  (* Consumed blocks leave the buffer. *)
+  for b = block to first_missing - 1 do
+    t.buffered <- Int_set.remove b t.buffered
+  done;
+  if missing = 0 then 0. else platter_read t ~block:first_missing ~nblocks:missing
+
+let prefetch t ~block ~nblocks =
+  let cost = platter_read t ~block ~nblocks in
+  for b = block to block + nblocks - 1 do
+    t.buffered <- Int_set.add b t.buffered
+  done;
+  cost
+
+let head t = t.head_pos
+let busy_time t = t.busy

@@ -1,0 +1,35 @@
+(** A small mechanical disk model for the read-ahead experiment (§6.4).
+
+    Service time = seek (when the arm must move) + rotational settle +
+    transfer. The paper's observation that "logical seeks of fewer than
+    10 blocks are unlikely to induce disk arm movement" is modelled by
+    [near_threshold]: jumps inside it cost no seek. *)
+
+type config = {
+  seek_time : float;  (** average arm movement cost, seconds *)
+  settle_time : float;  (** rotational delay applied on every request *)
+  transfer_rate : float;  (** bytes per second off the platter *)
+  near_threshold : int;  (** blocks reachable without arm movement *)
+  block_size : int;
+}
+
+val default_config : config
+(** Early-2000s disk: 5 ms seek, 2 ms settle, 40 MB/s, 10-block
+    near-window, 8 KB blocks. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val read : t -> block:int -> nblocks:int -> float
+(** Service time for reading [nblocks] starting at [block]; advances
+    the head. Reads satisfied by the prefetch buffer are free — see
+    {!prefetch}. *)
+
+val prefetch : t -> block:int -> nblocks:int -> float
+(** Fetch blocks into the prefetch buffer (costs platter time now,
+    saves it later). *)
+
+val head : t -> int
+val busy_time : t -> float
+(** Total platter time consumed so far. *)

@@ -1,0 +1,44 @@
+(** Materialise trace records as real packets in a pcap capture.
+
+    This closes the loop that makes the reproduction honest: workload →
+    records → RPC/XDR bytes → UDP datagrams or record-marked TCP
+    segments → Ethernet frames → pcap, which the {!Nt_trace.Capture}
+    engine then decodes like any tcpdump output.
+
+    The monitor model reproduces §4.1.4: the capture port drops each
+    packet independently with [monitor_loss] probability (the CAMPUS
+    mirror port lost up to ~10% under load; EECS lost none). Loss
+    applies to the {e capture}, not the protocol — the simulated
+    client/server conversation already happened.
+
+    TCP mode opens one long-lived connection per client (as CAMPUS's
+    mounts do): a SYN packet precedes a client's first payload, and
+    sequence numbers accumulate across the whole capture. *)
+
+type transport = Udp_transport | Tcp_transport
+
+type t
+
+val create :
+  ?monitor_loss:float ->
+  ?seed:int64 ->
+  ?mtu:int ->
+  transport:transport ->
+  writer:Nt_net.Pcap.writer ->
+  unit ->
+  t
+(** [mtu] defaults to 9000 (jumbo frames); UDP datagrams above it are
+    emitted anyway (the real stack would IP-fragment; the capture
+    engine treats the oversized frame equivalently). *)
+
+val push : t -> Nt_trace.Record.t -> unit
+(** Emit the call packet(s) and, when the record has a reply, the reply
+    packet(s). Records should arrive roughly time-sorted (the
+    record-sorter output); packets are re-sorted in a bounded window
+    before writing. *)
+
+val finish : t -> unit
+(** Flush buffered packets. *)
+
+val packets_written : t -> int
+val packets_dropped : t -> int

@@ -1,0 +1,130 @@
+module Types = Nt_nfs.Types
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+
+type t = {
+  fs : Sim_fs.t;
+  ip : Nt_net.Ip_addr.t;
+  mutable handled : int;
+}
+
+let create ?(fsid = 1) ~ip () = { fs = Sim_fs.create ~fsid (); ip; handled = 0 }
+let fs t = t.fs
+let ip t = t.ip
+let root_fh t = Sim_fs.fh_of_node t.fs (Sim_fs.root t.fs)
+let calls_handled t = t.handled
+
+let node t fh =
+  match Sim_fs.node_of_fh t.fs fh with
+  | Some n -> n
+  | None -> raise (Sim_fs.Fs_error Types.Err_stale)
+
+let attr t n = Sim_fs.fattr t.fs n
+
+let handle t ~time (call : Ops.call) : Ops.result =
+  t.handled <- t.handled + 1;
+  try
+    match call with
+    | Null -> Ok R_null
+    | Getattr fh -> Ok (R_attr (attr t (node t fh)))
+    | Setattr { fh; attrs } ->
+        let n = node t fh in
+        (match attrs.set_size with
+        | Some sz -> Sim_fs.truncate t.fs ~time n sz
+        | None -> ());
+        (match attrs.set_mtime with Some _ -> Sim_fs.set_mtime t.fs ~time n | None -> ());
+        Ok (R_attr (attr t n))
+    | Lookup { dir; name } ->
+        let d = node t dir in
+        let n = Sim_fs.lookup t.fs d name in
+        Ok
+          (R_lookup
+             { fh = Sim_fs.fh_of_node t.fs n; obj = Some (attr t n); dir = Some (attr t d) })
+    | Access { fh; access } ->
+        let _n = node t fh in
+        Ok (R_access access)
+    | Readlink fh -> Ok (R_readlink (Sim_fs.readlink (node t fh)))
+    | Read { fh; offset; count } ->
+        let n = node t fh in
+        let size = Sim_fs.size n in
+        if Int64.compare offset size >= 0 then
+          Ok (R_read { attr = Some (attr t n); count = 0; eof = true })
+        else begin
+          let available = Int64.to_int (Int64.min (Int64.sub size offset) (Int64.of_int count)) in
+          Sim_fs.touch_read t.fs ~time n;
+          let eof = Int64.compare (Int64.add offset (Int64.of_int available)) size >= 0 in
+          Ok (R_read { attr = Some (attr t n); count = available; eof })
+        end
+    | Write { fh; offset; count; stable } ->
+        let n = node t fh in
+        Sim_fs.write t.fs ~time n ~offset ~count;
+        Ok (R_write { count; committed = stable; attr = Some (attr t n) })
+    | Create { dir; name; mode; exclusive = _ } ->
+        let d = node t dir in
+        let n =
+          match Sim_fs.lookup t.fs d name with
+          | existing -> existing (* UNCHECKED create of an existing file truncates it *)
+          | exception Sim_fs.Fs_error Types.Err_noent ->
+              Sim_fs.create_file t.fs ~time ~parent:d ~name ~mode ~uid:0 ~gid:0
+        in
+        Ok (R_create { fh = Some (Sim_fs.fh_of_node t.fs n); attr = Some (attr t n) })
+    | Mkdir { dir; name; mode } ->
+        let d = node t dir in
+        let n = Sim_fs.mkdir t.fs ~time ~parent:d ~name ~mode in
+        Ok (R_create { fh = Some (Sim_fs.fh_of_node t.fs n); attr = Some (attr t n) })
+    | Symlink { dir; name; target } ->
+        let d = node t dir in
+        let n = Sim_fs.symlink t.fs ~time ~parent:d ~name ~target in
+        Ok (R_create { fh = Some (Sim_fs.fh_of_node t.fs n); attr = Some (attr t n) })
+    | Mknod { dir; name } ->
+        let d = node t dir in
+        let n = Sim_fs.create_file t.fs ~time ~parent:d ~name ~mode:0o644 ~uid:0 ~gid:0 in
+        Ok (R_create { fh = Some (Sim_fs.fh_of_node t.fs n); attr = Some (attr t n) })
+    | Remove { dir; name } ->
+        let d = node t dir in
+        Sim_fs.remove t.fs ~time ~parent:d ~name;
+        Ok R_empty
+    | Rmdir { dir; name } ->
+        let d = node t dir in
+        Sim_fs.rmdir t.fs ~time ~parent:d ~name;
+        Ok R_empty
+    | Rename { from_dir; from_name; to_dir; to_name } ->
+        Sim_fs.rename t.fs ~time ~from_parent:(node t from_dir) ~from_name
+          ~to_parent:(node t to_dir) ~to_name;
+        Ok R_empty
+    | Link { fh; to_dir; to_name } ->
+        Sim_fs.link t.fs ~time (node t fh) ~to_parent:(node t to_dir) ~to_name;
+        Ok R_empty
+    | Readdir { dir; cookie; count } | Readdirplus { dir; cookie; count } ->
+        let d = node t dir in
+        let all =
+          List.sort (fun (a, _) (b, _) -> String.compare a b) (Sim_fs.entries d)
+        in
+        let skip = Int64.to_int cookie in
+        let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+        let rest = drop skip all in
+        let per_entry = 64 (* rough wire cost per entry *) in
+        let capacity = max 1 (count / per_entry) in
+        let rec take n idx acc l =
+          match l with
+          | [] -> (List.rev acc, true)
+          | _ when n = 0 -> (List.rev acc, false)
+          | (name, node) :: tl ->
+              let entry =
+                {
+                  Ops.entry_fileid = Int64.of_int (Sim_fs.fileid node);
+                  entry_name = name;
+                  entry_cookie = Int64.of_int (idx + 1);
+                }
+              in
+              take (n - 1) (idx + 1) (entry :: acc) tl
+        in
+        let entries, eof = take capacity skip [] rest in
+        Ok (R_readdir { entries; eof })
+    | Statfs _ -> Ok (R_statfs { total_bytes = 53_000_000_000L; free_bytes = 20_000_000_000L })
+    | Fsinfo _ -> Ok (R_fsinfo { rtmax = 32768; wtmax = 32768 })
+    | Pathconf _ -> Ok (R_pathconf { name_max = 255 })
+    | Commit { fh; _ } ->
+        let _n = node t fh in
+        Ok R_empty
+  with Sim_fs.Fs_error status -> Error status

@@ -1,0 +1,17 @@
+(** The simulated NFS server: executes protocol calls against a
+    {!Sim_fs} and produces wire-faithful results (post-op attributes,
+    EOF flags, new handles). One instance models one disk array /
+    filer, like CAMPUS's [home02]. *)
+
+type t
+
+val create : ?fsid:int -> ip:Nt_net.Ip_addr.t -> unit -> t
+val fs : t -> Sim_fs.t
+val ip : t -> Nt_net.Ip_addr.t
+val root_fh : t -> Nt_nfs.Fh.t
+
+val handle : t -> time:float -> Nt_nfs.Ops.call -> Nt_nfs.Ops.result
+(** Execute one call at the given instant. Total: protocol errors come
+    back as [Error status], never as exceptions. *)
+
+val calls_handled : t -> int

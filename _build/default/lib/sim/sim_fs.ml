@@ -1,0 +1,242 @@
+module Types = Nt_nfs.Types
+module Fh = Nt_nfs.Fh
+
+exception Fs_error of Types.nfsstat
+
+let err st = raise (Fs_error st)
+
+type kind =
+  | Dir of (string, node) Hashtbl.t
+  | Reg
+  | Lnk of string
+
+and node = {
+  id : int;
+  mutable kind : kind;
+  mutable size : int64;
+  mutable nlink : int;
+  mutable mode : int;
+  mutable uid : int;
+  mutable gid : int;
+  mutable atime : float;
+  mutable mtime : float;
+  mutable ctime : float;
+}
+
+type t = {
+  fsid : int;
+  mutable next_id : int;
+  nodes : (int, node) Hashtbl.t;
+  root_node : node;
+}
+
+let make_node t ~time ~kind ~mode ~uid ~gid =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let n =
+    { id; kind; size = 0L; nlink = 1; mode; uid; gid; atime = time; mtime = time; ctime = time }
+  in
+  Hashtbl.add t.nodes id n;
+  n
+
+let create ?(fsid = 1) () =
+  let t =
+    {
+      fsid;
+      next_id = 2;
+      nodes = Hashtbl.create 4096;
+      root_node =
+        {
+          id = 1;
+          kind = Dir (Hashtbl.create 64);
+          size = 4096L;
+          nlink = 2;
+          mode = 0o755;
+          uid = 0;
+          gid = 0;
+          atime = 0.;
+          mtime = 0.;
+          ctime = 0.;
+        };
+    }
+  in
+  Hashtbl.add t.nodes 1 t.root_node;
+  t
+
+let root t = t.root_node
+let fsid t = t.fsid
+let fileid n = n.id
+let nlink n = n.nlink
+
+let ftype n =
+  match n.kind with Dir _ -> Types.Dir | Reg -> Types.Reg | Lnk _ -> Types.Lnk
+
+let size n = n.size
+
+let fh_of_node t n = Fh.make ~fsid:t.fsid ~fileid:n.id
+
+let node_of_fh t fh =
+  match Fh.fileid fh with Some id -> Hashtbl.find_opt t.nodes id | None -> None
+
+let fattr t n : Types.fattr =
+  {
+    ftype = ftype n;
+    mode = n.mode;
+    nlink = n.nlink;
+    uid = n.uid;
+    gid = n.gid;
+    size = n.size;
+    used = Int64.logand (Int64.add n.size 8191L) (Int64.lognot 8191L);
+    fsid = Int64.of_int t.fsid;
+    fileid = Int64.of_int n.id;
+    atime = Types.time_of_float n.atime;
+    mtime = Types.time_of_float n.mtime;
+    ctime = Types.time_of_float n.ctime;
+  }
+
+let dir_table n = match n.kind with Dir tbl -> tbl | Reg | Lnk _ -> err Types.Err_notdir
+
+let lookup _t dir name =
+  let tbl = dir_table dir in
+  match Hashtbl.find_opt tbl name with Some n -> n | None -> err Types.Err_noent
+
+let insert t ~time ~parent ~name node =
+  let tbl = dir_table parent in
+  if Hashtbl.mem tbl name then err Types.Err_exist;
+  Hashtbl.add tbl name node;
+  parent.mtime <- time;
+  parent.ctime <- time;
+  ignore t
+
+let mkdir t ~time ~parent ~name ~mode =
+  let n = make_node t ~time ~kind:(Dir (Hashtbl.create 8)) ~mode ~uid:0 ~gid:0 in
+  n.nlink <- 2;
+  n.size <- 4096L;
+  insert t ~time ~parent ~name n;
+  parent.nlink <- parent.nlink + 1;
+  n
+
+let create_file t ~time ~parent ~name ~mode ~uid ~gid =
+  let n = make_node t ~time ~kind:Reg ~mode ~uid ~gid in
+  insert t ~time ~parent ~name n;
+  n
+
+let symlink t ~time ~parent ~name ~target =
+  let n = make_node t ~time ~kind:(Lnk target) ~mode:0o777 ~uid:0 ~gid:0 in
+  n.size <- Int64.of_int (String.length target);
+  insert t ~time ~parent ~name n;
+  n
+
+let readlink n = match n.kind with Lnk target -> target | Dir _ | Reg -> err Types.Err_inval
+
+let drop_link t ~time node =
+  node.nlink <- node.nlink - 1;
+  node.ctime <- time;
+  if node.nlink <= 0 then Hashtbl.remove t.nodes node.id
+
+let remove t ~time ~parent ~name =
+  let tbl = dir_table parent in
+  match Hashtbl.find_opt tbl name with
+  | None -> err Types.Err_noent
+  | Some n -> (
+      match n.kind with
+      | Dir _ -> err Types.Err_isdir
+      | Reg | Lnk _ ->
+          Hashtbl.remove tbl name;
+          parent.mtime <- time;
+          parent.ctime <- time;
+          drop_link t ~time n)
+
+let rmdir t ~time ~parent ~name =
+  let tbl = dir_table parent in
+  match Hashtbl.find_opt tbl name with
+  | None -> err Types.Err_noent
+  | Some n -> (
+      match n.kind with
+      | Reg | Lnk _ -> err Types.Err_notdir
+      | Dir entries ->
+          if Hashtbl.length entries > 0 then err Types.Err_notempty;
+          Hashtbl.remove tbl name;
+          parent.mtime <- time;
+          parent.ctime <- time;
+          parent.nlink <- parent.nlink - 1;
+          n.nlink <- 0;
+          Hashtbl.remove t.nodes n.id)
+
+let rename t ~time ~from_parent ~from_name ~to_parent ~to_name =
+  let from_tbl = dir_table from_parent in
+  let to_tbl = dir_table to_parent in
+  match Hashtbl.find_opt from_tbl from_name with
+  | None -> err Types.Err_noent
+  | Some n ->
+      (match Hashtbl.find_opt to_tbl to_name with
+      | Some existing when existing == n -> ()
+      | Some existing -> (
+          (* POSIX rename semantics: the target is replaced. *)
+          match existing.kind with
+          | Dir entries when Hashtbl.length entries > 0 -> err Types.Err_notempty
+          | Dir _ ->
+              Hashtbl.remove to_tbl to_name;
+              to_parent.nlink <- to_parent.nlink - 1;
+              existing.nlink <- 0;
+              Hashtbl.remove t.nodes existing.id
+          | Reg | Lnk _ ->
+              Hashtbl.remove to_tbl to_name;
+              drop_link t ~time existing)
+      | None -> ());
+      Hashtbl.remove from_tbl from_name;
+      Hashtbl.replace to_tbl to_name n;
+      from_parent.mtime <- time;
+      from_parent.ctime <- time;
+      to_parent.mtime <- time;
+      to_parent.ctime <- time;
+      n.ctime <- time;
+      (match n.kind with
+      | Dir _ when from_parent != to_parent ->
+          from_parent.nlink <- from_parent.nlink - 1;
+          to_parent.nlink <- to_parent.nlink + 1
+      | Dir _ | Reg | Lnk _ -> ())
+
+let link t ~time n ~to_parent ~to_name =
+  (match n.kind with Dir _ -> err Types.Err_isdir | Reg | Lnk _ -> ());
+  insert t ~time ~parent:to_parent ~name:to_name n;
+  n.nlink <- n.nlink + 1;
+  n.ctime <- time
+
+let write _t ~time n ~offset ~count =
+  (match n.kind with Reg -> () | Dir _ -> err Types.Err_isdir | Lnk _ -> err Types.Err_inval);
+  let end_ = Int64.add offset (Int64.of_int count) in
+  if Int64.compare end_ n.size > 0 then n.size <- end_;
+  n.mtime <- time;
+  n.ctime <- time
+
+let truncate _t ~time n new_size =
+  (match n.kind with Reg -> () | Dir _ -> err Types.Err_isdir | Lnk _ -> err Types.Err_inval);
+  n.size <- new_size;
+  n.mtime <- time;
+  n.ctime <- time
+
+let touch_read _t ~time n = n.atime <- time
+
+let set_mtime _t ~time n =
+  n.mtime <- time;
+  n.ctime <- time
+
+let entries n =
+  let tbl = dir_table n in
+  Hashtbl.fold (fun name node acc -> (name, node) :: acc) tbl []
+
+let node_count t = Hashtbl.length t.nodes
+
+let mkdir_path t ~time path =
+  let rec go parent = function
+    | [] -> parent
+    | name :: rest ->
+        let next =
+          match Hashtbl.find_opt (dir_table parent) name with
+          | Some n -> n
+          | None -> mkdir t ~time ~parent ~name ~mode:0o755
+        in
+        go next rest
+  in
+  go t.root_node path

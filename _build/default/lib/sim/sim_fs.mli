@@ -1,0 +1,58 @@
+(** The server-side file system backing the simulated NFS server.
+
+    Tracks exactly the state an NFS server exposes through the
+    protocol: the namespace, per-file attributes and sizes. File *data*
+    content is not stored (no analysis reads payload bytes), only sizes
+    and times — which is also all a passive tracer can see. *)
+
+type t
+
+type node
+(** An inode. *)
+
+exception Fs_error of Nt_nfs.Types.nfsstat
+
+val create : ?fsid:int -> unit -> t
+val root : t -> node
+val fsid : t -> int
+
+val node_of_fh : t -> Nt_nfs.Fh.t -> node option
+val fh_of_node : t -> node -> Nt_nfs.Fh.t
+
+val fileid : node -> int
+val ftype : node -> Nt_nfs.Types.ftype
+val size : node -> int64
+val fattr : t -> node -> Nt_nfs.Types.fattr
+val nlink : node -> int
+
+(** All mutating operations take the current simulation [time] so
+    mtime/ctime on the wire are faithful. Operations raise {!Fs_error}
+    with the proper NFS status on failure (ENOENT, EEXIST, ENOTDIR,
+    ENOTEMPTY, ...). *)
+
+val lookup : t -> node -> string -> node
+val mkdir : t -> time:float -> parent:node -> name:string -> mode:int -> node
+val create_file : t -> time:float -> parent:node -> name:string -> mode:int -> uid:int -> gid:int -> node
+val symlink : t -> time:float -> parent:node -> name:string -> target:string -> node
+val readlink : node -> string
+val remove : t -> time:float -> parent:node -> name:string -> unit
+val rmdir : t -> time:float -> parent:node -> name:string -> unit
+val rename : t -> time:float -> from_parent:node -> from_name:string -> to_parent:node -> to_name:string -> unit
+val link : t -> time:float -> node -> to_parent:node -> to_name:string -> unit
+
+val write : t -> time:float -> node -> offset:int64 -> count:int -> unit
+(** Extends the size when the write reaches past EOF and bumps mtime. *)
+
+val truncate : t -> time:float -> node -> int64 -> unit
+val touch_read : t -> time:float -> node -> unit
+(** Update atime on a read. *)
+
+val set_mtime : t -> time:float -> node -> unit
+
+val entries : node -> (string * node) list
+(** Directory listing, unordered. Raises {!Fs_error} ENOTDIR. *)
+
+val node_count : t -> int
+
+val mkdir_path : t -> time:float -> string list -> node
+(** Convenience for building initial trees: mkdir -p. *)

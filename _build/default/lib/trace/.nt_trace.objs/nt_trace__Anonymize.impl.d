@@ -1,0 +1,1 @@
+lib/trace/anonymize.ml: Bytes Hashtbl List Nt_net Nt_nfs Nt_util Option Record Result String

@@ -1,0 +1,1 @@
+lib/trace/capture.ml: Float Hashtbl List Nt_net Nt_nfs Nt_rpc Nt_xdr Printf Record Seq String

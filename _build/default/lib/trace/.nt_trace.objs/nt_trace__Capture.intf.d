@@ -1,0 +1,1 @@
+lib/trace/capture.mli: Nt_net Record

@@ -1,0 +1,1 @@
+lib/trace/fh_map.ml: Hashtbl Nt_nfs Option Record String

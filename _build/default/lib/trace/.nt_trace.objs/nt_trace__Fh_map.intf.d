@@ -1,0 +1,1 @@
+lib/trace/fh_map.mli: Nt_nfs Record

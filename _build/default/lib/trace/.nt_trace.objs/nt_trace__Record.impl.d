@@ -1,0 +1,1 @@
+lib/trace/record.ml: Buffer Char Int64 List Nt_net Nt_nfs Option Printf Result Seq Stdlib String

@@ -1,0 +1,1 @@
+lib/trace/record.mli: Nt_net Nt_nfs Seq

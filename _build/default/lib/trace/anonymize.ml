@@ -1,0 +1,232 @@
+module Prng = Nt_util.Prng
+module Ops = Nt_nfs.Ops
+module Ip_addr = Nt_net.Ip_addr
+
+type config = {
+  map_names : bool;
+  map_ids : bool;
+  map_ips : bool;
+  omit : bool;
+  preserve_names : string list;
+  preserve_suffixes : string list;
+  preserve_uids : int list;
+  preserve_gids : int list;
+}
+
+let default_config =
+  {
+    map_names = true;
+    map_ids = true;
+    map_ips = true;
+    omit = false;
+    preserve_names = [ "CVS"; ".inbox"; ".pinerc"; ".cshrc"; ".login"; "lock"; "mbox"; "inbox" ];
+    preserve_suffixes = [ ".lock"; ",v" ];
+    preserve_uids = [ 0; 1 ];
+    preserve_gids = [ 0; 1 ];
+  }
+
+let omit_config =
+  {
+    map_names = false;
+    map_ids = false;
+    map_ips = false;
+    omit = true;
+    preserve_names = [];
+    preserve_suffixes = [];
+    preserve_uids = [];
+    preserve_gids = [];
+  }
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  stems : (string, string) Hashtbl.t;
+  suffixes : (string, string) Hashtbl.t;
+  uids : (int, int) Hashtbl.t;
+  gids : (int, int) Hashtbl.t;
+  ips : (Ip_addr.t, Ip_addr.t) Hashtbl.t;
+  used_tokens : (string, unit) Hashtbl.t;
+  used_ids : (int, unit) Hashtbl.t;
+  used_ips : (Ip_addr.t, unit) Hashtbl.t;
+}
+
+let create ?(seed = 0x6e667374726163L) config =
+  {
+    config;
+    rng = Prng.create seed;
+    stems = Hashtbl.create 4096;
+    suffixes = Hashtbl.create 64;
+    uids = Hashtbl.create 256;
+    gids = Hashtbl.create 64;
+    ips = Hashtbl.create 64;
+    used_tokens = Hashtbl.create 4096;
+    used_ids = Hashtbl.create 256;
+    used_ips = Hashtbl.create 64;
+  }
+
+let base36 = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+let fresh_token t ~prefix ~len =
+  let rec draw () =
+    let buf = Bytes.create len in
+    for i = 0 to len - 1 do
+      Bytes.set buf i base36.[Prng.int t.rng 36]
+    done;
+    let tok = prefix ^ Bytes.to_string buf in
+    if Hashtbl.mem t.used_tokens tok then draw ()
+    else begin
+      Hashtbl.add t.used_tokens tok ();
+      tok
+    end
+  in
+  draw ()
+
+let map_via tbl make key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.add tbl key v;
+      v
+
+let anon_stem t stem = map_via t.stems (fun () -> fresh_token t ~prefix:"a" ~len:5) stem
+
+let anon_suffix t suffix =
+  if List.mem suffix t.config.preserve_suffixes then suffix
+  else map_via t.suffixes (fun () -> "." ^ fresh_token t ~prefix:"s" ~len:2) suffix
+
+(* Split [name] into (core, reattach): reattach rebuilds the special
+   affixes around the anonymized core. *)
+let rec name t n =
+  if t.config.omit then "x"
+  else if not t.config.map_names then n
+  else if n = "" || n = "." || n = ".." then n
+  else if List.mem n t.config.preserve_names then n
+  else begin
+    let len = String.length n in
+    (* Emacs autosave: #core# *)
+    if len > 2 && n.[0] = '#' && n.[len - 1] = '#' then
+      "#" ^ name t (String.sub n 1 (len - 2)) ^ "#"
+    else if len > 1 && n.[len - 1] = '~' then (* backup: core~ *)
+      name t (String.sub n 0 (len - 1)) ^ "~"
+    else if len > 2 && String.sub n (len - 2) 2 = ",v" then (* RCS: core,v *)
+      name t (String.sub n 0 (len - 2)) ^ ",v"
+    else if n.[0] = '.' then
+      (* Dotfile: keep the dot (it is structural), anonymize the rest. *)
+      "." ^ name t (String.sub n 1 (len - 1))
+    else begin
+      (* Split stem/suffix at the last dot. *)
+      match String.rindex_opt n '.' with
+      | Some i when i > 0 && i < len - 1 ->
+          let stem = String.sub n 0 i in
+          let suffix = String.sub n i (len - i) in
+          anon_stem t stem ^ anon_suffix t suffix
+      | Some _ | None -> anon_stem t n
+    end
+  end
+
+let uid t u =
+  if t.config.omit then 0
+  else if (not t.config.map_ids) || List.mem u t.config.preserve_uids then u
+  else
+    map_via t.uids
+      (fun () ->
+        let rec draw () =
+          let v = 10000 + Prng.int t.rng 90000 in
+          if Hashtbl.mem t.used_ids v then draw ()
+          else begin
+            Hashtbl.add t.used_ids v ();
+            v
+          end
+        in
+        draw ())
+      u
+
+let gid t g =
+  if t.config.omit then 0
+  else if (not t.config.map_ids) || List.mem g t.config.preserve_gids then g
+  else
+    map_via t.gids
+      (fun () ->
+        let rec draw () =
+          let v = 10000 + Prng.int t.rng 90000 in
+          if Hashtbl.mem t.used_ids v then draw ()
+          else begin
+            Hashtbl.add t.used_ids v ();
+            v
+          end
+        in
+        draw ())
+      g
+
+let ip t addr =
+  if t.config.omit then Ip_addr.v 0 0 0 0
+  else if not t.config.map_ips then addr
+  else
+    map_via t.ips
+      (fun () ->
+        let rec draw () =
+          let v = Ip_addr.v 10 (Prng.int t.rng 256) (Prng.int t.rng 256) (1 + Prng.int t.rng 254) in
+          if Hashtbl.mem t.used_ips v then draw ()
+          else begin
+            Hashtbl.add t.used_ips v ();
+            v
+          end
+        in
+        draw ())
+      addr
+
+let call t (c : Ops.call) : Ops.call =
+  match c with
+  | Null | Getattr _ | Setattr _ | Access _ | Readlink _ | Read _ | Write _ | Readdir _
+  | Readdirplus _ | Statfs _ | Fsinfo _ | Pathconf _ | Commit _ ->
+      c
+  | Lookup { dir; name = n } -> Lookup { dir; name = name t n }
+  | Create c' -> Create { c' with name = name t c'.name }
+  | Mkdir m -> Mkdir { m with name = name t m.name }
+  | Symlink s ->
+      (* Symlink targets are paths: anonymize each component. *)
+      let target =
+        String.concat "/" (List.map (name t) (String.split_on_char '/' s.target))
+      in
+      Symlink { s with name = name t s.name; target }
+  | Mknod m -> Mknod { m with name = name t m.name }
+  | Remove r -> Remove { r with name = name t r.name }
+  | Rmdir r -> Rmdir { r with name = name t r.name }
+  | Rename r -> Rename { r with from_name = name t r.from_name; to_name = name t r.to_name }
+  | Link l -> Link { l with to_name = name t l.to_name }
+
+let fattr t (a : Nt_nfs.Types.fattr) = { a with uid = uid t a.uid; gid = gid t a.gid }
+
+let success t (s : Ops.success) : Ops.success =
+  match s with
+  | R_null | R_empty | R_access _ | R_statfs _ | R_fsinfo _ | R_pathconf _ -> s
+  | R_attr a -> R_attr (fattr t a)
+  | R_lookup l -> R_lookup { l with obj = Option.map (fattr t) l.obj; dir = Option.map (fattr t) l.dir }
+  | R_readlink target ->
+      R_readlink (String.concat "/" (List.map (name t) (String.split_on_char '/' target)))
+  | R_read r -> R_read { r with attr = Option.map (fattr t) r.attr }
+  | R_write w -> R_write { w with attr = Option.map (fattr t) w.attr }
+  | R_create c -> R_create { c with attr = Option.map (fattr t) c.attr }
+  | R_readdir r ->
+      R_readdir
+        {
+          r with
+          entries =
+            List.map
+              (fun (e : Ops.dir_entry) -> { e with entry_name = name t e.entry_name })
+              r.entries;
+        }
+
+let record t (r : Record.t) : Record.t =
+  {
+    r with
+    client = ip t r.client;
+    server = ip t r.server;
+    uid = uid t r.uid;
+    gid = gid t r.gid;
+    call = call t r.call;
+    result = Option.map (Result.map (success t)) r.result;
+  }
+
+let mapped_names t = Hashtbl.length t.stems

@@ -1,0 +1,62 @@
+(** Trace anonymization (paper §2).
+
+    Replaces UIDs, GIDs, IP addresses and filename components with
+    arbitrary but consistent values. Following the paper:
+
+    - mappings are random, not hashes, so a known-text attack without
+      access to the traced system is impossible and traces from
+      different sites cannot be cross-correlated;
+    - names are anonymized by component, so common path prefixes stay
+      common;
+    - filename suffixes are anonymized separately from stems, so all
+      files sharing [.c] share one anonymized suffix;
+    - the special affixes [#…#], [trailing ~] and [,v] are preserved
+      literally around the anonymized core, keeping the relationship
+      between [foo], [#foo#], [foo~] and [foo,v] visible;
+    - any specific name, suffix, UID or GID can be exempted
+      (the paper exempts e.g. [CVS], [.inbox], [.pinerc], [lock],
+      root and daemon);
+    - an [omit] mode drops names/IDs/IPs entirely instead of mapping.
+
+    Consistency holds within one anonymizer instance; two instances
+    (even with equal configs but different seeds) produce unrelated
+    mappings, which is the privacy point. *)
+
+type config = {
+  map_names : bool;
+  map_ids : bool;
+  map_ips : bool;
+  omit : bool;  (** drop instead of map; overrides the three flags *)
+  preserve_names : string list;  (** whole components left verbatim *)
+  preserve_suffixes : string list;  (** suffixes (with dot) left verbatim *)
+  preserve_uids : int list;
+  preserve_gids : int list;
+}
+
+val default_config : config
+(** The paper's own configuration: map everything; preserve [CVS],
+    [.inbox], [.pinerc], [.cshrc], [.login], [lock], the [.lock] and
+    [,v] suffixes, and UIDs/GIDs 0 and 1. *)
+
+val omit_config : config
+(** Strip all names, IDs and addresses. *)
+
+type t
+
+val create : ?seed:int64 -> config -> t
+(** [seed] defaults to an arbitrary constant; real deployments pass a
+    secret. Same seed + same input order = same mapping (useful for
+    tests), which is why the seed must be kept private. *)
+
+val name : t -> string -> string
+(** Anonymize one path component. *)
+
+val uid : t -> int -> int
+val gid : t -> int -> int
+val ip : t -> Nt_net.Ip_addr.t -> Nt_net.Ip_addr.t
+
+val record : t -> Record.t -> Record.t
+(** Anonymize every sensitive field of a record. *)
+
+val mapped_names : t -> int
+(** Number of distinct components mapped so far. *)

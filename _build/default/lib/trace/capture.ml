@@ -1,0 +1,287 @@
+module Frame = Nt_net.Frame
+module Pcap = Nt_net.Pcap
+module Tcp = Nt_net.Tcp_reassembly
+module Rpc = Nt_rpc.Rpc_msg
+module Rm = Nt_rpc.Record_mark
+module Proc = Nt_nfs.Proc
+module Ops = Nt_nfs.Ops
+
+type stats = {
+  frames : int;
+  undecodable_frames : int;
+  rpc_messages : int;
+  rpc_errors : int;
+  non_nfs : int;
+  calls : int;
+  replies : int;
+  orphan_replies : int;
+  lost_replies : int;
+  tcp_gaps : int;
+}
+
+let stats_to_string s =
+  Printf.sprintf
+    "frames=%d undecodable=%d rpc=%d rpc_errors=%d non_nfs=%d calls=%d replies=%d \
+     orphan_replies=%d lost_replies=%d tcp_gaps=%d"
+    s.frames s.undecodable_frames s.rpc_messages s.rpc_errors s.non_nfs s.calls s.replies
+    s.orphan_replies s.lost_replies s.tcp_gaps
+
+type pending = {
+  p_time : float;
+  p_client : Nt_net.Ip_addr.t;
+  p_server : Nt_net.Ip_addr.t;
+  p_version : int;
+  p_proc : Proc.t;
+  p_uid : int;
+  p_gid : int;
+  p_call : Ops.call;
+}
+
+(* Calls are keyed by (client ip, xid): xids are per-client counters, so
+   this pair is unique among outstanding requests. *)
+module Key = struct
+  type t = int * int
+
+  let equal (a1, a2) (b1, b2) = a1 = b1 && a2 = b2
+  let hash = Hashtbl.hash
+end
+
+module Pending_tbl = Hashtbl.Make (Key)
+
+(* One RPC record-marking reassembler per TCP flow. *)
+module Flow_tbl = Hashtbl.Make (struct
+  type t = Tcp.flow
+
+  let equal (a : Tcp.flow) (b : Tcp.flow) =
+    a.src_ip = b.src_ip && a.src_port = b.src_port && a.dst_ip = b.dst_ip
+    && a.dst_port = b.dst_port
+
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  pending : pending Pending_tbl.t;
+  tcp : Tcp.t;
+  rm : Rm.reassembler Flow_tbl.t;
+  emit : Record.t -> unit;
+  buffer : Record.t list ref option;
+  pending_timeout : float;
+  mutable last_sweep : float;
+  mutable frames : int;
+  mutable undecodable_frames : int;
+  mutable rpc_messages : int;
+  mutable rpc_errors : int;
+  mutable non_nfs : int;
+  mutable calls : int;
+  mutable replies : int;
+  mutable orphan_replies : int;
+  mutable lost_replies : int;
+}
+
+let create ?(pending_timeout = 60.) ?emit () =
+  let buffer, emit =
+    match emit with
+    | Some f -> (None, f)
+    | None ->
+        let buf = ref [] in
+        (Some buf, fun r -> buf := r :: !buf)
+  in
+  {
+    pending = Pending_tbl.create 4096;
+    tcp = Tcp.create ();
+    rm = Flow_tbl.create 64;
+    emit;
+    buffer;
+    pending_timeout;
+    last_sweep = 0.;
+    frames = 0;
+    undecodable_frames = 0;
+    rpc_messages = 0;
+    rpc_errors = 0;
+    non_nfs = 0;
+    calls = 0;
+    replies = 0;
+    orphan_replies = 0;
+    lost_replies = 0;
+  }
+
+let lost_record (p : pending) =
+  {
+    Record.time = p.p_time;
+    reply_time = None;
+    client = p.p_client;
+    server = p.p_server;
+    version = p.p_version;
+    xid = 0;
+    uid = p.p_uid;
+    gid = p.p_gid;
+    call = p.p_call;
+    result = None;
+  }
+
+let flush_expired t ~now =
+  if now -. t.last_sweep >= t.pending_timeout /. 2. then begin
+    t.last_sweep <- now;
+    let expired =
+      Pending_tbl.fold
+        (fun key p acc -> if now -. p.p_time > t.pending_timeout then (key, p) :: acc else acc)
+        t.pending []
+    in
+    List.iter
+      (fun ((client, xid), p) ->
+        Pending_tbl.remove t.pending (client, xid);
+        t.lost_replies <- t.lost_replies + 1;
+        t.emit { (lost_record p) with xid })
+      expired
+  end
+
+let creds = function
+  | Rpc.Auth_unix { uid; gid; _ } -> (uid, gid)
+  | Rpc.Auth_null | Rpc.Auth_other _ -> (0, 0)
+
+let decode_call_body ~version ~proc msg body_pos =
+  let d = Nt_xdr.Decode.of_string ~pos:body_pos msg in
+  if version = 2 then Nt_nfs.V2.decode_call ~proc d else Nt_nfs.V3.decode_call ~proc d
+
+let decode_result_body ~version ~proc msg body_pos =
+  let d = Nt_xdr.Decode.of_string ~pos:body_pos msg in
+  if version = 2 then Nt_nfs.V2.decode_result ~proc d else Nt_nfs.V3.decode_result ~proc d
+
+(* Handle one complete RPC message travelling from [src] to [dst]. *)
+let handle_rpc t ~time ~src ~dst msg =
+  t.rpc_messages <- t.rpc_messages + 1;
+  match Rpc.decode msg ~pos:0 ~len:(String.length msg) with
+  | exception Nt_xdr.Decode.Error _ -> t.rpc_errors <- t.rpc_errors + 1
+  | Rpc.Call c, body_pos ->
+      if c.prog <> Rpc.nfs_program then t.non_nfs <- t.non_nfs + 1
+      else begin
+        match Proc.of_number ~version:c.vers c.proc with
+        | None -> t.rpc_errors <- t.rpc_errors + 1
+        | Some proc -> (
+            match decode_call_body ~version:c.vers ~proc msg body_pos with
+            | exception Nt_xdr.Decode.Error _ -> t.rpc_errors <- t.rpc_errors + 1
+            | exception Nt_nfs.V2.Unsupported _ -> t.rpc_errors <- t.rpc_errors + 1
+            | exception Nt_nfs.V3.Unsupported _ -> t.rpc_errors <- t.rpc_errors + 1
+            | call ->
+                t.calls <- t.calls + 1;
+                let uid, gid = creds c.cred in
+                Pending_tbl.replace t.pending (src, c.xid)
+                  {
+                    p_time = time;
+                    p_client = src;
+                    p_server = dst;
+                    p_version = c.vers;
+                    p_proc = proc;
+                    p_uid = uid;
+                    p_gid = gid;
+                    p_call = call;
+                  };
+                flush_expired t ~now:time)
+      end
+  | Rpc.Reply r, body_pos -> (
+      (* The reply travels server->client, so the pending key uses dst. *)
+      match Pending_tbl.find_opt t.pending (dst, r.xid) with
+      | None -> t.orphan_replies <- t.orphan_replies + 1
+      | Some p ->
+          Pending_tbl.remove t.pending (dst, r.xid);
+          let result =
+            match r.status with
+            | Rpc.Accepted Rpc.Success -> (
+                match decode_result_body ~version:p.p_version ~proc:p.p_proc msg body_pos with
+                | exception Nt_xdr.Decode.Error _ ->
+                    t.rpc_errors <- t.rpc_errors + 1;
+                    None
+                | exception Nt_nfs.V2.Unsupported _ ->
+                    t.rpc_errors <- t.rpc_errors + 1;
+                    None
+                | exception Nt_nfs.V3.Unsupported _ ->
+                    t.rpc_errors <- t.rpc_errors + 1;
+                    None
+                | res -> Some res)
+            | Rpc.Accepted _ | Rpc.Denied _ -> Some (Error Nt_nfs.Types.Err_serverfault)
+          in
+          t.replies <- t.replies + 1;
+          t.emit
+            {
+              Record.time = p.p_time;
+              reply_time = Some time;
+              client = p.p_client;
+              server = p.p_server;
+              version = p.p_version;
+              xid = r.xid;
+              uid = p.p_uid;
+              gid = p.p_gid;
+              call = p.p_call;
+              result;
+            })
+
+let rm_for t flow =
+  match Flow_tbl.find_opt t.rm flow with
+  | Some rm -> rm
+  | None ->
+      let rm = Rm.create_reassembler () in
+      Flow_tbl.add t.rm flow rm;
+      rm
+
+let feed_packet t ~time data =
+  t.frames <- t.frames + 1;
+  match Frame.decode data with
+  | Error _ -> t.undecodable_frames <- t.undecodable_frames + 1
+  | Ok frame -> (
+      match frame.transport with
+      | Frame.Udp { payload; _ } ->
+          if String.length payload >= 16 then
+            handle_rpc t ~time ~src:frame.src_ip ~dst:frame.dst_ip payload
+          else t.undecodable_frames <- t.undecodable_frames + 1
+      | Frame.Tcp { src_port; dst_port; seq; syn; payload; fin = _ } ->
+          let flow =
+            { Tcp.src_ip = frame.src_ip; src_port; dst_ip = frame.dst_ip; dst_port }
+          in
+          let events = Tcp.push t.tcp flow ~seq ~syn payload in
+          List.iter
+            (fun ev ->
+              match ev with
+              | Tcp.Data bytes ->
+                  let rm = rm_for t flow in
+                  let records = Rm.push rm bytes in
+                  List.iter
+                    (fun msg -> handle_rpc t ~time ~src:frame.src_ip ~dst:frame.dst_ip msg)
+                    records
+              | Tcp.Gap _ ->
+                  (* The stream resynchronised past a hole; any partial
+                     RPC record is unrecoverable. Start clean. *)
+                  Flow_tbl.replace t.rm flow (Rm.create_reassembler ()))
+            events)
+
+let feed_pcap t reader =
+  Seq.iter (fun (p : Pcap.packet) -> feed_packet t ~time:p.time p.data) (Pcap.packets reader)
+
+let finish t =
+  (* Whatever is still pending never got a reply. *)
+  Pending_tbl.iter
+    (fun (_, xid) p ->
+      t.lost_replies <- t.lost_replies + 1;
+      t.emit { (lost_record p) with xid })
+    t.pending;
+  Pending_tbl.reset t.pending;
+  let stats =
+    {
+      frames = t.frames;
+      undecodable_frames = t.undecodable_frames;
+      rpc_messages = t.rpc_messages;
+      rpc_errors = t.rpc_errors;
+      non_nfs = t.non_nfs;
+      calls = t.calls;
+      replies = t.replies;
+      orphan_replies = t.orphan_replies;
+      lost_replies = t.lost_replies;
+      tcp_gaps = Tcp.gaps t.tcp;
+    }
+  in
+  let records =
+    match t.buffer with
+    | None -> []
+    | Some buf ->
+        List.sort (fun (a : Record.t) (b : Record.t) -> Float.compare a.time b.time) !buf
+  in
+  (stats, records)

@@ -1,0 +1,46 @@
+(** The capture engine: packets in, trace records out.
+
+    This is the OCaml equivalent of the paper's modified tcpdump. It
+    decodes Ethernet/IPv4, demultiplexes UDP datagrams and reassembled
+    TCP streams into RPC messages, pairs calls with replies by
+    (client, XID), decodes NFS procedure bodies, and emits one
+    {!Record.t} per call.
+
+    Loss handling follows §4.1.4: a reply whose call was never seen is
+    undecodable (we count it and drop it); a call whose reply never
+    arrives is emitted with [result = None]; TCP stream gaps force RPC
+    resynchronisation and are counted. *)
+
+type stats = {
+  frames : int;  (** link frames presented *)
+  undecodable_frames : int;  (** not IPv4/UDP/TCP, or truncated *)
+  rpc_messages : int;
+  rpc_errors : int;  (** XDR-level parse failures *)
+  non_nfs : int;  (** RPC traffic for other programs *)
+  calls : int;
+  replies : int;
+  orphan_replies : int;  (** reply seen, call lost — both are lost, per the paper *)
+  lost_replies : int;  (** call seen, reply never arrived *)
+  tcp_gaps : int;
+}
+
+val stats_to_string : stats -> string
+
+type t
+
+val create : ?pending_timeout:float -> ?emit:(Record.t -> unit) -> unit -> t
+(** [pending_timeout] (default 60 s): a call unanswered for this long is
+    emitted as reply-lost. [emit] receives records as they complete; when
+    omitted, records accumulate for {!finish}. *)
+
+val feed_packet : t -> time:float -> string -> unit
+(** Process one link-layer frame. Never raises: malformed input is
+    counted in {!stats}. *)
+
+val feed_pcap : t -> Nt_net.Pcap.reader -> unit
+(** Drain a pcap stream through {!feed_packet}. *)
+
+val finish : t -> stats * Record.t list
+(** Flush unanswered calls, then return statistics and all buffered
+    records sorted by call time (empty list if an [emit] sink was
+    given). *)

@@ -1,0 +1,57 @@
+(** Trace records: one per NFS call observed, with its reply if seen.
+
+    This is the unit every analysis consumes and the unit the
+    anonymizer rewrites. The text form is a stable, line-oriented,
+    key=value format in the spirit of nfsdump; [to_line]/[of_line]
+    round-trip, so traces can be saved, anonymized offline, shared, and
+    re-analyzed — the workflow the paper's tools support. *)
+
+type t = {
+  time : float;  (** call timestamp (seconds since epoch) *)
+  reply_time : float option;  (** reply timestamp; [None] if the reply was lost *)
+  client : Nt_net.Ip_addr.t;
+  server : Nt_net.Ip_addr.t;
+  version : int;  (** 2 or 3 *)
+  xid : int;
+  uid : int;
+  gid : int;
+  call : Nt_nfs.Ops.call;
+  result : Nt_nfs.Ops.result option;
+}
+
+val proc : t -> Nt_nfs.Proc.t
+
+val fh : t -> Nt_nfs.Fh.t option
+(** Handle the call operates on (directory handle for name ops). *)
+
+val target_fh : t -> Nt_nfs.Fh.t option
+(** Handle of the object the call ultimately concerns: for LOOKUP and
+    CREATE-style calls this is the handle returned in the reply. *)
+
+val name : t -> string option
+val offset : t -> int64 option
+val count : t -> int option
+
+val io_bytes : t -> int
+(** Bytes moved by READ/WRITE (from the reply when present, otherwise
+    the call); 0 for other procedures. *)
+
+val post_size : t -> int64 option
+(** File size after the call, from post-op attributes in the reply. *)
+
+val post_fattr : t -> Nt_nfs.Types.fattr option
+
+val status : t -> Nt_nfs.Types.nfsstat option
+(** [None] when the reply was lost. *)
+
+val is_ok : t -> bool
+(** True when a reply was seen and it carries NFS3_OK. *)
+
+val to_line : t -> string
+val of_line : string -> (t, string) result
+
+val write_channel : out_channel -> t Seq.t -> int
+(** Stream records to a channel, one line each; returns the count. *)
+
+val read_channel : in_channel -> t Seq.t
+(** Lazily parse records; malformed lines are skipped. *)

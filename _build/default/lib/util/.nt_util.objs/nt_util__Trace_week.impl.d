@@ -1,0 +1,1 @@
+lib/util/trace_week.ml: Array Float Printf

@@ -1,0 +1,89 @@
+let exponential rng ~rate =
+  assert (rate > 0.);
+  (* 1 - u avoids log 0 since unit_float is in [0,1). *)
+  -.log (1. -. Prng.unit_float rng) /. rate
+
+let uniform rng ~lo ~hi = lo +. Prng.float rng (hi -. lo)
+
+let normal rng ~mean ~stddev =
+  let u1 = 1. -. Prng.unit_float rng in
+  let u2 = Prng.unit_float rng in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let pareto rng ~alpha ~x_min =
+  assert (alpha > 0. && x_min > 0.);
+  x_min /. ((1. -. Prng.unit_float rng) ** (1. /. alpha))
+
+let geometric rng ~p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = 1. -. Prng.unit_float rng in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let poisson rng ~mean =
+  assert (mean >= 0.);
+  if mean = 0. then 0
+  else if mean > 60. then
+    (* Normal approximation; adequate for load modelling. *)
+    max 0 (int_of_float (Float.round (normal rng ~mean ~stddev:(sqrt mean))))
+  else
+    let l = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. Prng.unit_float rng in
+      if p <= l then k else loop (k + 1) p
+    in
+    loop 0 1.
+
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  assert (n > 0);
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for rank = 1 to n do
+    total := !total +. (1. /. (float_of_int rank ** s));
+    cdf.(rank - 1) <- !total
+  done;
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. !total
+  done;
+  { cdf }
+
+let zipf_n z = Array.length z.cdf
+
+let bisect cdf target =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < target then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length cdf - 1)
+
+let zipf_draw rng z =
+  let u = Prng.unit_float rng in
+  1 + bisect z.cdf u
+
+type 'a weighted = { values : 'a array; wcdf : float array }
+
+let weighted pairs =
+  assert (pairs <> []);
+  let values = Array.of_list (List.map fst pairs) in
+  let wcdf = Array.make (Array.length values) 0. in
+  let total = ref 0. in
+  List.iteri
+    (fun i (_, w) ->
+      assert (w > 0.);
+      total := !total +. w;
+      wcdf.(i) <- !total)
+    pairs;
+  Array.iteri (fun i v -> wcdf.(i) <- v /. !total) wcdf;
+  { values; wcdf }
+
+let weighted_draw rng w =
+  let u = Prng.unit_float rng in
+  w.values.(bisect w.wcdf u)

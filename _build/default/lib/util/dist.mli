@@ -1,0 +1,44 @@
+(** Random variates for the workload models.
+
+    Each sampler takes the {!Prng.t} explicitly; none keeps hidden state.
+    Parameterisations follow the usual conventions (rates, not scales,
+    for the exponential; log-space mean/sigma for the lognormal). *)
+
+val exponential : Prng.t -> rate:float -> float
+(** Inter-arrival times. [rate] is events per unit time; result > 0. *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+
+val lognormal : Prng.t -> mu:float -> sigma:float -> float
+(** [exp (mu + sigma * N(0,1))]. Used for mailbox and file sizes. *)
+
+val normal : Prng.t -> mean:float -> stddev:float -> float
+(** Box–Muller. *)
+
+val pareto : Prng.t -> alpha:float -> x_min:float -> float
+(** Heavy-tailed sizes (large research data files). *)
+
+val geometric : Prng.t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; >= 0. *)
+
+val poisson : Prng.t -> mean:float -> int
+(** Knuth's method for small means, normal approximation above 60. *)
+
+type zipf
+(** Precomputed Zipf sampler over ranks [1..n]. *)
+
+val zipf : n:int -> s:float -> zipf
+(** Build a sampler with exponent [s] over [n] ranks. O(n) setup. *)
+
+val zipf_draw : Prng.t -> zipf -> int
+(** Rank in [\[1, n\]]; rank 1 is the most popular. O(log n). *)
+
+val zipf_n : zipf -> int
+
+type 'a weighted
+(** Discrete distribution over arbitrary values. *)
+
+val weighted : ('a * float) list -> 'a weighted
+(** Weights must be positive; they need not sum to 1. *)
+
+val weighted_draw : Prng.t -> 'a weighted -> 'a

@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix64 seed)
+
+let copy t = { state = t.state }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t n =
+  assert (n > 0);
+  if n <= 1 lsl 30 then begin
+    (* Rejection sampling over 30 bits to avoid modulo bias. *)
+    let mask = n - 1 in
+    if n land mask = 0 then bits30 t land mask
+    else
+      let rec draw () =
+        let r = bits30 t in
+        let v = r mod n in
+        if r - v + (n - 1) < 0 then draw () else v
+      in
+      draw ()
+  end
+  else
+    (* Large ranges: take 62 bits and reduce; bias is negligible for the
+       range sizes used in this project (file offsets, inode counts). *)
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    r mod n
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let float t x = unit_float t *. x
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p = unit_float t < p
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,62 @@
+let seconds_per_hour = 3600.
+let seconds_per_day = 86400.
+
+(* Unix time of 2001-10-21 00:00:00 UTC, a Sunday. *)
+let week_start = 1003622400.
+let week_end = week_start +. (7. *. seconds_per_day)
+
+type day = Sun | Mon | Tue | Wed | Thu | Fri | Sat
+
+let day_to_string = function
+  | Sun -> "Sun"
+  | Mon -> "Mon"
+  | Tue -> "Tue"
+  | Wed -> "Wed"
+  | Thu -> "Thu"
+  | Fri -> "Fri"
+  | Sat -> "Sat"
+
+let days = [| Sun; Mon; Tue; Wed; Thu; Fri; Sat |]
+
+let day_number t =
+  let d = int_of_float (Float.floor ((t -. week_start) /. seconds_per_day)) in
+  ((d mod 7) + 7) mod 7
+
+let day_of_time t = days.(day_number t)
+
+let seconds_into_day t =
+  let s = Float.rem (t -. week_start) seconds_per_day in
+  if s < 0. then s +. seconds_per_day else s
+
+let hour_of_time t = int_of_float (seconds_into_day t /. seconds_per_hour)
+
+let hour_index t = int_of_float (Float.floor ((t -. week_start) /. seconds_per_hour))
+
+let is_weekday = function Mon | Tue | Wed | Thu | Fri -> true | Sun | Sat -> false
+
+let is_peak t =
+  let h = hour_of_time t in
+  is_weekday (day_of_time t) && h >= 9 && h < 18
+
+let day_index = function
+  | Sun -> 0
+  | Mon -> 1
+  | Tue -> 2
+  | Wed -> 3
+  | Thu -> 4
+  | Fri -> 5
+  | Sat -> 6
+
+let time_of ~day ~hour ~minute =
+  week_start
+  +. (float_of_int (day_index day) *. seconds_per_day)
+  +. (float_of_int hour *. seconds_per_hour)
+  +. (float_of_int minute *. 60.)
+
+let format t =
+  let day = day_to_string (day_of_time t) in
+  let s = seconds_into_day t in
+  let h = int_of_float (s /. 3600.) in
+  let m = int_of_float (Float.rem s 3600. /. 60.) in
+  let sec = Float.rem s 60. in
+  Printf.sprintf "%s %02d:%02d:%06.3f" day h m sec

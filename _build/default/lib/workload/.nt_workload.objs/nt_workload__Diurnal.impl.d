@@ -1,0 +1,1 @@
+lib/workload/diurnal.ml: Array Float Nt_util

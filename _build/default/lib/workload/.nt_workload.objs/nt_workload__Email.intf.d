@@ -1,0 +1,1 @@
+lib/workload/email.mli: Nt_sim Nt_trace

@@ -1,0 +1,1 @@
+lib/workload/io_patterns.ml: Array Int64 List Nt_sim Nt_util

@@ -1,0 +1,1 @@
+lib/workload/io_patterns.mli: Nt_nfs Nt_sim Nt_util

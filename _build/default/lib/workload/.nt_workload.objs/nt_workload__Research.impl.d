@@ -1,0 +1,1 @@
+lib/workload/research.ml: Array Diurnal Float Int64 Io_patterns List Nt_net Nt_nfs Nt_sim Nt_util Option Printf

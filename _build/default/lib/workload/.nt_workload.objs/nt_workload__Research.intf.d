@@ -1,0 +1,1 @@
+lib/workload/research.mli: Nt_sim Nt_trace

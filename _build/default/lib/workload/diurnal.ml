@@ -1,0 +1,52 @@
+module Tw = Nt_util.Trace_week
+
+(* Piecewise-linear hourly shapes, normalised so weekday values peak
+   near 2.0 with a mean around 1.0 across the week. Interpolating
+   between hour points avoids stair-step artifacts in Figure 4. *)
+
+let campus_weekday =
+  [| 0.25; 0.15; 0.10; 0.08; 0.08; 0.10; 0.20; 0.45; 0.90; 1.60; 1.90; 2.00;
+     1.95; 1.90; 1.95; 2.00; 1.95; 1.80; 1.55; 1.30; 1.15; 1.00; 0.70; 0.40 |]
+
+let campus_weekend =
+  [| 0.20; 0.12; 0.08; 0.06; 0.06; 0.08; 0.12; 0.20; 0.35; 0.55; 0.75; 0.90;
+     0.95; 0.95; 0.90; 0.90; 0.85; 0.80; 0.75; 0.70; 0.65; 0.55; 0.40; 0.28 |]
+
+let eecs_weekday =
+  [| 0.45; 0.35; 0.30; 0.30; 0.30; 0.30; 0.35; 0.50; 0.80; 1.30; 1.60; 1.70;
+     1.60; 1.65; 1.75; 1.80; 1.75; 1.60; 1.40; 1.20; 1.10; 1.00; 0.80; 0.60 |]
+
+let eecs_weekend =
+  [| 0.40; 0.32; 0.28; 0.26; 0.26; 0.28; 0.30; 0.35; 0.45; 0.60; 0.70; 0.80;
+     0.85; 0.85; 0.80; 0.80; 0.80; 0.75; 0.75; 0.70; 0.70; 0.65; 0.55; 0.45 |]
+
+(* Cron activity clusters in the small hours every night. *)
+let eecs_batch =
+  [| 1.8; 2.6; 3.2; 3.4; 3.0; 2.0; 1.0; 0.5; 0.3; 0.3; 0.3; 0.3;
+     0.3; 0.3; 0.3; 0.3; 0.3; 0.3; 0.4; 0.5; 0.6; 0.8; 1.0; 1.4 |]
+
+let interp shape t =
+  let hour = float_of_int (Tw.hour_of_time t) in
+  let frac =
+    let s = Float.rem (t -. Tw.week_start) 3600. in
+    (if s < 0. then s +. 3600. else s) /. 3600.
+  in
+  let h0 = int_of_float hour in
+  let h1 = (h0 + 1) mod 24 in
+  shape.(h0) +. (frac *. (shape.(h1) -. shape.(h0)))
+
+let pick ~weekday ~weekend t =
+  if Tw.is_weekday (Tw.day_of_time t) then interp weekday t else interp weekend t
+
+let campus_intensity t = pick ~weekday:campus_weekday ~weekend:campus_weekend t
+let eecs_interactive_intensity t = pick ~weekday:eecs_weekday ~weekend:eecs_weekend t
+let eecs_batch_intensity t = interp eecs_batch t
+
+let weekly_mean f =
+  let step = 600. in
+  let n = int_of_float ((Tw.week_end -. Tw.week_start) /. step) in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    sum := !sum +. f (Tw.week_start +. (float_of_int i *. step))
+  done;
+  !sum /. float_of_int n

@@ -1,0 +1,23 @@
+(** Time-of-day / day-of-week load modulation (paper §6.2).
+
+    CAMPUS load is "utterly dominated by the daily rhythms of user
+    activity": peak 9am–6pm weekdays, deep night troughs, quieter
+    weekends. EECS has the same peak definition but weaker correlation
+    with the work week, plus night-time batch (cron) activity that
+    produces off-peak spikes.
+
+    Intensities are relative multipliers with a weekly mean of about
+    1.0, so a caller multiplies its base rate by [intensity t]. *)
+
+val campus_intensity : float -> float
+(** Interactive email/login intensity at absolute time [t]. *)
+
+val eecs_interactive_intensity : float -> float
+(** Research-hours intensity: office-hours hump, softer weekend dip. *)
+
+val eecs_batch_intensity : float -> float
+(** Cron-driven load: concentrated in the small hours. *)
+
+val weekly_mean : (float -> float) -> float
+(** Mean of an intensity over the trace week (for normalisation
+    checks); sampled every 10 minutes. *)

@@ -1,0 +1,445 @@
+module Prng = Nt_util.Prng
+module Dist = Nt_util.Dist
+module Tw = Nt_util.Trace_week
+module Ip_addr = Nt_net.Ip_addr
+module Fh = Nt_nfs.Fh
+module Engine = Nt_sim.Engine
+module Server = Nt_sim.Server
+module Sim_fs = Nt_sim.Sim_fs
+module Client = Nt_sim.Client
+
+type config = {
+  users : int;
+  seed : int64;
+  scale_note : float;
+  sessions_per_user_day : float;
+  deliveries_per_user_day : float;
+  pop_checks_per_user_day : float;
+  mailbox_median_bytes : float;
+  mailbox_sigma : float;
+  message_median_bytes : float;
+  message_sigma : float;
+  rescan_interval : float;
+  checkpoint_interval : float;
+  session_mean_duration : float;
+  compose_prob : float;
+  expunge_prob : float;
+  file_based_caching : bool;
+      (* true = NFS's whole-file invalidation (the paper's reality);
+         false = the paper's 6.1.2 counterfactual, block/message-level
+         caching where clients fetch only what changed *)
+}
+
+let default_config =
+  {
+    users = 100;
+    seed = 1003L;
+    scale_note = 0.01;
+    sessions_per_user_day = 1.35;
+    deliveries_per_user_day = 1.8;
+    pop_checks_per_user_day = 12.0;
+    mailbox_median_bytes = 1_500_000.;
+    mailbox_sigma = 0.9;
+    message_median_bytes = 3_500.;
+    message_sigma = 1.1;
+    rescan_interval = 60.;
+    checkpoint_interval = 750.;
+    session_mean_duration = 1800.;
+    compose_prob = 0.025;
+    expunge_prob = 0.45;
+    file_based_caching = true;
+  }
+
+type user = {
+  index : int;
+  uid : int;
+  gid : int;
+  uname : string;
+  mutable in_session : bool;
+  mutable compose_seq : int;
+  login_host : int;  (** index into login clients *)
+}
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  server : Server.t;
+  rng : Prng.t;
+  users : user array;
+  smtp_client : Client.t;
+  pop_clients : Client.t array;
+  login_clients : Client.t array;
+  activity : Dist.zipf;  (** which users get the mail / log in most *)
+  mutable stop : float;
+  mutable sessions_started : int;
+  mutable deliveries_made : int;
+}
+
+let quota = 50_000_000. (* the CAMPUS 50 MB home quota *)
+
+let mailbox_size cfg rng =
+  let mu = log cfg.mailbox_median_bytes in
+  Float.min (quota *. 0.8) (Float.max 4096. (Dist.lognormal rng ~mu ~sigma:cfg.mailbox_sigma))
+
+let message_size cfg rng =
+  let mu = log cfg.message_median_bytes in
+  (* Occasional large attachments. *)
+  if Prng.chance rng 0.09 then Dist.uniform rng ~lo:50_000. ~hi:350_000.
+  else Float.max 400. (Dist.lognormal rng ~mu ~sigma:cfg.message_sigma)
+
+let uname_of i = Printf.sprintf "u%04d" i
+
+(* --- initial file system population (no trace records emitted) --- *)
+
+let populate (cfg : config) rng server =
+  let fs = Server.fs server in
+  let t0 = Tw.week_start -. (30. *. 86400.) in
+  let users_dir = Sim_fs.mkdir_path fs ~time:t0 [ "users" ] in
+  for i = 0 to cfg.users - 1 do
+    let home =
+      Sim_fs.mkdir fs ~time:t0 ~parent:users_dir ~name:(uname_of i) ~mode:0o755
+    in
+    let file name size =
+      let n =
+        Sim_fs.create_file fs ~time:t0 ~parent:home ~name ~mode:0o644 ~uid:(1000 + i) ~gid:100
+      in
+      Sim_fs.write fs ~time:t0 n ~offset:0L ~count:size
+    in
+    file ".cshrc" (600 + Prng.int rng 600);
+    file ".login" (250 + Prng.int rng 300);
+    file ".pinerc" (11_000 + Prng.int rng 15_000);
+    file ".addressbook" (1_500 + Prng.int rng 8_000);
+    file ".inbox" (int_of_float (mailbox_size cfg rng));
+    (* Saved-mail folders. *)
+    let mail = Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:"mail" ~mode:0o700 in
+    let folders = 1 + Prng.int rng 4 in
+    for f = 0 to folders - 1 do
+      let n =
+        Sim_fs.create_file fs ~time:t0 ~parent:mail
+          ~name:(Printf.sprintf "saved-%02d" f)
+          ~mode:0o600 ~uid:(1000 + i) ~gid:100
+      in
+      Sim_fs.write fs ~time:t0 n ~offset:0L
+        ~count:(int_of_float (Float.max 2000. (Dist.lognormal rng ~mu:(log 80_000.) ~sigma:1.2)))
+    done
+  done
+
+let setup cfg ~engine ~server ~sink =
+  let rng = Prng.create cfg.seed in
+  populate cfg rng server;
+  let mk_client ip =
+    let cfg =
+      { (Client.default_config ~ip ~version:3) with
+        nfsiods = 8; reorder_prob = 0.8; reorder_mean = 0.005; reorder_cap = 0.0085;
+        cache_capacity = 1024 * 1024 * 1024 }
+    in
+    Client.create cfg ~server ~sink ~rng:(Prng.split rng)
+  in
+  let smtp_client = mk_client (Ip_addr.v 10 1 0 10) in
+  let pop_clients = Array.init 2 (fun i -> mk_client (Ip_addr.v 10 1 0 (20 + i))) in
+  let login_clients = Array.init 2 (fun i -> mk_client (Ip_addr.v 10 1 0 (30 + i))) in
+  let users =
+    Array.init cfg.users (fun i ->
+        {
+          index = i;
+          uid = 1000 + i;
+          gid = 100;
+          uname = uname_of i;
+          in_session = false;
+          compose_seq = 0;
+          login_host = Prng.int rng (Array.length login_clients);
+        })
+  in
+  {
+    config = cfg;
+    engine;
+    server;
+    rng;
+    users;
+    smtp_client;
+    pop_clients;
+    login_clients;
+    activity = Dist.zipf ~n:cfg.users ~s:0.6;
+    stop = infinity;
+    sessions_started = 0;
+    deliveries_made = 0;
+  }
+
+let pick_user t = t.users.(Dist.zipf_draw t.rng t.activity - 1)
+
+let home_path u = [ "users"; u.uname ]
+let inbox_path u = home_path u @ [ ".inbox" ]
+
+(* Resolve the user's home and inbox through the client (cheap once the
+   dnlc is warm), then run [f] under the inbox lock. *)
+let with_inbox_lock s u ~f =
+  match Client.lookup_path s (home_path u) with
+  | None -> ()
+  | Some home -> (
+      match Client.lookup_path s (inbox_path u) with
+      | None -> ()
+      | Some inbox ->
+          let lock_name = ".inbox.lock" in
+          (match Client.create_file s ~dir:home ~name:lock_name ~mode:0o600 () with
+          | Some _lock_fh ->
+              f ~home ~inbox;
+              Client.remove s ~dir:home ~name:lock_name
+          | None ->
+              (* Lock collision: retry-less skip, like mail.local backing off. *)
+              ()))
+
+(* Fetch only the newly appended tail of the mailbox (mail clients
+   track how much of the file they have already parsed); occasionally a
+   client rescans the whole file instead (e.g. after an expunge by
+   another session). *)
+let refresh_mailbox t s inbox ~full_prob =
+  if Prng.chance t.rng full_prob then ignore (Client.read_whole s inbox)
+  else begin
+    match Client.cached_size s inbox with
+    | Some size when Int64.compare size 0L > 0 ->
+        let size = Int64.to_int size in
+        let frac = Dist.uniform t.rng ~lo:0.02 ~hi:0.10 in
+        let tail = max 2048 (int_of_float (float_of_int size *. frac)) in
+        let offset = max 0 (size - tail) in
+        ignore (Client.read s inbox ~offset:(Int64.of_int offset) ~len:(size - offset))
+    | _ -> ignore (Client.read_whole s inbox)
+  end
+
+(* Jump to a particular message without a full scan: a few page-sized
+   reads at essentially random offsets (the client knows the byte range
+   of each message from its last parse). *)
+let message_fetch t s inbox =
+  match Client.cached_size s inbox with
+  | Some size when Int64.compare size 65536L > 0 ->
+      let size = Int64.to_int size in
+      let pages = 2 + Prng.int t.rng 3 in
+      for _ = 1 to pages do
+        let off = Prng.int t.rng (max 1 (size - 16384)) in
+        ignore (Client.read s inbox ~offset:(Int64.of_int off) ~len:(8192 + Prng.int t.rng 8192))
+      done
+  | _ -> ()
+
+(* Update message status flags in place (what clients like mutt do
+   instead of rewriting the whole file). *)
+let flag_update t s inbox ~with_read =
+  match Client.cached_size s inbox with
+  | Some size when Int64.compare size 65536L > 0 ->
+      let size = Int64.to_int size in
+      let touches = 2 + Prng.int t.rng 4 in
+      for _ = 1 to touches do
+        let off = Prng.int t.rng (max 1 (size - 8192)) in
+        if with_read then
+          ignore (Client.read s inbox ~offset:(Int64.of_int off) ~len:4096);
+        Client.write s inbox ~offset:(Int64.of_int off) ~len:(200 + Prng.int t.rng 600) ~sync:true
+      done
+  | _ -> ()
+
+(* --- SMTP delivery --- *)
+
+let deliver t time =
+  t.deliveries_made <- t.deliveries_made + 1;
+  let u = pick_user t in
+  let s = Client.session t.smtp_client ~time ~uid:1 ~gid:1 in
+  (* mail.local drains the queue: often several messages arrive under
+     one lock acquisition. *)
+  let batch = 1 + Dist.geometric t.rng ~p:0.6 in
+  let size = ref 0 in
+  for _ = 1 to batch do
+    size := !size + int_of_float (message_size t.config t.rng)
+  done;
+  with_inbox_lock s u ~f:(fun ~home:_ ~inbox ->
+      let current = Option.value (Client.cached_size s inbox) ~default:0L in
+      if Int64.to_float current +. float_of_int !size < quota then
+        Client.append s inbox ~len:!size ~sync:true)
+
+(* --- interactive mail session --- *)
+
+let compose_tick t s u ~home =
+  let name = Printf.sprintf "pine-tmp-%04d-%03d" u.index u.compose_seq in
+  u.compose_seq <- u.compose_seq + 1;
+  let size =
+    Float.min 40_000. (Float.max 200. (Dist.lognormal t.rng ~mu:(log 2_000.) ~sigma:1.0))
+  in
+  (match Client.create_file s ~dir:home ~name ~mode:0o600 () with
+  | Some fh ->
+      Client.write s fh ~offset:0L ~len:(int_of_float size) ~sync:true;
+      (* The composer file is deleted when the draft is sent: usually
+         within a minute, occasionally after much longer. *)
+      let linger =
+        if Prng.chance t.rng 0.45 then Dist.uniform t.rng ~lo:5. ~hi:55.
+        else Dist.exponential t.rng ~rate:(1. /. 300.)
+      in
+      let del_time = Client.now s +. linger in
+      Engine.schedule t.engine del_time (fun () ->
+          let s' = Client.session (t.login_clients.(u.login_host)) ~time:del_time ~uid:u.uid ~gid:u.gid in
+          match Client.lookup_path s' (home_path u) with
+          | Some home -> Client.remove s' ~dir:home ~name
+          | None -> ())
+  | None -> ())
+
+(* Pine rewrites the mailbox from the first modified message onward: a
+   mid-session checkpoint usually touches only a tail of the file, the
+   final quit-time expunge rewrites the whole file. *)
+let rewrite_mailbox t s inbox ~mode =
+  match Client.getattr s inbox with
+  | None -> ()
+  | Some attr ->
+      let old_size = Int64.to_int attr.size in
+      if old_size > 0 then begin
+        match mode with
+        | `Checkpoint ->
+            let dirty_frac = Dist.uniform t.rng ~lo:0.12 ~hi:0.42 in
+            let from = int_of_float (float_of_int old_size *. (1. -. dirty_frac)) in
+            Client.write s inbox ~offset:(Int64.of_int from) ~len:(old_size - from) ~sync:false
+        | `Quit shrink ->
+            let new_size =
+              if shrink then
+                let frac = Dist.uniform t.rng ~lo:0.02 ~hi:0.08 in
+                int_of_float (float_of_int old_size *. (1. -. frac))
+              else old_size
+            in
+            (* An expunge compacts message by message and revisits
+               headers, so the rewrite seeks (Figure 5's ~0.6-sequential
+               long writes); a flags-only rewrite streams in order. *)
+            let jump_prob = if shrink then 0.55 else 0. in
+            Io_patterns.seeky_write t.rng s inbox ~total:new_size ~seg_min:8_000 ~seg_max:16_000
+              ~jump_prob ~sync:false;
+            if new_size < old_size then Client.truncate s inbox (Int64.of_int new_size)
+      end
+
+let rec session_poll t u ~session_end ~last_checkpoint time =
+  if time < t.stop && time < session_end then begin
+    let client = t.login_clients.(u.login_host) in
+    let s = Client.session client ~time ~uid:u.uid ~gid:u.gid in
+    (match Client.lookup_path s (home_path u) with
+    | None -> ()
+    | Some home -> (
+        match Client.lookup_path s (inbox_path u) with
+        | None -> ()
+        | Some inbox ->
+            (* Pine's periodic new-mail check. *)
+            (match Client.open_file s inbox with
+            | `Cached -> ()
+            | `Changed ->
+                with_inbox_lock s u ~f:(fun ~home:_ ~inbox ->
+                    let full_prob = if t.config.file_based_caching then 0.35 else 0.02 in
+                    refresh_mailbox t s inbox ~full_prob)
+            | `Error -> ());
+            if Prng.chance t.rng t.config.compose_prob then compose_tick t s u ~home;
+            (* Reading an individual message the client has not cached. *)
+            if Prng.chance t.rng 0.06 then message_fetch t s inbox;
+            (* Some clients update status flags in place. *)
+            if Prng.chance t.rng 0.012 then
+              flag_update t s inbox ~with_read:(Prng.chance t.rng 0.4);
+            (* Occasional folder activity: save or re-read old mail. *)
+            if Prng.chance t.rng 0.02 then begin
+              match Client.lookup_path s (home_path u @ [ "mail"; "saved-00" ]) with
+              | Some folder ->
+                  if Prng.chance t.rng 0.5 then Client.append s folder ~len:(2_000 + Prng.int t.rng 6_000) ~sync:true
+                  else ignore (Client.read_whole s folder)
+              | None -> ()
+            end));
+    let checkpoint_due = time -. last_checkpoint >= t.config.checkpoint_interval in
+    let last_checkpoint =
+      if checkpoint_due then begin
+        (match Client.lookup_path s (inbox_path u) with
+        | Some inbox -> with_inbox_lock s u ~f:(fun ~home:_ ~inbox:_ -> rewrite_mailbox t s inbox ~mode:`Checkpoint)
+        | None -> ());
+        time
+      end
+      else last_checkpoint
+    in
+    let next = time +. t.config.rescan_interval *. Dist.uniform t.rng ~lo:0.8 ~hi:1.2 in
+    Engine.schedule t.engine next (fun () -> session_poll t u ~session_end ~last_checkpoint next)
+  end
+  else session_quit t u (Float.min time t.stop)
+
+and session_quit t u time =
+  if time < t.stop then begin
+    let client = t.login_clients.(u.login_host) in
+    let s = Client.session client ~time ~uid:u.uid ~gid:u.gid in
+    (match Client.lookup_path s (inbox_path u) with
+    | Some inbox ->
+        let shrink = Prng.chance t.rng t.config.expunge_prob in
+        with_inbox_lock s u ~f:(fun ~home:_ ~inbox:_ -> rewrite_mailbox t s inbox ~mode:(`Quit shrink))
+    | None -> ())
+  end;
+  u.in_session <- false
+
+let start_session t time =
+  let u = pick_user t in
+  if not u.in_session then begin
+    u.in_session <- true;
+    t.sessions_started <- t.sessions_started + 1;
+    let client = t.login_clients.(u.login_host) in
+    let s = Client.session client ~time ~uid:u.uid ~gid:u.gid in
+    (* Shell login: read .cshrc (and often .login). *)
+    (match Client.lookup_path s (home_path u @ [ ".cshrc" ]) with
+    | Some fh ->
+        (match Client.open_file s fh with
+        | `Changed -> ignore (Client.read_whole s fh)
+        | `Cached | `Error -> ())
+    | None -> ());
+    if Prng.chance t.rng 0.5 then begin
+      match Client.lookup_path s (home_path u @ [ ".login" ]) with
+      | Some fh -> (
+          match Client.open_file s fh with
+          | `Changed -> ignore (Client.read_whole s fh)
+          | `Cached | `Error -> ())
+      | None -> ()
+    end;
+    (* Pine startup: config then a full locked mailbox scan. *)
+    (match Client.lookup_path s (home_path u @ [ ".pinerc" ]) with
+    | Some fh -> (
+        match Client.open_file s fh with
+        | `Changed -> ignore (Client.read_whole s fh)
+        | `Cached | `Error -> ())
+    | None -> ());
+    with_inbox_lock s u ~f:(fun ~home:_ ~inbox -> ignore (Client.read_whole s inbox));
+    let duration = Dist.exponential t.rng ~rate:(1. /. t.config.session_mean_duration) in
+    let duration = Float.max 120. (Float.min 7200. duration) in
+    let session_end = Client.now s +. duration in
+    let first_poll = Client.now s +. t.config.rescan_interval in
+    Engine.schedule t.engine first_poll (fun () ->
+        session_poll t u ~session_end ~last_checkpoint:time first_poll)
+  end
+
+(* --- POP checks --- *)
+
+let pop_check t time =
+  let u = pick_user t in
+  let client = t.pop_clients.(u.index mod Array.length t.pop_clients) in
+  let s = Client.session client ~time ~uid:u.uid ~gid:u.gid in
+  with_inbox_lock s u ~f:(fun ~home:_ ~inbox ->
+      match Client.open_file s inbox with
+      | `Changed ->
+          let full_prob = if t.config.file_based_caching then 0.85 else 0.02 in
+          refresh_mailbox t s inbox ~full_prob
+      | `Cached | `Error -> ())
+
+(* --- non-homogeneous Poisson drivers --- *)
+
+let rec drive t ~base_rate ~intensity ~action time =
+  if time < t.stop then begin
+    action t time;
+    let rate = Float.max 1e-9 (base_rate *. intensity time) in
+    let next = time +. Dist.exponential t.rng ~rate in
+    Engine.schedule t.engine next (fun () -> drive t ~base_rate ~intensity ~action next)
+  end
+
+let schedule t ~start ~stop =
+  t.stop <- stop;
+  let cfg = t.config in
+  let per_sec daily = float_of_int cfg.users *. daily /. 86400. in
+  let arm ~base_rate ~action =
+    (* Desynchronise process starts slightly. *)
+    let first = start +. Prng.float t.rng 30. in
+    Engine.schedule t.engine first (fun () ->
+        drive t ~base_rate ~intensity:Diurnal.campus_intensity ~action first)
+  in
+  arm ~base_rate:(per_sec cfg.deliveries_per_user_day) ~action:(fun t time -> deliver t time);
+  arm ~base_rate:(per_sec cfg.sessions_per_user_day) ~action:(fun t time -> start_session t time);
+  arm ~base_rate:(per_sec cfg.pop_checks_per_user_day) ~action:(fun t time -> pop_check t time)
+
+let sessions_started t = t.sessions_started
+let deliveries_made t = t.deliveries_made

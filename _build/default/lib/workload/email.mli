@@ -1,0 +1,66 @@
+(** The CAMPUS workload: a central-computing email population (§3.2,
+    §6.1.2).
+
+    Mechanisms modelled, each traceable to a paper observation:
+
+    - flat-file inboxes inside user home directories; mailboxes are
+      never deleted and account for >95% of bytes moved;
+    - SMTP delivery appends to the inbox under a short-lived zero-length
+      lock file (99.9% of locks live < 0.40 s; 96% of files created and
+      deleted in a day are locks);
+    - interactive mail sessions: read config dot-files, lock + scan the
+      whole inbox, poll with GETATTR, re-read the whole file after any
+      delivery (NFS file-granularity caching), checkpoint and final
+      rewrite of the mailbox (blocks die almost exclusively by
+      overwrite, living roughly one mail-session: 10 min – 1 h);
+    - POP checks from shared POP server hosts, whose caches are
+      invalidated by deliveries, producing the bulk of read traffic;
+    - mail-composer temporary files (98% under 8 KB, half living
+      under a minute);
+    - everything modulated by the strong CAMPUS diurnal cycle.
+
+    All clients speak NFSv3 (over TCP on the wire path). *)
+
+type config = {
+  users : int;
+  seed : int64;
+  scale_note : float;  (** fraction of the paper's 10,000-user population *)
+  sessions_per_user_day : float;
+  deliveries_per_user_day : float;
+  pop_checks_per_user_day : float;
+  mailbox_median_bytes : float;
+  mailbox_sigma : float;  (** lognormal shape for mailbox sizes *)
+  message_median_bytes : float;
+  message_sigma : float;
+  rescan_interval : float;  (** mail-client poll period, seconds *)
+  checkpoint_interval : float;  (** mid-session mailbox rewrite period *)
+  session_mean_duration : float;
+  compose_prob : float;  (** chance a poll tick starts a composition *)
+  expunge_prob : float;  (** chance a session ends with deletions *)
+  file_based_caching : bool;
+      (** true: NFS file-granularity invalidation (reality); false: the
+          §6.1.2 counterfactual where clients cache mailboxes at
+          block/message granularity and fetch only new data *)
+}
+
+val default_config : config
+(** 100 users ≈ 1/100 of CAMPUS, calibrated against Table 2. *)
+
+type t
+
+val setup :
+  config ->
+  engine:Nt_sim.Engine.t ->
+  server:Nt_sim.Server.t ->
+  sink:(Nt_trace.Record.t -> unit) ->
+  t
+(** Populate the server file system (home directories, dot files,
+    mailboxes) and create the SMTP / POP / login client hosts. Setup
+    happens outside the traced window, so it emits no records. *)
+
+val schedule : t -> start:float -> stop:float -> unit
+(** Arm the delivery, session and POP processes for the window. Run the
+    engine afterwards to generate traffic. *)
+
+val sessions_started : t -> int
+val deliveries_made : t -> int

@@ -1,0 +1,547 @@
+module Prng = Nt_util.Prng
+module Dist = Nt_util.Dist
+module Tw = Nt_util.Trace_week
+module Ip_addr = Nt_net.Ip_addr
+module Fh = Nt_nfs.Fh
+module Engine = Nt_sim.Engine
+module Server = Nt_sim.Server
+module Sim_fs = Nt_sim.Sim_fs
+module Client = Nt_sim.Client
+
+type config = {
+  users : int;
+  seed : int64;
+  scale_note : float;
+  v2_fraction : float;
+  edit_bursts_per_user_day : float;
+  compiles_per_user_day : float;
+  browse_sessions_per_user_day : float;
+  applet_churn_per_user_day : float;
+  log_writers_per_user : float;
+  cron_jobs_per_night : float;
+  source_files_per_user : int;
+}
+
+let default_config =
+  {
+    users = 40;
+    seed = 2003L;
+    scale_note = 0.01;
+    v2_fraction = 0.3;
+    edit_bursts_per_user_day = 2.5;
+    compiles_per_user_day = 2.2;
+    browse_sessions_per_user_day = 1.0;
+    applet_churn_per_user_day = 2.5;
+    log_writers_per_user = 9.0;  (* log bursts per user-day *)
+    cron_jobs_per_night = 13.0;
+    source_files_per_user = 24;
+  }
+
+type user = {
+  index : int;
+  uid : int;
+  gid : int;
+  uname : string;
+  client : Client.t;  (** the user's own workstation *)
+  rng : Prng.t;
+  mutable applet_seq : int;
+  mutable cache_seq : int;
+  mutable cache_files : string list;  (** browser cache names, oldest last *)
+}
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  server : Server.t;
+  rng : Prng.t;
+  users : user array;
+  batch_client : Client.t;  (** shared compute host running cron jobs *)
+  mutable stop : float;
+  mutable compiles : int;
+}
+
+let uname_of i = Printf.sprintf "dev%03d" i
+let src_name j = Printf.sprintf "module%02d.c" j
+let obj_name j = Printf.sprintf "module%02d.o" j
+
+let populate (cfg : config) rng server =
+  let fs = Server.fs server in
+  let t0 = Tw.week_start -. (60. *. 86400.) in
+  let home_root = Sim_fs.mkdir_path fs ~time:t0 [ "home" ] in
+  for i = 0 to cfg.users - 1 do
+    let home = Sim_fs.mkdir fs ~time:t0 ~parent:home_root ~name:(uname_of i) ~mode:0o755 in
+    let uid = 2000 + i in
+    let file ?(parent = home) name size =
+      let n = Sim_fs.create_file fs ~time:t0 ~parent ~name ~mode:0o644 ~uid ~gid:200 in
+      Sim_fs.write fs ~time:t0 n ~offset:0L ~count:size;
+      n
+    in
+    ignore (file ".cshrc" (400 + Prng.int rng 800));
+    ignore (file ".emacs" (1_000 + Prng.int rng 9_000));
+    ignore (file ".history" (2_000 + Prng.int rng 10_000));
+    ignore (file ".Xdefaults" (500 + Prng.int rng 2_000));
+    (* Source tree with a CVS sandbox. *)
+    let src = Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:"src" ~mode:0o755 in
+    let proj = Sim_fs.mkdir fs ~time:t0 ~parent:src ~name:"proj" ~mode:0o755 in
+    ignore (file ~parent:proj "Makefile" (1_500 + Prng.int rng 3_000));
+    for j = 0 to cfg.source_files_per_user - 1 do
+      let size = 2_000 + Prng.int rng 40_000 in
+      ignore (file ~parent:proj (src_name j) size);
+      ignore (file ~parent:proj (obj_name j) (size + Prng.int rng 20_000))
+    done;
+    ignore (file ~parent:proj "prog" (200_000 + Prng.int rng 1_500_000));
+    let cvs = Sim_fs.mkdir fs ~time:t0 ~parent:proj ~name:"CVS" ~mode:0o755 in
+    ignore (file ~parent:cvs "Entries" (800 + Prng.int rng 2_000));
+    ignore (file ~parent:cvs "Root" 64);
+    ignore (file ~parent:cvs "Repository" 48);
+    (* RCS archives. *)
+    let rcs = Sim_fs.mkdir fs ~time:t0 ~parent:proj ~name:"RCS" ~mode:0o755 in
+    for j = 0 to min 7 (cfg.source_files_per_user - 1) do
+      ignore (file ~parent:rcs (src_name j ^ ",v") (6_000 + Prng.int rng 80_000))
+    done;
+    (* Browser cache, window-manager state, logs, data. *)
+    let dot_netscape = Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:".netscape" ~mode:0o700 in
+    ignore (Sim_fs.mkdir fs ~time:t0 ~parent:dot_netscape ~name:"cache" ~mode:0o700);
+    ignore (file ~parent:dot_netscape "history.db" (30_000 + Prng.int rng 200_000));
+    ignore (Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:".gnome" ~mode:0o700);
+    let var = Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:"var" ~mode:0o755 in
+    ignore (file ~parent:var "run.log" (4_000 + Prng.int rng 30_000));
+    ignore (file ~parent:var "index.db" (8_000 + Prng.int rng 60_000));
+    let data = Sim_fs.mkdir fs ~time:t0 ~parent:home ~name:"data" ~mode:0o755 in
+    for j = 0 to 2 do
+      let size = int_of_float (Dist.pareto rng ~alpha:1.1 ~x_min:1_000_000.) in
+      ignore (file ~parent:data (Printf.sprintf "dataset-%d.dat" j) (min size 24_000_000))
+    done
+  done
+
+let setup cfg ~engine ~server ~sink =
+  let rng = Prng.create cfg.seed in
+  populate cfg rng server;
+  let users =
+    Array.init cfg.users (fun i ->
+        let version = if Prng.chance rng cfg.v2_fraction then 2 else 3 in
+        let ip = Ip_addr.v 10 2 (i / 250) (1 + (i mod 250)) in
+        let base = Client.default_config ~ip ~version in
+        let client_cfg =
+          let base = { base with reorder_prob = 0.8; reorder_mean = 0.0015; reorder_cap = 0.004;
+                       cache_capacity = 4 * 1024 * 1024 } in
+          if version = 2 then { base with rsize = 8192; wsize = 8192 }
+          else { base with rsize = 16384; wsize = 16384 }
+        in
+        {
+          index = i;
+          uid = 2000 + i;
+          gid = 200;
+          uname = uname_of i;
+          client = Client.create client_cfg ~server ~sink ~rng:(Prng.split rng);
+          rng = Prng.split rng;
+          applet_seq = 0;
+          cache_seq = 0;
+          cache_files = [];
+        })
+  in
+  let batch_cfg =
+    { (Client.default_config ~ip:(Ip_addr.v 10 2 9 9) ~version:3) with rsize = 16384; wsize = 16384 }
+  in
+  let batch_client = Client.create batch_cfg ~server ~sink ~rng:(Prng.split rng) in
+  { config = cfg; engine; server; rng; users; batch_client; stop = infinity; compiles = 0 }
+
+let pick_user t = t.users.(Prng.int t.rng (Array.length t.users))
+
+let home u = [ "home"; u.uname ]
+let proj u = home u @ [ "src"; "proj" ]
+
+let open_and_read s fh =
+  match Client.open_file s fh with
+  | `Changed -> ignore (Client.read_whole s fh)
+  | `Cached | `Error -> ()
+
+(* --- editing --- *)
+
+let edit_burst t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  let j = Prng.int u.rng t.config.source_files_per_user in
+  let name = src_name j in
+  match Client.lookup_path s (proj u) with
+  | None -> ()
+  | Some proj_fh -> (
+      match Client.lookup_path s (proj u @ [ name ]) with
+      | None -> ()
+      | Some src_fh ->
+          open_and_read s src_fh;
+          let size =
+            Int64.to_int (Option.value (Client.cached_size s src_fh) ~default:8_000L)
+          in
+          let saves = 1 + Prng.int u.rng 2 in
+          let autosave = "#" ^ name ^ "#" in
+          for k = 1 to saves do
+            (* Editing pause, then the autosave file appears. *)
+            Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:20. ~hi:120.);
+            if Prng.chance u.rng 0.4 then begin
+              match Client.create_file s ~dir:proj_fh ~name:autosave ~mode:0o600 () with
+              | Some af -> Client.write s af ~offset:0L ~len:size ~sync:true
+              | None -> ()
+            end;
+            Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:10. ~hi:60.);
+            (* Save: back up to name~, rewrite the file, drop autosave. *)
+            let new_size = max 500 (size + Prng.int_in u.rng (-2000) 4000) in
+            (match Client.create_file s ~dir:proj_fh ~name:(name ^ "~") ~mode:0o644 () with
+            | Some bf -> Client.write s bf ~offset:0L ~len:size ~sync:false
+            | None -> ());
+            Client.write s src_fh ~offset:0L ~len:new_size ~sync:false;
+            if new_size < size then Client.truncate s src_fh (Int64.of_int new_size);
+            Client.remove s ~dir:proj_fh ~name:autosave;
+            ignore k
+          done)
+
+(* --- compiles --- *)
+
+let compile t time =
+  t.compiles <- t.compiles + 1;
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  match Client.lookup_path s (proj u) with
+  | None -> ()
+  | Some proj_fh ->
+      (* make stats every target and prerequisite. *)
+      let stat name =
+        match Client.lookup_path s (proj u @ [ name ]) with
+        | Some fh -> ignore (Client.getattr s fh)
+        | None -> ()
+      in
+      stat "Makefile";
+      for j = 0 to t.config.source_files_per_user - 1 do
+        stat (src_name j);
+        stat (obj_name j)
+      done;
+      (* Rebuild a few objects: read source (usually cached), overwrite
+         the .o, run the linker through a transient temp file. *)
+      let rebuilt = 1 + Prng.int u.rng 2 in
+      for _ = 1 to rebuilt do
+        let j = Prng.int u.rng t.config.source_files_per_user in
+        (match Client.lookup_path s (proj u @ [ src_name j ]) with
+        | Some src_fh -> open_and_read s src_fh
+        | None -> ());
+        match Client.lookup_path s (proj u @ [ obj_name j ]) with
+        | Some obj_fh ->
+            let osize = 10_000 + Prng.int u.rng 70_000 in
+            if Prng.chance u.rng 0.5 then begin
+              (* cc opens the output O_TRUNC: SETATTR size=0, then write. *)
+              Client.truncate s obj_fh 0L;
+              Client.write s obj_fh ~offset:0L ~len:osize ~sync:false
+            end
+            else begin
+              (* ...or the build writes a temp object and renames it. *)
+              let otmp = Printf.sprintf "ccXX%04d.o" (Prng.int u.rng 10_000) in
+              match Client.lookup_path s (proj u) with
+              | Some proj_fh -> (
+                  match Client.create_file s ~dir:proj_fh ~name:otmp ~mode:0o644 () with
+                  | Some tf ->
+                      Client.write s tf ~offset:0L ~len:osize ~sync:false;
+                      Client.rename s ~from_dir:proj_fh ~from_name:otmp ~to_dir:proj_fh
+                        ~to_name:(obj_name j)
+                  | None -> ())
+              | None -> ()
+            end
+        | None -> ()
+      done;
+      (* Link step on ~40% of compiles. *)
+      if Prng.chance u.rng 0.45 then begin
+        let tmp = Printf.sprintf "ld-%05d.tmp" (Prng.int u.rng 100000) in
+        let exe_size = 300_000 + Prng.int u.rng 900_000 in
+        (* ld writes the complete image to a temp file and renames it
+           over the target, so the old executable's blocks die by
+           deletion, not overwrite. *)
+        (match Client.create_file s ~dir:proj_fh ~name:tmp ~mode:0o600 () with
+        | Some tf ->
+            (* ld emits sections, hopping between them for fixups. *)
+            Io_patterns.seeky_write u.rng s tf ~total:exe_size ~seg_min:8_000 ~seg_max:32_000
+              ~jump_prob:0.5 ~sync:false;
+            Client.rename s ~from_dir:proj_fh ~from_name:tmp ~to_dir:proj_fh ~to_name:"prog"
+        | None -> ());
+        (* CVS bookkeeping around substantial changes. *)
+        if Prng.chance u.rng 0.3 then begin
+          (* CVS locks the repository directory during the commit. *)
+          (match Client.lookup_path s (proj u @ [ "RCS" ]) with
+          | Some rcs_dir ->
+              (match Client.create_file s ~dir:rcs_dir ~name:"#cvs.lock" ~mode:0o600 () with
+              | Some _ ->
+                  Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:0.05 ~hi:0.30);
+                  Client.remove s ~dir:rcs_dir ~name:"#cvs.lock"
+              | None -> ())
+          | None -> ());
+          (match Client.lookup_path s (proj u @ [ "CVS"; "Entries" ]) with
+          | Some fh ->
+              open_and_read s fh;
+              Client.write s fh ~offset:0L ~len:(800 + Prng.int u.rng 2_000) ~sync:true
+          | None -> ());
+          let j = Prng.int u.rng (min 8 t.config.source_files_per_user) in
+          match Client.lookup_path s (proj u @ [ "RCS"; src_name j ^ ",v" ]) with
+          | Some fh ->
+              open_and_read s fh;
+              Client.append s fh ~len:(500 + Prng.int u.rng 4_000) ~sync:true
+          | None -> ()
+        end
+      end
+
+(* --- browser sessions --- *)
+
+let browse_session t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  match Client.lookup_path s (home u @ [ ".netscape"; "cache" ]) with
+  | None -> ()
+  | Some cache_dir ->
+      let views = 4 + Prng.int u.rng 16 in
+      for _ = 1 to views do
+        Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:8. ~hi:45.);
+        u.cache_seq <- u.cache_seq + 1;
+        let name = Printf.sprintf "cache%08x" ((u.index * 1_000_000) + u.cache_seq) in
+        (match Client.create_file s ~dir:cache_dir ~name ~mode:0o600 () with
+        | Some fh ->
+            let size = 2_000 + Prng.int u.rng 28_000 in
+            Client.write s fh ~offset:0L ~len:size ~sync:false;
+            u.cache_files <- u.cache_files @ [ name ]
+        | None -> ());
+        (* Revisits hit existing entries. *)
+        if Prng.chance u.rng 0.3 then begin
+          match u.cache_files with
+          | old :: _ -> (
+              match Client.lookup_path s (home u @ [ ".netscape"; "cache"; old ]) with
+              | Some fh -> open_and_read s fh
+              | None -> ())
+          | [] -> ()
+        end;
+        (* History database: the unbuffered index write. *)
+        if Prng.chance u.rng 0.25 then begin
+          match Client.lookup_path s (home u @ [ ".netscape"; "history.db" ]) with
+          | Some fh ->
+              let size =
+                Int64.to_int (Option.value (Client.cached_size s fh) ~default:60_000L)
+              in
+              let page () = Int64.of_int (Prng.int u.rng (max 1 (size - 4096))) in
+              if Prng.chance u.rng 0.15 then ignore (Client.read s fh ~offset:(page ()) ~len:4096);
+              Client.write s fh ~offset:(page ()) ~len:(600 + Prng.int u.rng 1_000) ~sync:true
+          | None -> ()
+        end;
+        (* LRU eviction keeps the cache bounded. *)
+        if List.length u.cache_files > 20 then begin
+          match u.cache_files with
+          | victim :: rest ->
+              Client.remove s ~dir:cache_dir ~name:victim;
+              u.cache_files <- rest
+          | [] -> ()
+        end
+      done
+
+(* --- window-manager applet files --- *)
+
+let applet_churn t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  match Client.lookup_path s (home u @ [ ".gnome" ]) with
+  | None -> ()
+  | Some dir ->
+      u.applet_seq <- u.applet_seq + 1;
+      let name = Printf.sprintf "Applet_%d_Extern" ((u.index * 100_000) + u.applet_seq) in
+      (match Client.create_file s ~dir ~name ~mode:0o600 () with
+      | Some fh -> if Prng.chance u.rng 0.3 then Client.write s fh ~offset:0L ~len:(200 + Prng.int u.rng 1_500) ~sync:true
+      | None -> ());
+      Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:0.5 ~hi:30.);
+      Client.remove s ~dir ~name
+
+(* --- unbuffered log/index bursts: blocks that die in under a second --- *)
+
+let log_burst t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  let target = if Prng.chance u.rng 0.5 then "run.log" else "index.db" in
+  match Client.lookup_path s (home u @ [ "var"; target ]) with
+  | None -> ()
+  | Some fh ->
+      (* Index updates are read-modify-write: pull a page first. *)
+      if target = "index.db" && Prng.chance u.rng 0.5 then
+        ignore (Client.read s fh ~offset:0L ~len:2048);
+      (* dbm-style files are written sparsely: hash buckets land past
+         EOF, materialising extension blocks. *)
+      if target = "index.db" && Prng.chance u.rng 0.5 then begin
+        match Client.cached_size s fh with
+        | Some size ->
+            let hole = 32_768 + Prng.int u.rng 98_304 in
+            Client.write s fh
+              ~offset:(Int64.add size (Int64.of_int hole))
+              ~len:(512 + Prng.int u.rng 1_500) ~sync:true
+        | None -> ()
+      end;
+      let writes = 8 + Prng.int u.rng 12 in
+      let pos = ref 0 in
+      for _ = 1 to writes do
+        let len = 200 + Prng.int u.rng 1_400 in
+        Client.write s fh ~offset:(Int64.of_int !pos) ~len ~sync:true;
+        pos := !pos + len;
+        (* Unbuffered appenders sync every record, fractions of a
+           second apart. *)
+        Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:0.05 ~hi:0.6)
+      done;
+      (* Periodic rotation truncates the log back. *)
+      if Prng.chance u.rng 0.15 then Client.truncate s fh 0L
+
+(* --- desktop heartbeat: the cache-validation metadata stream --- *)
+
+let heartbeat t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  let stat path =
+    match Client.lookup_path s path with
+    | Some fh -> ignore (Client.getattr s fh)
+    | None -> ()
+  in
+  stat (home u @ [ ".history" ]);
+  if Prng.chance u.rng 0.6 then stat (home u @ [ ".emacs" ]);
+  if Prng.chance u.rng 0.6 then stat (home u @ [ ".Xdefaults" ]);
+  if Prng.chance u.rng 0.4 then stat (home u @ [ "src"; "proj"; "Makefile" ]);
+  if Prng.chance u.rng 0.35 then begin
+    (* Shell history is appended on every command batch. *)
+    match Client.lookup_path s (home u @ [ ".history" ]) with
+    | Some fh -> Client.append s fh ~len:(100 + Prng.int u.rng 400) ~sync:true
+    | None -> ()
+  end
+
+(* --- short inspection reads: head/grep/editor previews --- *)
+
+let peek t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  let j = Prng.int u.rng t.config.source_files_per_user in
+  let path =
+    if Prng.chance u.rng 0.5 then proj u @ [ src_name j ]
+    else if Prng.chance u.rng 0.5 then proj u @ [ "RCS"; src_name (j mod 8) ^ ",v" ]
+    else home u @ [ ".emacs" ]
+  in
+  match Client.lookup_path s path with
+  | None -> ()
+  | Some fh ->
+      (* A partial read never marks the cache whole, so peeks recur. *)
+      ignore (Client.read s fh ~offset:0L ~len:(2048 + Prng.int u.rng 4096))
+
+(* --- light email use: saving mail to folders under a lock --- *)
+
+let mail_save t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  match Client.lookup_path s (home u) with
+  | None -> ()
+  | Some home_fh -> (
+      let folder = "mbox" in
+      let fh =
+        match Client.lookup_path s (home u @ [ folder ]) with
+        | Some fh -> Some fh
+        | None -> Client.create_file s ~dir:home_fh ~name:folder ~mode:0o600 ()
+      in
+      match fh with
+      | None -> ()
+      | Some folder_fh -> (
+          match Client.create_file s ~dir:home_fh ~name:(folder ^ ".lock") ~mode:0o600 () with
+          | Some _ ->
+              Client.append s folder_fh ~len:(1_500 + Prng.int u.rng 8_000) ~sync:true;
+              Client.remove s ~dir:home_fh ~name:(folder ^ ".lock")
+          | None -> ()))
+
+(* --- interactive data poking: seeky reads over big files --- *)
+
+let data_poke t time =
+  let u = pick_user t in
+  let s = Client.session u.client ~time ~uid:u.uid ~gid:u.gid in
+  let j = Prng.int u.rng 3 in
+  match Client.lookup_path s (home u @ [ "data"; Printf.sprintf "dataset-%d.dat" j ]) with
+  | None -> ()
+  | Some fh -> (
+      match Client.getattr s fh with
+      | None -> ()
+      | Some attr ->
+          let size = Int64.to_int attr.size in
+          if size > 65536 then begin
+            (* grep/indexing-style partial scans: sequential stretches
+               separated by seeks. *)
+            let stretches = 3 + Prng.int u.rng 6 in
+            for _ = 1 to stretches do
+              let off = Prng.int u.rng (max 1 (size - 65536)) in
+              let len = 16384 + Prng.int u.rng 49152 in
+              ignore (Client.read s fh ~offset:(Int64.of_int off) ~len:(min len (size - off)));
+              Client.set_now s (Client.now s +. Dist.uniform u.rng ~lo:0.05 ~hi:0.4)
+            done
+          end)
+
+(* --- night-time cron batch jobs --- *)
+
+let cron_job t time =
+  let u = pick_user t in
+  let s = Client.session t.batch_client ~time ~uid:u.uid ~gid:u.gid in
+  let j = Prng.int t.rng 3 in
+  match Client.lookup_path s (home u @ [ "data"; Printf.sprintf "dataset-%d.dat" j ]) with
+  | None -> ()
+  | Some data_fh ->
+      (* Data processing: stream the dataset, write a result file. The
+         shared batch host's cache is cold across users, so these reads
+         really hit the server. *)
+      ignore (Client.open_file s data_fh);
+      let got = Client.read_whole s data_fh in
+      (* Some jobs post-process in place, rewriting the dataset. *)
+      if Prng.chance t.rng 0.25 then
+        Io_patterns.seeky_write t.rng s data_fh ~total:got ~seg_min:16_000 ~seg_max:64_000
+          ~jump_prob:0.3 ~sync:false;
+      (match Client.lookup_path s (home u @ [ "data" ]) with
+      | Some dir -> (
+          let out = Printf.sprintf "result-%05d.out" (Prng.int t.rng 100_000) in
+          match Client.create_file s ~dir ~name:out ~mode:0o644 () with
+          | Some out_fh ->
+              Client.write s out_fh ~offset:0L ~len:(max 10_000 (got / 3)) ~sync:false;
+              (* Most results are transient and cleaned up by the job. *)
+              if Prng.chance t.rng 0.8 then begin
+                Client.set_now s (Client.now s +. Dist.uniform t.rng ~lo:30. ~hi:600.);
+                Client.remove s ~dir ~name:out
+              end
+          | None -> ())
+      | None -> ())
+
+(* --- drivers --- *)
+
+let rec drive t ~base_rate ~intensity ~action time =
+  if time < t.stop then begin
+    action t time;
+    let rate = Float.max 1e-9 (base_rate *. intensity time) in
+    let next = time +. Dist.exponential t.rng ~rate in
+    Engine.schedule t.engine next (fun () -> drive t ~base_rate ~intensity ~action next)
+  end
+
+let schedule t ~start ~stop =
+  t.stop <- stop;
+  let cfg = t.config in
+  let per_sec daily = float_of_int cfg.users *. daily /. 86400. in
+  let arm ~base_rate ~intensity ~action =
+    let first = start +. Prng.float t.rng 60. in
+    Engine.schedule t.engine first (fun () -> drive t ~base_rate ~intensity ~action first)
+  in
+  let interactive = Diurnal.eecs_interactive_intensity in
+  arm ~base_rate:(per_sec cfg.edit_bursts_per_user_day) ~intensity:interactive
+    ~action:(fun t time -> edit_burst t time);
+  arm ~base_rate:(per_sec cfg.compiles_per_user_day) ~intensity:interactive
+    ~action:(fun t time -> compile t time);
+  arm ~base_rate:(per_sec cfg.browse_sessions_per_user_day) ~intensity:interactive
+    ~action:(fun t time -> browse_session t time);
+  arm ~base_rate:(per_sec cfg.applet_churn_per_user_day) ~intensity:interactive
+    ~action:(fun t time -> applet_churn t time);
+  arm ~base_rate:(per_sec cfg.log_writers_per_user) ~intensity:interactive
+    ~action:(fun t time -> log_burst t time);
+  arm ~base_rate:(per_sec 1.2) ~intensity:interactive ~action:(fun t time -> data_poke t time);
+  arm ~base_rate:(per_sec 6.0) ~intensity:interactive ~action:(fun t time -> peek t time);
+  arm ~base_rate:(per_sec 3.0) ~intensity:interactive ~action:(fun t time -> mail_save t time);
+  (* The heartbeat runs at a per-user cadence of a few minutes. *)
+  arm ~base_rate:(per_sec 55.) ~intensity:interactive ~action:(fun t time -> heartbeat t time);
+  arm
+    ~base_rate:(cfg.cron_jobs_per_night /. 86400.)
+    ~intensity:Diurnal.eecs_batch_intensity
+    ~action:(fun t time -> cron_job t time)
+
+let compiles_run t = t.compiles

@@ -1,0 +1,52 @@
+(** The EECS workload: a CS-department home-directory server (§3.1,
+    §6.1.1).
+
+    Mechanisms modelled, each traceable to a paper observation:
+
+    - single-user workstations with large caches: reads are mostly
+      absorbed client-side, so the server sees metadata validation
+      (GETATTR/LOOKUP/ACCESS dominate; read/write op ratio 0.69) and a
+      write-heavy data mix;
+    - software development: edit/save cycles with [foo~] backups and
+      [#foo#] autosaves, compiles that stat every source and rewrite
+      [.o] files, linker temporaries that die in under a second, CVS
+      reads of [,v] archives;
+    - short-lived log/index files written frequently and unbuffered —
+      the source of "most blocks die in less than one second";
+    - browser caches kept in home directories (the paper's "somewhat
+      perverse" central caching of web pages) with LRU eviction;
+    - window-manager [Applet_*_Extern] files (≈10,000 deletions/day at
+      full scale);
+    - night-time cron batch jobs (builds, experiments, data processing)
+      that create the off-peak load spikes and read large data files —
+      and the weaker overall diurnal correlation;
+    - a client population mixing NFSv2 and NFSv3, all over UDP. *)
+
+type config = {
+  users : int;
+  seed : int64;
+  scale_note : float;
+  v2_fraction : float;  (** fraction of clients speaking NFSv2 *)
+  edit_bursts_per_user_day : float;
+  compiles_per_user_day : float;
+  browse_sessions_per_user_day : float;
+  applet_churn_per_user_day : float;  (** create+delete pairs *)
+  log_writers_per_user : float;  (** long-running appenders per user *)
+  cron_jobs_per_night : float;
+  source_files_per_user : int;
+}
+
+val default_config : config
+(** 40 users at ≈1/100 of EECS activity, calibrated against Table 2. *)
+
+type t
+
+val setup :
+  config ->
+  engine:Nt_sim.Engine.t ->
+  server:Nt_sim.Server.t ->
+  sink:(Nt_trace.Record.t -> unit) ->
+  t
+
+val schedule : t -> start:float -> stop:float -> unit
+val compiles_run : t -> int

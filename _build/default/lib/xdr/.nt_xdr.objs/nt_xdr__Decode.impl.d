@@ -1,0 +1,1 @@
+lib/xdr/decode.ml: Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/xdr/encode.ml: Buffer Char Int32 Int64 List String

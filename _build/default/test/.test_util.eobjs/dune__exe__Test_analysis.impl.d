@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Float Fun Int64 List Nt_analysis Nt_net Nt_nfs Nt_trace Nt_util Printf

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Buffer Bytes Char Int64 List Nt_net Nt_util Option QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Gen Int64 List Nt_nfs Nt_xdr Option QCheck QCheck_alcotest String

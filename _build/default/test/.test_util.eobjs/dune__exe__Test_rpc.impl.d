@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Char Gen List Nt_rpc Nt_xdr QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen Int64 List Nt_net Nt_nfs Nt_sim Nt_trace Nt_util Printf QCheck QCheck_alcotest

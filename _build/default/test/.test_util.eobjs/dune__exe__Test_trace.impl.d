@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Buffer Bytes Char Filename Gen Int64 List Nt_analysis Nt_net Nt_nfs Nt_sim Nt_trace Printf QCheck QCheck_alcotest Result Seq String Sys

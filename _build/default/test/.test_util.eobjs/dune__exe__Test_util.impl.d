@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen List Nt_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Buffer Float List Nt_analysis Nt_core Nt_net Nt_nfs Nt_sim Nt_trace Nt_util Nt_workload

@@ -1,0 +1,1 @@
+test/test_xdr.ml: Alcotest Bool Gen Int32 Int64 List Nt_xdr QCheck QCheck_alcotest String

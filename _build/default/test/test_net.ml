@@ -1,0 +1,328 @@
+(* Network layer tests: IP addresses, Ethernet/IPv4/UDP/TCP codecs,
+   pcap files, TCP stream reassembly. *)
+
+module Ip = Nt_net.Ip_addr
+module Frame = Nt_net.Frame
+module Pcap = Nt_net.Pcap
+module Tcp = Nt_net.Tcp_reassembly
+
+let ip1 = Ip.v 10 0 0 1
+let ip2 = Ip.v 192 168 1 254
+
+(* --- ip addresses --- *)
+
+let test_ip_to_string () =
+  Alcotest.(check string) "render" "10.0.0.1" (Ip.to_string ip1);
+  Alcotest.(check string) "render 2" "192.168.1.254" (Ip.to_string ip2)
+
+let test_ip_of_string () =
+  Alcotest.(check (option int)) "parse" (Some ip1) (Ip.of_string "10.0.0.1");
+  Alcotest.(check (option int)) "reject short" None (Ip.of_string "10.0.0");
+  Alcotest.(check (option int)) "reject range" None (Ip.of_string "10.0.0.256");
+  Alcotest.(check (option int)) "reject junk" None (Ip.of_string "not.an.ip.addr")
+
+let test_ip_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check (option string)) "roundtrip" (Some s) (Option.map Ip.to_string (Ip.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "1.2.3.4" ]
+
+(* --- frames --- *)
+
+let test_udp_roundtrip () =
+  let f = Frame.udp ~src_ip:ip1 ~dst_ip:ip2 ~src_port:700 ~dst_port:2049 "payload-bytes" in
+  match Frame.decode (Frame.encode f) with
+  | Ok f' -> (
+      Alcotest.(check int) "src ip" ip1 f'.src_ip;
+      Alcotest.(check int) "dst ip" ip2 f'.dst_ip;
+      match f'.transport with
+      | Frame.Udp u ->
+          Alcotest.(check int) "sport" 700 u.src_port;
+          Alcotest.(check int) "dport" 2049 u.dst_port;
+          Alcotest.(check string) "payload" "payload-bytes" u.payload
+      | Frame.Tcp _ -> Alcotest.fail "expected UDP")
+  | Error e -> Alcotest.fail e
+
+let test_tcp_roundtrip () =
+  let f =
+    Frame.tcp ~syn:true ~src_ip:ip1 ~dst_ip:ip2 ~src_port:1023 ~dst_port:2049 ~seq:123456 "data"
+  in
+  match Frame.decode (Frame.encode f) with
+  | Ok f' -> (
+      match f'.transport with
+      | Frame.Tcp t ->
+          Alcotest.(check int) "seq" 123456 t.seq;
+          Alcotest.(check bool) "syn" true t.syn;
+          Alcotest.(check bool) "fin" false t.fin;
+          Alcotest.(check string) "payload" "data" t.payload
+      | Frame.Udp _ -> Alcotest.fail "expected TCP")
+  | Error e -> Alcotest.fail e
+
+let test_jumbo_frame () =
+  let payload = String.make 8800 'J' in
+  let f = Frame.udp ~src_ip:ip1 ~dst_ip:ip2 ~src_port:1 ~dst_port:2 payload in
+  match Frame.decode (Frame.encode f) with
+  | Ok f' -> (
+      match f'.transport with
+      | Frame.Udp u -> Alcotest.(check int) "jumbo payload intact" 8800 (String.length u.payload)
+      | _ -> Alcotest.fail "expected UDP")
+  | Error e -> Alcotest.fail e
+
+let test_checksum_valid () =
+  let raw = Frame.encode (Frame.udp ~src_ip:ip1 ~dst_ip:ip2 ~src_port:1 ~dst_port:2 "x") in
+  (* Recomputing the checksum over the IP header including the stored
+     checksum yields 0 (one's-complement property). *)
+  Alcotest.(check int) "header sums to zero" 0 (Frame.ipv4_checksum raw ~pos:14 ~len:20)
+
+let test_decode_errors () =
+  let err s = match Frame.decode s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "short frame" true (err "tiny");
+  let raw = Frame.encode (Frame.udp ~src_ip:ip1 ~dst_ip:ip2 ~src_port:1 ~dst_port:2 "hello") in
+  let non_ip = Bytes.of_string raw in
+  Bytes.set non_ip 12 '\x08';
+  Bytes.set non_ip 13 '\x06' (* ARP *);
+  Alcotest.(check bool) "non-IPv4 ethertype" true (err (Bytes.to_string non_ip));
+  let truncated = String.sub raw 0 (String.length raw - 3) in
+  Alcotest.(check bool) "truncated packet" true (err truncated)
+
+let test_mac_fields () =
+  let f =
+    Frame.udp ~src_mac:"\x02\x00\x00\x00\x00\x0A" ~dst_mac:"\x02\x00\x00\x00\x00\x0B"
+      ~src_ip:ip1 ~dst_ip:ip2 ~src_port:5 ~dst_port:6 ""
+  in
+  match Frame.decode (Frame.encode f) with
+  | Ok f' ->
+      Alcotest.(check string) "src mac" "\x02\x00\x00\x00\x00\x0A" f'.src_mac;
+      Alcotest.(check string) "dst mac" "\x02\x00\x00\x00\x00\x0B" f'.dst_mac
+  | Error e -> Alcotest.fail e
+
+(* --- pcap --- *)
+
+let test_pcap_roundtrip () =
+  let buf = Buffer.create 256 in
+  let w = Pcap.writer_to_buffer buf in
+  Pcap.write w ~time:1003622400.000001 "packet-one";
+  Pcap.write w ~time:1003622401.5 "packet-two-longer";
+  let r = Pcap.reader_of_string (Buffer.contents buf) in
+  (match Pcap.read_next r with
+  | Some p ->
+      Alcotest.(check string) "data 1" "packet-one" p.data;
+      Alcotest.(check int) "orig len" 10 p.orig_len;
+      Alcotest.(check (float 0.001) "time 1") 1003622400.000001 p.time
+  | None -> Alcotest.fail "missing packet 1");
+  (match Pcap.read_next r with
+  | Some p -> Alcotest.(check string) "data 2" "packet-two-longer" p.data
+  | None -> Alcotest.fail "missing packet 2");
+  Alcotest.(check bool) "eof" true (Pcap.read_next r = None)
+
+let test_pcap_snaplen () =
+  let buf = Buffer.create 256 in
+  let w = Pcap.writer_to_buffer ~snaplen:8 buf in
+  Pcap.write w ~time:0. "0123456789ABCDEF";
+  let r = Pcap.reader_of_string (Buffer.contents buf) in
+  match Pcap.read_next r with
+  | Some p ->
+      Alcotest.(check string) "snapped" "01234567" p.data;
+      Alcotest.(check int) "orig preserved" 16 p.orig_len
+  | None -> Alcotest.fail "missing packet"
+
+let test_pcap_bad_magic () =
+  Alcotest.(check bool) "bad magic rejected" true
+    (try
+       ignore (Pcap.reader_of_string (String.make 24 'z'));
+       false
+     with Pcap.Bad_format _ -> true)
+
+let test_pcap_truncated_header () =
+  Alcotest.(check bool) "short header rejected" true
+    (try
+       ignore (Pcap.reader_of_string "abc");
+       false
+     with Pcap.Bad_format _ -> true)
+
+let test_pcap_big_endian () =
+  (* Hand-build a big-endian microsecond header with one empty packet. *)
+  let buf = Buffer.create 64 in
+  let be32 v =
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  be32 0xA1B2C3D4;
+  Buffer.add_string buf "\x00\x02\x00\x04";
+  be32 0;
+  be32 0;
+  be32 65535;
+  be32 1;
+  be32 1000;
+  be32 250000;
+  be32 3;
+  be32 3;
+  Buffer.add_string buf "abc";
+  let r = Pcap.reader_of_string (Buffer.contents buf) in
+  match Pcap.read_next r with
+  | Some p ->
+      Alcotest.(check string) "data" "abc" p.data;
+      Alcotest.(check (float 1e-6) "time") 1000.25 p.time
+  | None -> Alcotest.fail "missing packet"
+
+let test_pcap_fold_and_seq () =
+  let buf = Buffer.create 256 in
+  let w = Pcap.writer_to_buffer buf in
+  for i = 1 to 5 do
+    Pcap.write w ~time:(float_of_int i) (String.make i 'x')
+  done;
+  let r = Pcap.reader_of_string (Buffer.contents buf) in
+  Alcotest.(check int) "fold count" 5 (Pcap.fold r (fun acc _ -> acc + 1) 0);
+  let r2 = Pcap.reader_of_string (Buffer.contents buf) in
+  Alcotest.(check int) "seq length" 5 (Seq.length (Pcap.packets r2))
+
+(* --- TCP reassembly --- *)
+
+let flow = { Tcp.src_ip = ip1; src_port = 1000; dst_ip = ip2; dst_port = 2049 }
+
+let collect events =
+  List.filter_map (function Tcp.Data d -> Some d | Tcp.Gap _ -> None) events
+  |> String.concat ""
+
+let test_tcp_in_order () =
+  let t = Tcp.create () in
+  let out1 = Tcp.push t flow ~seq:100 ~syn:false "hello " in
+  let out2 = Tcp.push t flow ~seq:106 ~syn:false "world" in
+  Alcotest.(check string) "stream" "hello world" (collect out1 ^ collect out2)
+
+let test_tcp_out_of_order () =
+  let t = Tcp.create () in
+  ignore (Tcp.push t flow ~seq:99 ~syn:true "");
+  let out1 = Tcp.push t flow ~seq:106 ~syn:false "world" in
+  Alcotest.(check string) "held back" "" (collect out1);
+  let out2 = Tcp.push t flow ~seq:100 ~syn:false "hello " in
+  Alcotest.(check string) "released in order" "hello world" (collect out2)
+
+let test_tcp_midstream_join () =
+  (* Without a SYN, the first segment seen defines the stream start —
+     a monitor that attaches mid-connection must start somewhere. *)
+  let t = Tcp.create () in
+  let out = Tcp.push t flow ~seq:5000 ~syn:false "joined" in
+  Alcotest.(check string) "first segment accepted" "joined" (collect out)
+
+let test_tcp_duplicate () =
+  let t = Tcp.create () in
+  ignore (Tcp.push t flow ~seq:0 ~syn:false "abcd");
+  let out = Tcp.push t flow ~seq:0 ~syn:false "abcd" in
+  Alcotest.(check string) "duplicate dropped" "" (collect out)
+
+let test_tcp_overlap () =
+  let t = Tcp.create () in
+  ignore (Tcp.push t flow ~seq:0 ~syn:false "abcd");
+  let out = Tcp.push t flow ~seq:2 ~syn:false "cdEF" in
+  Alcotest.(check string) "overlap trimmed" "EF" (collect out)
+
+let test_tcp_syn_establishes () =
+  let t = Tcp.create () in
+  ignore (Tcp.push t flow ~seq:999 ~syn:true "");
+  let out = Tcp.push t flow ~seq:1000 ~syn:false "after-syn" in
+  Alcotest.(check string) "ISN+1" "after-syn" (collect out)
+
+let test_tcp_gap_resync () =
+  let t = Tcp.create ~max_buffered_segments:4 () in
+  ignore (Tcp.push t flow ~seq:0 ~syn:false "start");
+  (* Lose bytes 5..99; deliver far-ahead segments until forced resync. *)
+  let got_gap = ref false in
+  for i = 0 to 5 do
+    let events = Tcp.push t flow ~seq:(100 + (i * 4)) ~syn:false "wxyz" in
+    List.iter (function Tcp.Gap _ -> got_gap := true | Tcp.Data _ -> ()) events
+  done;
+  Alcotest.(check bool) "gap declared" true !got_gap;
+  Alcotest.(check bool) "gap counted" true (Tcp.gaps t > 0)
+
+let test_tcp_two_flows_independent () =
+  let t = Tcp.create () in
+  let flow2 = { flow with src_port = 1001 } in
+  ignore (Tcp.push t flow ~seq:0 ~syn:false "AA");
+  ignore (Tcp.push t flow2 ~seq:500 ~syn:false "BB");
+  Alcotest.(check int) "two flows" 2 (Tcp.flows t)
+
+let test_tcp_seq_wraparound () =
+  let t = Tcp.create () in
+  let near_wrap = 0xFFFFFFFE in
+  ignore (Tcp.push t flow ~seq:near_wrap ~syn:false "ab");
+  let out = Tcp.push t flow ~seq:0 ~syn:false "cd" in
+  Alcotest.(check string) "wraps cleanly" "cd" (collect out)
+
+let prop_tcp_shuffled_segments =
+  QCheck.Test.make ~name:"reassembly restores shuffled segments" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, base) ->
+      let rng = Nt_util.Prng.create (Int64.of_int (seed + 1)) in
+      let message = String.init 120 (fun i -> Char.chr (33 + (i mod 90))) in
+      (* split into segments of 1-20 bytes *)
+      let rec split acc off =
+        if off >= String.length message then List.rev acc
+        else begin
+          let len = min (1 + Nt_util.Prng.int rng 20) (String.length message - off) in
+          split ((base + off, String.sub message off len) :: acc) (off + len)
+        end
+      in
+      let segments = Array.of_list (split [] 0) in
+      ignore base;
+      (* shuffle bounded: swap adjacent pairs, so the buffer never overflows *)
+      for i = 0 to Array.length segments - 2 do
+        if Nt_util.Prng.bool rng then begin
+          let tmp = segments.(i) in
+          segments.(i) <- segments.(i + 1);
+          segments.(i + 1) <- tmp
+        end
+      done;
+      let t = Tcp.create () in
+      ignore (Tcp.push t flow ~seq:(base - 1) ~syn:true "");
+      let out = Buffer.create 128 in
+      Array.iter
+        (fun (seq, data) ->
+          List.iter
+            (function Tcp.Data d -> Buffer.add_string out d | Tcp.Gap _ -> ())
+            (Tcp.push t flow ~seq ~syn:false data))
+        segments;
+      String.equal (Buffer.contents out) message)
+
+let () =
+  Alcotest.run "nt_net"
+    [
+      ( "ip_addr",
+        [
+          Alcotest.test_case "to_string" `Quick test_ip_to_string;
+          Alcotest.test_case "of_string" `Quick test_ip_of_string;
+          Alcotest.test_case "roundtrip" `Quick test_ip_roundtrip;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+          Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "jumbo frame" `Quick test_jumbo_frame;
+          Alcotest.test_case "checksum" `Quick test_checksum_valid;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "mac fields" `Quick test_mac_fields;
+        ] );
+      ( "pcap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "snaplen" `Quick test_pcap_snaplen;
+          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
+          Alcotest.test_case "truncated header" `Quick test_pcap_truncated_header;
+          Alcotest.test_case "big endian" `Quick test_pcap_big_endian;
+          Alcotest.test_case "fold and seq" `Quick test_pcap_fold_and_seq;
+        ] );
+      ( "tcp_reassembly",
+        [
+          Alcotest.test_case "in order" `Quick test_tcp_in_order;
+          Alcotest.test_case "out of order" `Quick test_tcp_out_of_order;
+          Alcotest.test_case "mid-stream join" `Quick test_tcp_midstream_join;
+          Alcotest.test_case "duplicate" `Quick test_tcp_duplicate;
+          Alcotest.test_case "overlap" `Quick test_tcp_overlap;
+          Alcotest.test_case "syn" `Quick test_tcp_syn_establishes;
+          Alcotest.test_case "gap resync" `Quick test_tcp_gap_resync;
+          Alcotest.test_case "independent flows" `Quick test_tcp_two_flows_independent;
+          Alcotest.test_case "seq wraparound" `Quick test_tcp_seq_wraparound;
+          QCheck_alcotest.to_alcotest prop_tcp_shuffled_segments;
+        ] );
+    ]

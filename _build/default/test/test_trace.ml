@@ -1,0 +1,491 @@
+(* Trace layer tests: record serialization, path reconstruction, the
+   capture engine (over real pcap bytes) and the anonymizer. *)
+
+module Record = Nt_trace.Record
+module Fh_map = Nt_trace.Fh_map
+module Capture = Nt_trace.Capture
+module Anonymize = Nt_trace.Anonymize
+module Ops = Nt_nfs.Ops
+module Types = Nt_nfs.Types
+module Fh = Nt_nfs.Fh
+module Ip = Nt_net.Ip_addr
+module Pcap = Nt_net.Pcap
+module Packet_pipe = Nt_sim.Packet_pipe
+
+(* Tiny wrapper so the fuzz property below can call the full pipeline
+   and catch only the exceptions it is allowed to see. *)
+module Pipeline_capture = struct
+  let run pcap_bytes =
+    let cap = Capture.create () in
+    Capture.feed_pcap cap (Pcap.reader_of_string pcap_bytes);
+    fst (Capture.finish cap)
+end
+
+let dir_fh = Fh.make ~fsid:1 ~fileid:2
+let file_fh = Fh.make ~fsid:1 ~fileid:3
+
+let base_record : Record.t =
+  {
+    time = 1003622400.123456;
+    reply_time = Some 1003622400.125;
+    client = Ip.v 10 1 0 20;
+    server = Ip.v 10 1 1 2;
+    version = 3;
+    xid = 0xABCD1234;
+    uid = 1042;
+    gid = 100;
+    call = Ops.Read { fh = file_fh; offset = 8192L; count = 8192 };
+    result = Some (Ok (Ops.R_read { attr = None; count = 8192; eof = false }));
+  }
+
+(* --- record line format --- *)
+
+let roundtrip r =
+  match Record.of_line (Record.to_line r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "parse failed: %s on %s" e (Record.to_line r)
+
+let test_line_roundtrip_read () =
+  let r' = roundtrip base_record in
+  Alcotest.(check (float 1e-5) "time") base_record.time r'.time;
+  Alcotest.(check int) "xid" base_record.xid r'.xid;
+  Alcotest.(check int) "uid" base_record.uid r'.uid;
+  Alcotest.(check bool) "client ip" true (r'.client = base_record.client);
+  Alcotest.(check (option int64)) "offset" (Some 8192L) (Record.offset r');
+  Alcotest.(check (option int)) "count" (Some 8192) (Record.count r')
+
+let test_line_roundtrip_all_procs () =
+  let cases =
+    [
+      Ops.Null;
+      Ops.Getattr file_fh;
+      Ops.Setattr { fh = file_fh; attrs = { Types.empty_sattr with set_size = Some 0L } };
+      Ops.Lookup { dir = dir_fh; name = "plain" };
+      Ops.Access { fh = file_fh; access = 63 };
+      Ops.Readlink file_fh;
+      Ops.Write { fh = file_fh; offset = 0L; count = 99; stable = Types.Unstable };
+      Ops.Create { dir = dir_fh; name = ".inbox.lock"; mode = 0o600; exclusive = true };
+      Ops.Mkdir { dir = dir_fh; name = "d"; mode = 0o755 };
+      Ops.Symlink { dir = dir_fh; name = "s"; target = "a/b" };
+      Ops.Mknod { dir = dir_fh; name = "n" };
+      Ops.Remove { dir = dir_fh; name = "gone" };
+      Ops.Rmdir { dir = dir_fh; name = "gonedir" };
+      Ops.Rename { from_dir = dir_fh; from_name = "x"; to_dir = dir_fh; to_name = "y" };
+      Ops.Link { fh = file_fh; to_dir = dir_fh; to_name = "h" };
+      Ops.Readdir { dir = dir_fh; cookie = 3L; count = 1024 };
+      Ops.Readdirplus { dir = dir_fh; cookie = 0L; count = 2048 };
+      Ops.Statfs file_fh;
+      Ops.Fsinfo file_fh;
+      Ops.Pathconf file_fh;
+      Ops.Commit { fh = file_fh; offset = 0L; count = 8192 };
+    ]
+  in
+  List.iter
+    (fun call ->
+      let r = { base_record with call; result = None; reply_time = None } in
+      let r' = roundtrip r in
+      Alcotest.(check bool)
+        (Nt_nfs.Proc.to_string (Record.proc r) ^ " proc survives")
+        true
+        (Record.proc r' = Record.proc r);
+      Alcotest.(check bool) "name survives" true (Record.name r' = Record.name r);
+      Alcotest.(check bool) "fh survives" true
+        (match (Record.fh r', Record.fh r) with
+        | Some a, Some b -> Fh.equal a b
+        | None, None -> true
+        | _ -> false))
+    cases
+
+let test_line_escaping () =
+  let nasty = "has space|pipe=eq%pct\tand tab" in
+  let r = { base_record with call = Ops.Lookup { dir = dir_fh; name = nasty } } in
+  let r' = roundtrip r in
+  Alcotest.(check (option string)) "nasty name survives" (Some nasty) (Record.name r')
+
+let test_line_lost_reply () =
+  let r = { base_record with reply_time = None; result = None } in
+  let r' = roundtrip r in
+  Alcotest.(check bool) "no reply time" true (r'.reply_time = None);
+  Alcotest.(check bool) "no result" true (r'.result = None);
+  Alcotest.(check bool) "not ok" true (not (Record.is_ok r'))
+
+let test_line_error_result () =
+  let r = { base_record with result = Some (Error Types.Err_stale) } in
+  let r' = roundtrip r in
+  Alcotest.(check bool) "stale survives" true (Record.status r' = Some Types.Err_stale)
+
+let test_line_bad_input () =
+  Alcotest.(check bool) "junk rejected" true (Result.is_error (Record.of_line "not a record"));
+  Alcotest.(check bool) "empty rejected" true (Result.is_error (Record.of_line ""))
+
+let test_io_bytes () =
+  Alcotest.(check int) "read bytes from reply" 8192 (Record.io_bytes base_record);
+  let lost = { base_record with result = None } in
+  Alcotest.(check int) "falls back to call count" 8192 (Record.io_bytes lost);
+  let failed = { base_record with result = Some (Error Types.Err_io) } in
+  Alcotest.(check int) "failed IO moves nothing" 0 (Record.io_bytes failed)
+
+let test_channel_roundtrip () =
+  let path = Filename.temp_file "nt_trace" ".trace" in
+  let records = List.init 20 (fun i -> { base_record with xid = i }) in
+  let oc = open_out path in
+  let n = Record.write_channel oc (List.to_seq records) in
+  close_out oc;
+  Alcotest.(check int) "wrote all" 20 n;
+  let ic = open_in path in
+  let back = List.of_seq (Record.read_channel ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "read all" 20 (List.length back);
+  List.iteri (fun i r -> Alcotest.(check int) "xids in order" i r.Record.xid) back
+
+(* --- fh map --- *)
+
+let lookup_record ~dir ~name ~child =
+  {
+    base_record with
+    call = Ops.Lookup { dir; name };
+    result = Some (Ok (Ops.R_lookup { fh = child; obj = None; dir = None }));
+  }
+
+let test_fh_map_paths () =
+  let m = Fh_map.create () in
+  let home = Fh.make ~fsid:1 ~fileid:10 in
+  let user = Fh.make ~fsid:1 ~fileid:11 in
+  let inbox = Fh.make ~fsid:1 ~fileid:12 in
+  Fh_map.observe m (lookup_record ~dir:dir_fh ~name:"users" ~child:home);
+  Fh_map.observe m (lookup_record ~dir:home ~name:"u0042" ~child:user);
+  Fh_map.observe m (lookup_record ~dir:user ~name:".inbox" ~child:inbox);
+  Alcotest.(check (option string)) "leaf name" (Some ".inbox") (Fh_map.name_of m inbox);
+  Alcotest.(check (option string)) "full path" (Some "?/users/u0042/.inbox")
+    (Fh_map.path_of m inbox);
+  Alcotest.(check bool) "parent" true (Fh_map.parent_of m inbox = Some user);
+  Alcotest.(check int) "three bindings" 3 (Fh_map.known m)
+
+let test_fh_map_rename () =
+  let m = Fh_map.create () in
+  let f = Fh.make ~fsid:1 ~fileid:20 in
+  Fh_map.observe m (lookup_record ~dir:dir_fh ~name:"old" ~child:f);
+  Fh_map.observe m
+    {
+      base_record with
+      call = Ops.Rename { from_dir = dir_fh; from_name = "old"; to_dir = dir_fh; to_name = "new" };
+      result = Some (Ok Ops.R_empty);
+    };
+  Alcotest.(check (option string)) "renamed" (Some "new") (Fh_map.name_of m f)
+
+let test_fh_map_resolution_rate () =
+  let m = Fh_map.create () in
+  let a = Fh.make ~fsid:1 ~fileid:30 in
+  let b = Fh.make ~fsid:1 ~fileid:31 in
+  (* First binding: the root is unknown but counted as resolved (empty
+     map bootstrap); child of a known parent is resolved. *)
+  Fh_map.observe m (lookup_record ~dir:dir_fh ~name:"a" ~child:a);
+  Fh_map.observe m (lookup_record ~dir:a ~name:"b" ~child:b);
+  Alcotest.(check (float 1e-9) "fully resolved") 1.0 (Fh_map.resolution_rate m)
+
+(* --- capture over real packets --- *)
+
+let synth_records n =
+  List.init n (fun i ->
+      let call, result =
+        if i mod 3 = 0 then
+          ( Ops.Lookup { dir = dir_fh; name = Printf.sprintf "f%d" i },
+            Some (Ok (Ops.R_lookup { fh = file_fh; obj = None; dir = None })) )
+        else if i mod 3 = 1 then
+          ( Ops.Read { fh = file_fh; offset = Int64.of_int (i * 8192); count = 8192 },
+            Some (Ok (Ops.R_read { attr = None; count = 8192; eof = false })) )
+        else
+          ( Ops.Write { fh = file_fh; offset = 0L; count = 100; stable = Types.File_sync },
+            Some (Ok (Ops.R_write { count = 100; committed = Types.File_sync; attr = None })) )
+      in
+      {
+        base_record with
+        time = 1000. +. float_of_int i;
+        reply_time = Some (1000.4 +. float_of_int i);
+        xid = 7000 + i;
+        call;
+        result;
+      })
+
+let capture_through ~transport records =
+  let buf = Buffer.create 65536 in
+  let writer = Pcap.writer_to_buffer buf in
+  let pipe = Packet_pipe.create ~transport ~writer () in
+  List.iter (Packet_pipe.push pipe) records;
+  Packet_pipe.finish pipe;
+  let cap = Capture.create () in
+  Capture.feed_pcap cap (Pcap.reader_of_string (Buffer.contents buf));
+  Capture.finish cap
+
+let check_recovered records recovered =
+  Alcotest.(check int) "all records recovered" (List.length records) (List.length recovered);
+  List.iter2
+    (fun (orig : Record.t) (got : Record.t) ->
+      Alcotest.(check bool) "proc" true (Record.proc got = Record.proc orig);
+      Alcotest.(check int) "xid" orig.xid got.xid;
+      Alcotest.(check int) "uid" orig.uid got.uid;
+      Alcotest.(check bool) "offset" true (Record.offset got = Record.offset orig);
+      Alcotest.(check bool) "has reply" true (got.result <> None))
+    records recovered
+
+let test_capture_udp_roundtrip () =
+  let records = synth_records 30 in
+  let stats, recovered = capture_through ~transport:Packet_pipe.Udp_transport records in
+  Alcotest.(check int) "calls" 30 stats.calls;
+  Alcotest.(check int) "replies" 30 stats.replies;
+  Alcotest.(check int) "no losses" 0 (stats.orphan_replies + stats.lost_replies);
+  check_recovered records recovered
+
+let test_capture_tcp_roundtrip () =
+  let records = synth_records 30 in
+  let stats, recovered = capture_through ~transport:Packet_pipe.Tcp_transport records in
+  Alcotest.(check int) "calls" 30 stats.calls;
+  Alcotest.(check int) "replies" 30 stats.replies;
+  Alcotest.(check int) "no tcp gaps" 0 stats.tcp_gaps;
+  check_recovered records recovered
+
+let test_capture_lost_reply () =
+  (* A record with no reply: the capture should flush it as lost. *)
+  let records = [ { base_record with reply_time = None; result = None } ] in
+  let stats, recovered = capture_through ~transport:Packet_pipe.Udp_transport records in
+  Alcotest.(check int) "one lost reply" 1 stats.lost_replies;
+  match recovered with
+  | [ r ] -> Alcotest.(check bool) "emitted without result" true (r.result = None)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_capture_orphan_reply () =
+  (* Build a pcap, then drop the first (call) packet before feeding. *)
+  let records = [ List.hd (synth_records 1) ] in
+  let buf = Buffer.create 4096 in
+  let writer = Pcap.writer_to_buffer buf in
+  let pipe = Packet_pipe.create ~transport:Packet_pipe.Udp_transport ~writer () in
+  List.iter (Packet_pipe.push pipe) records;
+  Packet_pipe.finish pipe;
+  let reader = Pcap.reader_of_string (Buffer.contents buf) in
+  let cap = Capture.create () in
+  (match Pcap.read_next reader with Some _ -> () | None -> Alcotest.fail "missing call packet");
+  Seq.iter (fun (p : Pcap.packet) -> Capture.feed_packet cap ~time:p.time p.data)
+    (Pcap.packets reader);
+  let stats, recovered = Capture.finish cap in
+  Alcotest.(check int) "orphan reply counted" 1 stats.orphan_replies;
+  Alcotest.(check int) "nothing decodable" 0 (List.length recovered)
+
+let test_capture_garbage_frame () =
+  let cap = Capture.create () in
+  Capture.feed_packet cap ~time:1. "garbage bytes that are not a frame";
+  let stats, _ = Capture.finish cap in
+  Alcotest.(check int) "undecodable counted" 1 stats.undecodable_frames
+
+(* --- anonymizer --- *)
+
+let anon ?(config = Anonymize.default_config) () = Anonymize.create ~seed:9L config
+
+let test_anon_consistent () =
+  let a = anon () in
+  Alcotest.(check string) "same input same output" (Anonymize.name a "thesis.tex")
+    (Anonymize.name a "thesis.tex")
+
+let test_anon_changes_names () =
+  let a = anon () in
+  Alcotest.(check bool) "name is anonymized" false
+    (String.equal (Anonymize.name a "secret-project.txt") "secret-project.txt")
+
+let test_anon_suffix_shared () =
+  let a = anon () in
+  let n1 = Anonymize.name a "alpha.c" and n2 = Anonymize.name a "beta.c" in
+  let suffix s = String.sub s (String.rindex s '.') (String.length s - String.rindex s '.') in
+  Alcotest.(check string) "shared suffix" (suffix n1) (suffix n2);
+  Alcotest.(check bool) "different stems" false (String.equal n1 n2)
+
+let test_anon_special_affixes () =
+  let a = anon () in
+  let plain = Anonymize.name a "report" in
+  Alcotest.(check string) "backup keeps ~" (plain ^ "~") (Anonymize.name a "report~");
+  Alcotest.(check string) "rcs keeps ,v" (plain ^ ",v") (Anonymize.name a "report,v");
+  Alcotest.(check string) "autosave keeps ##" ("#" ^ plain ^ "#") (Anonymize.name a "#report#")
+
+let test_anon_preserved_names () =
+  let a = anon () in
+  List.iter
+    (fun n -> Alcotest.(check string) "preserved verbatim" n (Anonymize.name a n))
+    [ "CVS"; ".inbox"; ".pinerc"; "lock"; "mbox" ]
+
+let test_anon_lock_suffix_preserved () =
+  let a = anon () in
+  let n = Anonymize.name a "mailbox.lock" in
+  Alcotest.(check bool) "keeps .lock" true
+    (String.length n > 5 && String.sub n (String.length n - 5) 5 = ".lock");
+  Alcotest.(check bool) "stem anonymized" false (String.equal n "mailbox.lock")
+
+let test_anon_dotfile_keeps_dot () =
+  let a = anon () in
+  let n = Anonymize.name a ".secretrc" in
+  Alcotest.(check bool) "leading dot kept" true (n.[0] = '.');
+  Alcotest.(check bool) "rest anonymized" false (String.equal n ".secretrc")
+
+let test_anon_uid_gid () =
+  let a = anon () in
+  Alcotest.(check int) "root preserved" 0 (Anonymize.uid a 0);
+  let u = Anonymize.uid a 1042 in
+  Alcotest.(check bool) "uid mapped" true (u <> 1042);
+  Alcotest.(check int) "uid stable" u (Anonymize.uid a 1042);
+  Alcotest.(check bool) "distinct uids distinct" true (Anonymize.uid a 1043 <> u)
+
+let test_anon_ip () =
+  let a = anon () in
+  let ip = Ip.v 128 103 60 15 in
+  let mapped = Anonymize.ip a ip in
+  Alcotest.(check bool) "ip mapped" true (mapped <> ip);
+  Alcotest.(check bool) "ip stable" true (Anonymize.ip a ip = mapped)
+
+let test_anon_seeds_differ () =
+  let a = Anonymize.create ~seed:1L Anonymize.default_config in
+  let b = Anonymize.create ~seed:2L Anonymize.default_config in
+  Alcotest.(check bool) "different seeds, different mapping" false
+    (String.equal (Anonymize.name a "projectx.dat") (Anonymize.name b "projectx.dat"))
+
+let test_anon_record () =
+  let a = anon () in
+  let r = { base_record with call = Ops.Lookup { dir = dir_fh; name = "grant-proposal.doc" } } in
+  let r' = Anonymize.record a r in
+  Alcotest.(check bool) "uid anonymized" true (r'.uid <> r.uid);
+  Alcotest.(check bool) "client anonymized" true (r'.client <> r.client);
+  Alcotest.(check bool) "name anonymized" true (Record.name r' <> Record.name r);
+  (* Structure preserved. *)
+  Alcotest.(check bool) "proc preserved" true (Record.proc r' = Record.proc r);
+  Alcotest.(check (float 0.) "time untouched") r.time r'.time
+
+let test_anon_omit () =
+  let a = anon ~config:Anonymize.omit_config () in
+  Alcotest.(check string) "name dropped" "x" (Anonymize.name a "anything.txt");
+  Alcotest.(check int) "uid dropped" 0 (Anonymize.uid a 1234)
+
+let test_anon_categories_survive () =
+  (* The Names analysis must still classify anonymized traces. *)
+  let a = anon () in
+  let check_cat name =
+    let cat = Nt_analysis.Names.categorize name in
+    let cat' = Nt_analysis.Names.categorize (Anonymize.name a name) in
+    Alcotest.(check string)
+      (name ^ " category survives anonymization")
+      (Nt_analysis.Names.category_to_string cat)
+      (Nt_analysis.Names.category_to_string cat')
+  in
+  List.iter check_cat [ ".inbox"; ".inbox.lock"; "mbox"; "draft~"; "#draft#"; "module.c,v" ]
+
+(* --- robustness: a passive tracer must survive hostile input --- *)
+
+let prop_capture_never_crashes_on_garbage =
+  QCheck.Test.make ~name:"capture survives arbitrary frames" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 400))
+    (fun junk ->
+      let cap = Capture.create () in
+      Capture.feed_packet cap ~time:1. junk;
+      let stats, _ = Capture.finish cap in
+      stats.frames = 1)
+
+let prop_capture_survives_bitflips =
+  QCheck.Test.make ~name:"capture survives bit-flipped real packets" ~count:200
+    QCheck.(pair (int_range 0 10_000) small_int)
+    (fun (pos_seed, flip) ->
+      (* Take a real UDP-encoded NFS call frame and corrupt one byte. *)
+      let r = List.hd (synth_records 1) in
+      let buf = Buffer.create 4096 in
+      let writer = Pcap.writer_to_buffer buf in
+      let pipe = Packet_pipe.create ~transport:Packet_pipe.Udp_transport ~writer () in
+      Packet_pipe.push pipe r;
+      Packet_pipe.finish pipe;
+      let pcap = Bytes.of_string (Buffer.contents buf) in
+      let n = Bytes.length pcap in
+      (* Corrupt only past the pcap global header so the reader itself
+         stays parseable. *)
+      if n > 48 then begin
+        let pos = 40 + (pos_seed mod (n - 48)) in
+        Bytes.set pcap pos (Char.chr (Char.code (Bytes.get pcap pos) lxor (1 + (flip mod 255))))
+      end;
+      match Pipeline_capture.run (Bytes.to_string pcap) with
+      | exception Pcap.Bad_format _ -> true (* corrupt lengths may be detected *)
+      | _stats -> true)
+
+let prop_of_line_never_crashes =
+  QCheck.Test.make ~name:"record parser is total" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Record.of_line s with Ok _ -> true | Error _ -> true)
+
+let prop_record_line_roundtrip =
+  QCheck.Test.make ~name:"record text format roundtrips" ~count:300
+    QCheck.(
+      quad (int_range 0 0xFFFFFF) (int_range 0 100000) (int_range 0 5_000_000)
+        (string_of_size Gen.(1 -- 30)))
+    (fun (xid, uid, off, name) ->
+      QCheck.assume (not (String.contains name '/'));
+      let r =
+        {
+          base_record with
+          xid;
+          uid;
+          call =
+            (if off mod 2 = 0 then Ops.Lookup { dir = dir_fh; name }
+             else Ops.Read { fh = file_fh; offset = Int64.of_int off; count = 1 + (off mod 9000) });
+          result = None;
+          reply_time = None;
+        }
+      in
+      match Record.of_line (Record.to_line r) with
+      | Ok r' ->
+          r'.xid = xid && r'.uid = uid
+          && Record.name r' = Record.name r
+          && Record.offset r' = Record.offset r
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "nt_trace"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip read" `Quick test_line_roundtrip_read;
+          Alcotest.test_case "roundtrip all procs" `Quick test_line_roundtrip_all_procs;
+          Alcotest.test_case "escaping" `Quick test_line_escaping;
+          Alcotest.test_case "lost reply" `Quick test_line_lost_reply;
+          Alcotest.test_case "error result" `Quick test_line_error_result;
+          Alcotest.test_case "bad input" `Quick test_line_bad_input;
+          Alcotest.test_case "io bytes" `Quick test_io_bytes;
+          Alcotest.test_case "channel roundtrip" `Quick test_channel_roundtrip;
+          QCheck_alcotest.to_alcotest prop_record_line_roundtrip;
+          QCheck_alcotest.to_alcotest prop_of_line_never_crashes;
+        ] );
+      ( "fh_map",
+        [
+          Alcotest.test_case "paths" `Quick test_fh_map_paths;
+          Alcotest.test_case "rename" `Quick test_fh_map_rename;
+          Alcotest.test_case "resolution rate" `Quick test_fh_map_resolution_rate;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "udp roundtrip" `Quick test_capture_udp_roundtrip;
+          Alcotest.test_case "tcp roundtrip" `Quick test_capture_tcp_roundtrip;
+          Alcotest.test_case "lost reply" `Quick test_capture_lost_reply;
+          Alcotest.test_case "orphan reply" `Quick test_capture_orphan_reply;
+          Alcotest.test_case "garbage frame" `Quick test_capture_garbage_frame;
+          QCheck_alcotest.to_alcotest prop_capture_never_crashes_on_garbage;
+          QCheck_alcotest.to_alcotest prop_capture_survives_bitflips;
+        ] );
+      ( "anonymize",
+        [
+          Alcotest.test_case "consistent" `Quick test_anon_consistent;
+          Alcotest.test_case "changes names" `Quick test_anon_changes_names;
+          Alcotest.test_case "suffix shared" `Quick test_anon_suffix_shared;
+          Alcotest.test_case "special affixes" `Quick test_anon_special_affixes;
+          Alcotest.test_case "preserved names" `Quick test_anon_preserved_names;
+          Alcotest.test_case "lock suffix" `Quick test_anon_lock_suffix_preserved;
+          Alcotest.test_case "dotfile dot" `Quick test_anon_dotfile_keeps_dot;
+          Alcotest.test_case "uid/gid" `Quick test_anon_uid_gid;
+          Alcotest.test_case "ip" `Quick test_anon_ip;
+          Alcotest.test_case "seeds differ" `Quick test_anon_seeds_differ;
+          Alcotest.test_case "record" `Quick test_anon_record;
+          Alcotest.test_case "omit mode" `Quick test_anon_omit;
+          Alcotest.test_case "categories survive" `Quick test_anon_categories_survive;
+        ] );
+    ]

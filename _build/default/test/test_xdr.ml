@@ -1,0 +1,205 @@
+(* XDR codec tests: round trips, wire layout, padding and error
+   handling per RFC 4506. *)
+
+module E = Nt_xdr.Encode
+module D = Nt_xdr.Decode
+
+let encode f =
+  let e = E.create () in
+  f e;
+  E.contents e
+
+let decode s f = f (D.of_string s)
+
+let roundtrip enc dec v =
+  let s = encode (fun e -> enc e v) in
+  decode s dec
+
+let test_uint32_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) "uint32" v (roundtrip E.uint32 D.uint32 v))
+    [ 0; 1; 255; 256; 65535; 0x12345678; 0xFFFFFFFF ]
+
+let test_uint32_wire_layout () =
+  Alcotest.(check string) "big endian" "\x12\x34\x56\x78"
+    (encode (fun e -> E.uint32 e 0x12345678))
+
+let test_int32_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int32) "int32" v (roundtrip E.int32 D.int32 v))
+    [ 0l; 1l; -1l; Int32.max_int; Int32.min_int ]
+
+let test_uint64_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int64) "uint64" v (roundtrip E.uint64 D.uint64 v))
+    [ 0L; 1L; 0xFFFFFFFFL; 0x123456789ABCDEFL; Int64.max_int; -1L ]
+
+let test_bool_roundtrip () =
+  Alcotest.(check bool) "true" true (roundtrip E.bool D.bool true);
+  Alcotest.(check bool) "false" false (roundtrip E.bool D.bool false)
+
+let test_bool_bad_value () =
+  let s = encode (fun e -> E.uint32 e 7) in
+  Alcotest.check_raises "bool 7 rejected" (D.Error "bad boolean 7") (fun () ->
+      ignore (decode s D.bool))
+
+let test_enum_negative () =
+  Alcotest.(check int) "negative enum" (-3) (roundtrip E.enum D.enum (-3))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check string) "string" v (roundtrip E.string D.string v))
+    [ ""; "a"; "ab"; "abc"; "abcd"; "hello world"; String.make 1000 'x' ]
+
+let test_string_padding () =
+  (* "abc" -> 4 length + 3 data + 1 pad = 8 bytes. *)
+  Alcotest.(check int) "padded length" 8 (String.length (encode (fun e -> E.string e "abc")));
+  Alcotest.(check int) "aligned length" 8 (String.length (encode (fun e -> E.string e "abcd")))
+
+let test_opaque_binary () =
+  let v = "\x00\x01\xFF\xFE\x7F" in
+  Alcotest.(check string) "binary opaque" v (roundtrip E.opaque D.opaque v)
+
+let test_fixed_opaque () =
+  let s = encode (fun e -> E.fixed_opaque e "xyz") in
+  Alcotest.(check int) "fixed padded to 4" 4 (String.length s);
+  Alcotest.(check string) "fixed roundtrip" "xyz" (decode s (fun d -> D.fixed_opaque d 3))
+
+let test_array_roundtrip () =
+  let v = [ 3; 1; 4; 1; 5 ] in
+  let s = encode (fun e -> E.array e (E.uint32 e) v) in
+  Alcotest.(check (list int)) "array" v (decode s (fun d -> D.array d D.uint32))
+
+let test_array_empty () =
+  let s = encode (fun e -> E.array e (E.uint32 e) []) in
+  Alcotest.(check (list int)) "empty array" [] (decode s (fun d -> D.array d D.uint32))
+
+let test_optional_roundtrip () =
+  let enc e v = E.optional e (E.uint32 e) v in
+  let dec d = D.optional d D.uint32 in
+  Alcotest.(check (option int)) "some" (Some 9) (roundtrip enc dec (Some 9));
+  Alcotest.(check (option int)) "none" None (roundtrip enc dec None)
+
+let test_truncated_uint32 () =
+  Alcotest.(check bool) "truncated raises" true
+    (try
+       ignore (decode "\x00\x01" D.uint32);
+       false
+     with D.Error _ -> true)
+
+let test_opaque_absurd_length () =
+  (* Claims 1GB of data in a 8-byte buffer. *)
+  let s = encode (fun e -> E.uint32 e 0x40000000) ^ "data" in
+  Alcotest.(check bool) "absurd length rejected" true
+    (try
+       ignore (decode s D.opaque);
+       false
+     with D.Error _ -> true)
+
+let test_array_absurd_count () =
+  let s = encode (fun e -> E.uint32 e 0x100000) in
+  Alcotest.(check bool) "absurd count rejected" true
+    (try
+       ignore (decode s (fun d -> D.array d D.uint32));
+       false
+     with D.Error _ -> true)
+
+let test_decode_window () =
+  let s = "AAAA\x00\x00\x00\x05BBBB" in
+  let d = D.of_string ~pos:4 ~len:4 s in
+  Alcotest.(check int) "window read" 5 (D.uint32 d);
+  Alcotest.(check bool) "at end" true (D.at_end d)
+
+let test_decode_window_bounds () =
+  Alcotest.(check bool) "bad window rejected" true
+    (try
+       ignore (D.of_string ~pos:2 ~len:10 "abc");
+       false
+     with D.Error _ -> true)
+
+let test_skip_and_pos () =
+  let d = D.of_string "abcdefgh" in
+  D.skip d 4;
+  Alcotest.(check int) "pos after skip" 4 (D.pos d);
+  Alcotest.(check int) "remaining" 4 (D.remaining d)
+
+let test_reset_reuse () =
+  let e = E.create () in
+  E.uint32 e 1;
+  E.reset e;
+  E.uint32 e 2;
+  Alcotest.(check int) "reset buffer reused" 2 (decode (E.contents e) D.uint32)
+
+(* Properties: everything XDR writes is 4-byte aligned and round-trips. *)
+
+let prop_alignment =
+  QCheck.Test.make ~name:"encodings are 4-byte aligned" ~count:500 QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      let buf = encode (fun e -> E.string e s) in
+      String.length buf mod 4 = 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:500 QCheck.(string_of_size Gen.(0 -- 300))
+    (fun s -> String.equal s (roundtrip E.string D.string s))
+
+let prop_uint64_roundtrip =
+  QCheck.Test.make ~name:"uint64 roundtrip" ~count:500 QCheck.int64 (fun v ->
+      Int64.equal v (roundtrip E.uint64 D.uint64 v))
+
+let prop_mixed_sequence =
+  QCheck.Test.make ~name:"mixed field sequence roundtrip" ~count:300
+    QCheck.(triple (int_range 0 0xFFFFFFF) (string_of_size Gen.(0 -- 50)) bool)
+    (fun (n, s, b) ->
+      let buf =
+        encode (fun e ->
+            E.uint32 e n;
+            E.string e s;
+            E.bool e b)
+      in
+      decode buf (fun d ->
+          let n' = D.uint32 d in
+          let s' = D.string d in
+          let b' = D.bool d in
+          n = n' && String.equal s s' && Bool.equal b b' && D.at_end d))
+
+let () =
+  Alcotest.run "nt_xdr"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "uint32" `Quick test_uint32_roundtrip;
+          Alcotest.test_case "uint32 wire layout" `Quick test_uint32_wire_layout;
+          Alcotest.test_case "int32" `Quick test_int32_roundtrip;
+          Alcotest.test_case "uint64" `Quick test_uint64_roundtrip;
+          Alcotest.test_case "bool" `Quick test_bool_roundtrip;
+          Alcotest.test_case "enum negative" `Quick test_enum_negative;
+          Alcotest.test_case "string" `Quick test_string_roundtrip;
+          Alcotest.test_case "string padding" `Quick test_string_padding;
+          Alcotest.test_case "opaque binary" `Quick test_opaque_binary;
+          Alcotest.test_case "fixed opaque" `Quick test_fixed_opaque;
+          Alcotest.test_case "array" `Quick test_array_roundtrip;
+          Alcotest.test_case "array empty" `Quick test_array_empty;
+          Alcotest.test_case "optional" `Quick test_optional_roundtrip;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "bad bool" `Quick test_bool_bad_value;
+          Alcotest.test_case "truncated uint32" `Quick test_truncated_uint32;
+          Alcotest.test_case "absurd opaque length" `Quick test_opaque_absurd_length;
+          Alcotest.test_case "absurd array count" `Quick test_array_absurd_count;
+          Alcotest.test_case "window bounds" `Quick test_decode_window_bounds;
+        ] );
+      ( "cursor",
+        [
+          Alcotest.test_case "decode window" `Quick test_decode_window;
+          Alcotest.test_case "skip and pos" `Quick test_skip_and_pos;
+          Alcotest.test_case "encoder reset" `Quick test_reset_reuse;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_alignment;
+          QCheck_alcotest.to_alcotest prop_string_roundtrip;
+          QCheck_alcotest.to_alcotest prop_uint64_roundtrip;
+          QCheck_alcotest.to_alcotest prop_mixed_sequence;
+        ] );
+    ]
