@@ -5,22 +5,34 @@
 
 open Cmdliner
 
-let run input output =
+let run input output salvage =
   let ic = if input = "-" then stdin else open_in_bin input in
-  let reader = Nt_net.Pcap.reader_of_channel ic in
-  let oc = if output = "-" then stdout else open_out output in
-  let emit r =
-    output_string oc (Nt_trace.Record.to_line r);
-    output_char oc '\n'
+  let decode () =
+    let reader = Nt_net.Pcap.reader_of_channel ~salvage ic in
+    let oc = if output = "-" then stdout else open_out output in
+    let emit r =
+      output_string oc (Nt_trace.Record.to_line r);
+      output_char oc '\n'
+    in
+    (* Stream records as replies complete; unanswered calls flush at EOF. *)
+    let capture = Nt_trace.Capture.create ~emit () in
+    Nt_trace.Capture.feed_pcap capture reader;
+    let stats, _ = Nt_trace.Capture.finish capture in
+    if output <> "-" then close_out oc;
+    Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats)
   in
-  (* Stream records as replies complete; unanswered calls flush at EOF. *)
-  let capture = Nt_trace.Capture.create ~emit () in
-  Nt_trace.Capture.feed_pcap capture reader;
-  let stats, _ = Nt_trace.Capture.finish capture in
+  let status =
+    match decode () with
+    | () -> 0
+    | exception Nt_net.Pcap.Bad_format msg ->
+        (* Salvage resyncs past damaged records, but a damaged global
+           header leaves no endianness/tick-unit to resync with. *)
+        let hint = if salvage then "" else "; retry with --salvage to resync past damage" in
+        Printf.eprintf "nfstrace: corrupt pcap (%s)%s\n%!" msg hint;
+        1
+  in
   if input <> "-" then close_in ic;
-  if output <> "-" then close_out oc;
-  Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats);
-  0
+  status
 
 let input =
   Arg.(
@@ -31,9 +43,17 @@ let output =
     value & opt string "-"
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file (- for stdout).")
 
+let salvage =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Resync past corrupt pcap record headers instead of aborting; skipped bytes and \
+           salvaged records are counted in the stats line.")
+
 let cmd =
   Cmd.v
     (Cmd.info "nfstrace" ~doc:"Decode a pcap capture into NFS trace records")
-    Term.(const run $ input $ output)
+    Term.(const run $ input $ output $ salvage)
 
 let () = exit (Cmd.eval' cmd)

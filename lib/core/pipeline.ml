@@ -83,8 +83,57 @@ let eecs_to_pcap ?config ?(monitor_loss = 0.) ~start ~stop ~writer () =
   to_pcap ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer ~simulate:(fun ~sink ->
       simulate_eecs ?config ~start ~stop ~sink ())
 
-let capture_pcap pcap_bytes =
-  let reader = Nt_net.Pcap.reader_of_string pcap_bytes in
+let capture_pcap ?salvage pcap_bytes =
+  let reader = Nt_net.Pcap.reader_of_string ?salvage pcap_bytes in
   let capture = Nt_trace.Capture.create () in
   Nt_trace.Capture.feed_pcap capture reader;
   Nt_trace.Capture.finish capture
+
+(* --- degraded-vs-clean differential harness --- *)
+
+module Fault = Nt_sim.Fault
+
+type degraded_run = {
+  simulated : int;
+  clean : Nt_trace.Capture.stats;
+  degraded : Nt_trace.Capture.stats;
+  faults : Fault.counts;
+  clean_records : Nt_trace.Record.t list;
+  degraded_records : Nt_trace.Record.t list;
+}
+
+let run_degraded ?(seed = 2003L) ?(mangle_flips = 0) ~transport ~plan records =
+  let through plan =
+    let buf = Buffer.create (1 lsl 20) in
+    let writer = Nt_net.Pcap.writer_to_buffer buf in
+    let pipe = Packet_pipe.create ~fault:plan ~seed ~transport ~writer () in
+    List.iter (Packet_pipe.push pipe) records;
+    Packet_pipe.finish pipe;
+    (Buffer.contents buf, Packet_pipe.faults pipe)
+  in
+  let clean_pcap, _ = through Fault.none in
+  let degraded_pcap, faults = through plan in
+  let degraded_pcap, _ =
+    if mangle_flips > 0 then Fault.mangle_pcap ~seed ~flips:mangle_flips degraded_pcap
+    else (degraded_pcap, 0)
+  in
+  let clean, clean_records = capture_pcap clean_pcap in
+  let degraded, degraded_records = capture_pcap ~salvage:true degraded_pcap in
+  { simulated = List.length records; clean; degraded; faults; clean_records; degraded_records }
+
+let collect_records simulate =
+  let acc = ref [] in
+  let stats = simulate ~sink:(fun r -> acc := r :: !acc) in
+  (stats, List.rev !acc)
+
+let campus_degraded ?config ?seed ?mangle_flips ~plan ~start ~stop () =
+  let _, records =
+    collect_records (fun ~sink -> simulate_campus ?config ~start ~stop ~sink ())
+  in
+  run_degraded ?seed ?mangle_flips ~transport:Packet_pipe.Tcp_transport ~plan records
+
+let eecs_degraded ?config ?seed ?mangle_flips ~plan ~start ~stop () =
+  let _, records =
+    collect_records (fun ~sink -> simulate_eecs ?config ~start ~stop ~sink ())
+  in
+  run_degraded ?seed ?mangle_flips ~transport:Packet_pipe.Udp_transport ~plan records

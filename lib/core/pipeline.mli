@@ -58,6 +58,55 @@ val eecs_to_pcap :
   pcap_stats
 (** EECS traffic as NFS-over-UDP packets (mixed v2/v3 clients). *)
 
-val capture_pcap : string -> Nt_trace.Capture.stats * Nt_trace.Record.t list
+val capture_pcap : ?salvage:bool -> string -> Nt_trace.Capture.stats * Nt_trace.Record.t list
 (** Decode a pcap byte string back into trace records — the passive
-    tracer itself. *)
+    tracer itself. [salvage] enables resync past corrupt pcap record
+    headers (see {!Nt_net.Pcap}). *)
+
+type degraded_run = {
+  simulated : int;  (** records pushed into both pipes *)
+  clean : Nt_trace.Capture.stats;
+  degraded : Nt_trace.Capture.stats;
+  faults : Nt_sim.Fault.counts;  (** what was actually injected *)
+  clean_records : Nt_trace.Record.t list;
+  degraded_records : Nt_trace.Record.t list;
+}
+
+val run_degraded :
+  ?seed:int64 ->
+  ?mangle_flips:int ->
+  transport:Nt_sim.Packet_pipe.transport ->
+  plan:Nt_sim.Fault.plan ->
+  Nt_trace.Record.t list ->
+  degraded_run
+(** Run the same records through a clean capture and a fault-injected
+    one (same pipe seed, so the only difference is the plan), decoding
+    the degraded pcap in salvage mode. [mangle_flips] additionally
+    flips that many bytes of the degraded pcap stream itself —
+    savefile-level corruption the salvage reader must absorb. Tests
+    assert two things against the result: conservation (each injected
+    fault appears in exactly one capture counter) and bounded analysis
+    drift (clean vs degraded metrics stay within tolerance at realistic
+    loss rates). *)
+
+val campus_degraded :
+  ?config:Nt_workload.Email.config ->
+  ?seed:int64 ->
+  ?mangle_flips:int ->
+  plan:Nt_sim.Fault.plan ->
+  start:float ->
+  stop:float ->
+  unit ->
+  degraded_run
+(** CAMPUS (TCP) differential run over a simulated interval. *)
+
+val eecs_degraded :
+  ?config:Nt_workload.Research.config ->
+  ?seed:int64 ->
+  ?mangle_flips:int ->
+  plan:Nt_sim.Fault.plan ->
+  start:float ->
+  stop:float ->
+  unit ->
+  degraded_run
+(** EECS (UDP) differential run over a simulated interval. *)

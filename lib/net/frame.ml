@@ -92,6 +92,16 @@ let encode t =
   ignore payload;
   Bytes.unsafe_to_string b
 
+let header_checksum_ok s =
+  let len = String.length s in
+  if len < 34 || get16 s 12 <> ethertype_ipv4 then true
+  else begin
+    let vihl = get8 s 14 in
+    let ihl = (vihl land 0xF) * 4 in
+    if vihl lsr 4 <> 4 || ihl < 20 || 14 + ihl > len then true
+    else ipv4_checksum s ~pos:14 ~len:ihl = 0
+  end
+
 let decode s =
   let len = String.length s in
   if len < 34 then Error "frame too short"

@@ -40,3 +40,10 @@ val decode : string -> (t, string) result
 
 val ipv4_checksum : string -> pos:int -> len:int -> int
 (** One's-complement checksum over a header region, exposed for tests. *)
+
+val header_checksum_ok : string -> bool
+(** Verify the IPv4 header checksum of an encoded frame. [true] when
+    the checksum verifies {e or} the frame is not structurally IPv4 (a
+    structural failure is {!decode}'s to report); [false] means the
+    frame parsed but its header bytes were corrupted in flight — the
+    capture engine counts these separately from undecodable frames. *)

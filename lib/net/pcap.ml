@@ -59,11 +59,55 @@ let write w ~time data =
 
 type source = From_string of { data : string; mutable pos : int } | From_channel of in_channel
 
+type read_stats = {
+  records : int;
+  salvaged : int;
+  skipped_bytes : int;
+  truncated_tail : bool;
+}
+
 type reader = {
   source : source;
   big_endian : bool;
   nanosecond : bool;
+  salvage : bool;
+  mutable stash : string;  (* bytes read from the source but not yet consumed *)
+  mutable records : int;
+  mutable salvaged : int;
+  mutable skipped : int;
+  mutable truncated_tail : bool;
+  mutable last_sec : int;  (* timestamp of the last good record, for resync *)
 }
+
+(* Read up to [n] bytes, consuming the stash first; shorter only at EOF. *)
+let read_upto r n =
+  let from_stash = min n (String.length r.stash) in
+  let head = String.sub r.stash 0 from_stash in
+  r.stash <- String.sub r.stash from_stash (String.length r.stash - from_stash);
+  let want = n - from_stash in
+  if want = 0 then head
+  else
+    match r.source with
+    | From_string s ->
+        let got = min want (String.length s.data - s.pos) in
+        let tail = String.sub s.data s.pos got in
+        s.pos <- s.pos + got;
+        head ^ tail
+    | From_channel ic ->
+        let b = Bytes.create want in
+        let rec fill off =
+          if off >= want then want
+          else
+            let got = input ic b off (want - off) in
+            if got = 0 then off else fill (off + got)
+        in
+        let got = fill 0 in
+        head ^ Bytes.sub_string b 0 got
+
+let u32 ~be s pos =
+  let b i = Char.code s.[pos + i] in
+  if be then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  else (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
 
 let read_exact source n =
   match source with
@@ -81,12 +125,7 @@ let read_exact source n =
         Some (Bytes.to_string b)
       with End_of_file -> None)
 
-let u32 ~be s pos =
-  let b i = Char.code s.[pos + i] in
-  if be then (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
-  else (b 3 lsl 24) lor (b 2 lsl 16) lor (b 1 lsl 8) lor b 0
-
-let make_reader source =
+let make_reader ~salvage source =
   match read_exact source 24 with
   | None -> raise (Bad_format "missing global header")
   | Some hdr ->
@@ -107,28 +146,140 @@ let make_reader source =
       let linktype = u32 ~be:big_endian hdr 20 in
       if linktype <> linktype_ethernet then
         raise (Bad_format (Printf.sprintf "unsupported linktype %d" linktype));
-      { source; big_endian; nanosecond }
+      {
+        source;
+        big_endian;
+        nanosecond;
+        salvage;
+        stash = "";
+        records = 0;
+        salvaged = 0;
+        skipped = 0;
+        truncated_tail = false;
+        last_sec = 0;
+      }
 
-let reader_of_string s = make_reader (From_string { data = s; pos = 0 })
-let reader_of_channel ic = make_reader (From_channel ic)
+let reader_of_string ?(salvage = false) s =
+  make_reader ~salvage (From_string { data = s; pos = 0 })
+
+let reader_of_channel ?(salvage = false) ic = make_reader ~salvage (From_channel ic)
+
+let read_stats r =
+  {
+    records = r.records;
+    salvaged = r.salvaged;
+    skipped_bytes = r.skipped;
+    truncated_tail = r.truncated_tail;
+  }
+
+(* A header is plausible when its lengths are frame-sized and its
+   fractional timestamp is in range — the resync test applied to each
+   byte offset while salvaging past a corrupt record. *)
+let max_salvage_record = 0x100000
+
+let plausible r ~sec ~frac ~incl ~orig_len =
+  (* A captured frame is never empty: incl = 0 would make runs of zero
+     bytes (common inside NFS payloads) look like valid records. 14 is
+     the bare Ethernet header. *)
+  incl >= 14
+  && incl <= max_salvage_record && orig_len >= incl
+  && orig_len <= max_salvage_record
+  && frac < (if r.nanosecond then 1_000_000_000 else 1_000_000)
+  && (r.last_sec = 0 || abs (sec - r.last_sec) <= 30 * 86400)
+
+let parse_header r hdr =
+  let be = r.big_endian in
+  (u32 ~be hdr 0, u32 ~be hdr 4, u32 ~be hdr 8, u32 ~be hdr 12)
+
+(* Slide a 16-byte window one byte forward looking for the next
+   plausible record header; everything skipped is counted. *)
+let resync r hdr =
+  let window = ref hdr in
+  let result = ref None in
+  let continue = ref true in
+  while !continue do
+    let next = read_upto r 1 in
+    if String.length next = 0 then begin
+      (* EOF inside the corrupt region: the tail is unrecoverable. *)
+      r.skipped <- r.skipped + String.length !window;
+      r.truncated_tail <- true;
+      continue := false
+    end
+    else begin
+      r.skipped <- r.skipped + 1;
+      window := String.sub !window 1 15 ^ next;
+      let sec, frac, incl, orig_len = parse_header r !window in
+      if plausible r ~sec ~frac ~incl ~orig_len then begin
+        result := Some !window;
+        continue := false
+      end
+    end
+  done;
+  !result
+
+let accept r ~salvaged ~sec ~frac ~orig_len data =
+  r.records <- r.records + 1;
+  if salvaged then r.salvaged <- r.salvaged + 1;
+  r.last_sec <- sec;
+  let scale = if r.nanosecond then 1e-9 else 1e-6 in
+  Some { time = Float.of_int sec +. (Float.of_int frac *. scale); orig_len; data }
+
+(* Keep resyncing until a plausible header is followed by a full
+   payload that ends at a record boundary — EOF or another plausible
+   header. The double-validation rejects false positives that a single
+   header test lets through (byte patterns inside packet payloads can
+   parse as headers with large lengths and would swallow real records).
+   Rejected candidates go back into the stash and the scan continues. *)
+let rec salvage_from r hdr =
+  match resync r hdr with
+  | None -> None
+  | Some h ->
+      let sec, frac, incl, orig_len = parse_header r h in
+      let data = read_upto r incl in
+      if String.length data < incl then begin
+        r.stash <- data ^ r.stash;
+        salvage_from r h
+      end
+      else begin
+        let peek = read_upto r 16 in
+        r.stash <- peek ^ r.stash;
+        let boundary_ok =
+          String.length peek < 16
+          ||
+          let s2, f2, i2, o2 = parse_header r peek in
+          plausible r ~sec:s2 ~frac:f2 ~incl:i2 ~orig_len:o2
+        in
+        if boundary_ok then accept r ~salvaged:true ~sec ~frac ~orig_len data
+        else begin
+          r.stash <- data ^ r.stash;
+          salvage_from r h
+        end
+      end
 
 let read_next r =
-  match read_exact r.source 16 with
-  | None -> None
-  | Some hdr ->
-      let be = r.big_endian in
-      let sec = u32 ~be hdr 0 in
-      let frac = u32 ~be hdr 4 in
-      let incl = u32 ~be hdr 8 in
-      let orig_len = u32 ~be hdr 12 in
-      if incl > 0x4000000 then raise (Bad_format "absurd packet length");
-      let data =
-        match read_exact r.source incl with
-        | Some d -> d
-        | None -> raise (Bad_format "truncated packet record")
-      in
-      let scale = if r.nanosecond then 1e-9 else 1e-6 in
-      Some { time = Float.of_int sec +. (Float.of_int frac *. scale); orig_len; data }
+  let hdr = read_upto r 16 in
+  if String.length hdr = 0 then None
+  else if String.length hdr < 16 then begin
+    (* EOF mid-header: a capture cut off while writing a record. *)
+    r.skipped <- r.skipped + String.length hdr;
+    r.truncated_tail <- true;
+    None
+  end
+  else begin
+    let sec, frac, incl, orig_len = parse_header r hdr in
+    if incl <= 0x4000000 && (not r.salvage || plausible r ~sec ~frac ~incl ~orig_len) then begin
+      let data = read_upto r incl in
+      if String.length data < incl then begin
+        (* EOF mid-packet: truncated final record. *)
+        r.skipped <- r.skipped + 16 + String.length data;
+        r.truncated_tail <- true;
+        None
+      end
+      else accept r ~salvaged:false ~sec ~frac ~orig_len data
+    end
+    else if not r.salvage then raise (Bad_format "absurd packet length")
+    else salvage_from r hdr
+  end
 
 let fold r f init =
   let rec go acc = match read_next r with None -> acc | Some p -> go (f acc p) in

@@ -23,10 +23,28 @@ val write : writer -> time:float -> string -> unit
 
 type reader
 
-val reader_of_string : string -> reader
-val reader_of_channel : in_channel -> reader
+type read_stats = {
+  records : int;  (** records successfully decoded *)
+  salvaged : int;  (** records recovered after resyncing past corruption *)
+  skipped_bytes : int;  (** bytes discarded while resyncing or at a cut-off tail *)
+  truncated_tail : bool;  (** the capture ended mid-record *)
+}
+
+val reader_of_string : ?salvage:bool -> string -> reader
+val reader_of_channel : ?salvage:bool -> in_channel -> reader
+(** [salvage] (default false): instead of raising {!Bad_format} on a
+    corrupt record header, scan forward byte-by-byte for the next
+    plausible header, counting skipped bytes — a months-long capture
+    with a few mangled records is still mostly analyzable (§4.1.4). *)
+
 val read_next : reader -> packet option
-(** [None] at end of file. Raises {!Bad_format} on a corrupt header. *)
+(** [None] at end of file. A final record cut off by EOF also yields
+    [None], with [truncated_tail] set in {!read_stats} rather than an
+    exception. In non-salvage mode a corrupt record header raises
+    {!Bad_format}; in salvage mode it resyncs. *)
+
+val read_stats : reader -> read_stats
+(** Loss accounting for everything read so far. *)
 
 val fold : reader -> ('a -> packet -> 'a) -> 'a -> 'a
 val packets : reader -> packet Seq.t

@@ -16,9 +16,13 @@ module Flow_tbl = Hashtbl.Make (Flow_key)
 module Seq_map = Map.Make (Int)
 
 type flow_state = {
-  mutable expected : int;  (* next expected sequence number, mod 2^32 *)
+  mutable expected : int;
+      (* Next expected sequence number, unwrapped onto a monotonic line
+         (OCaml ints are 63-bit): [expected land 0xFFFFFFFF] is the wire
+         value. Keeping the unwrapped form makes buffered-segment
+         ordering correct even when the hold buffer straddles 2^32. *)
   mutable synced : bool;
-  mutable buffered : string Seq_map.t;  (* keyed by unwrapped distance-adjusted seq *)
+  mutable buffered : string Seq_map.t;  (* keyed by unwrapped seq *)
   mutable buffered_count : int;
 }
 
@@ -56,19 +60,19 @@ let drain st acc =
   while !continue do
     match Seq_map.min_binding_opt st.buffered with
     | None -> continue := false
-    | Some (seq, payload) ->
-        let d = seq_diff st.expected seq in
+    | Some (useq, payload) ->
+        let d = useq - st.expected in
         if d > 0 then continue := false
         else begin
-          st.buffered <- Seq_map.remove seq st.buffered;
+          st.buffered <- Seq_map.remove useq st.buffered;
           st.buffered_count <- st.buffered_count - 1;
-          if d <= 0 && d + String.length payload > 0 then begin
+          if d + String.length payload > 0 then begin
             (* Overlap with already-delivered bytes: trim the front. *)
             let skip = -d in
             let fresh = String.sub payload skip (String.length payload - skip) in
             if String.length fresh > 0 then begin
               acc := Data fresh :: !acc;
-              st.expected <- (st.expected + String.length fresh) land (modulus - 1)
+              st.expected <- st.expected + String.length fresh
             end
           end
         end
@@ -78,16 +82,19 @@ let drain st acc =
 let force_resync t st acc =
   match Seq_map.min_binding_opt st.buffered with
   | None -> acc
-  | Some (seq, _) ->
-      let lost = seq_diff st.expected seq in
+  | Some (useq, _) ->
+      let lost = useq - st.expected in
       t.gap_count <- t.gap_count + 1;
-      st.expected <- seq;
+      st.expected <- useq;
       drain st (Gap (max lost 0) :: acc)
 
 let push t flow ~seq ~syn payload =
   let st = get_state t flow ~seq in
+  (* Wire seq unwrapped onto the flow's monotonic line. *)
+  let d = seq_diff (st.expected land (modulus - 1)) seq in
+  let useq = st.expected + d in
   if syn then begin
-    st.expected <- (seq + 1) land (modulus - 1);
+    st.expected <- useq + 1;
     st.synced <- true;
     st.buffered <- Seq_map.empty;
     st.buffered_count <- 0;
@@ -96,13 +103,13 @@ let push t flow ~seq ~syn payload =
   else begin
     if not st.synced then begin
       (* First data segment of a flow we joined mid-stream. *)
-      st.expected <- seq;
+      st.expected <- useq;
       st.synced <- true
     end;
     let n = String.length payload in
     if n = 0 then []
     else begin
-      let d = seq_diff st.expected seq in
+      let d = useq - st.expected in
       if d < 0 && d + n <= 0 then [] (* pure retransmission of delivered data *)
       else begin
         let acc =
@@ -110,13 +117,13 @@ let push t flow ~seq ~syn payload =
             (* In-order (possibly overlapping the delivered prefix). *)
             let skip = -d in
             let fresh = String.sub payload skip (n - skip) in
-            st.expected <- (st.expected + String.length fresh) land (modulus - 1);
+            st.expected <- st.expected + String.length fresh;
             drain st [ Data fresh ]
           end
           else begin
             (* Out of order: hold until the hole fills, or resync. *)
-            if not (Seq_map.mem seq st.buffered) then begin
-              st.buffered <- Seq_map.add seq payload st.buffered;
+            if not (Seq_map.mem useq st.buffered) then begin
+              st.buffered <- Seq_map.add useq payload st.buffered;
               st.buffered_count <- st.buffered_count + 1
             end;
             if st.buffered_count > t.max_buffered then force_resync t st [] else []

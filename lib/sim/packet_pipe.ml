@@ -86,37 +86,48 @@ type flow_state = { mutable seq : int; mutable started : bool }
 type t = {
   transport : transport;
   writer : Pcap.writer;
-  monitor_loss : float;
   rng : Prng.t;
   mtu : int;
   sorter : Psort.t;
   (* TCP sequence state, keyed by (src ip, dst ip). *)
   flows : (int * int, flow_state) Hashtbl.t;
+  injector : Fault.t;
   written : int ref;
-  dropped : int ref;
 }
 
-let create ?(monitor_loss = 0.) ?(seed = 77L) ?(mtu = 9000) ~transport ~writer () =
+let create ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer () =
   let rng = Prng.create seed in
+  let plan =
+    match (fault, monitor_loss) with
+    | Some plan, _ -> plan
+    | None, Some p when p > 0. -> Fault.bernoulli_loss p
+    | None, _ -> Fault.none
+  in
+  (* The injector gets its own derived stream so that enabling faults
+     does not perturb the flow ISNs drawn from [rng]. *)
+  let injector = Fault.create ~seed:(Prng.next_int64 (Prng.copy rng)) plan in
   let written = ref 0 in
-  let dropped = ref 0 in
   let emit at frame =
-    if monitor_loss > 0. && Prng.chance rng monitor_loss then incr dropped
-    else begin
-      Pcap.write writer ~time:at frame;
-      incr written
-    end
+    match Fault.apply injector ~time:at frame with
+    | [ (t, bytes) ] ->
+        Pcap.write writer ~time:t bytes;
+        incr written
+    | out ->
+        List.iter
+          (fun (t, bytes) ->
+            Pcap.write writer ~time:t bytes;
+            incr written)
+          out
   in
   {
     transport;
     writer;
-    monitor_loss;
     rng;
     mtu;
     sorter = Psort.create ~horizon:630. emit;
     flows = Hashtbl.create 64;
+    injector;
     written;
-    dropped;
   }
 
 let client_port ip = 600 + (ip land 0x3FF)
@@ -210,4 +221,5 @@ let push t (r : Record.t) =
 
 let finish t = Psort.flush t.sorter
 let packets_written t = !(t.written)
-let packets_dropped t = !(t.dropped)
+let packets_dropped t = (Fault.counts t.injector).dropped
+let faults t = Fault.counts t.injector

@@ -5,11 +5,12 @@
     segments → Ethernet frames → pcap, which the {!Nt_trace.Capture}
     engine then decodes like any tcpdump output.
 
-    The monitor model reproduces §4.1.4: the capture port drops each
-    packet independently with [monitor_loss] probability (the CAMPUS
-    mirror port lost up to ~10% under load; EECS lost none). Loss
-    applies to the {e capture}, not the protocol — the simulated
-    client/server conversation already happened.
+    The monitor model reproduces §4.1.4 and beyond: every emitted
+    packet passes through a {!Fault} injector, so the capture can
+    suffer bursty loss, corruption, truncation, duplication, and
+    reordering before it reaches the pcap file. Faults apply to the
+    {e capture}, not the protocol — the simulated client/server
+    conversation already happened.
 
     TCP mode opens one long-lived connection per client (as CAMPUS's
     mounts do): a SYN packet precedes a client's first payload, and
@@ -21,13 +22,20 @@ type t
 
 val create :
   ?monitor_loss:float ->
+  ?fault:Fault.plan ->
   ?seed:int64 ->
   ?mtu:int ->
   transport:transport ->
   writer:Nt_net.Pcap.writer ->
   unit ->
   t
-(** [mtu] defaults to 9000 (jumbo frames); UDP datagrams above it are
+(** [fault] is the full monitor fault model; when absent,
+    [monitor_loss] (the legacy knob) maps to
+    {!Fault.bernoulli_loss} — independent drop with that probability,
+    the CAMPUS mirror port's headline behaviour (it lost up to ~10%
+    under load; EECS lost none).
+
+    [mtu] defaults to 9000 (jumbo frames); UDP datagrams above it are
     emitted anyway (the real stack would IP-fragment; the capture
     engine treats the oversized frame equivalently). *)
 
@@ -42,3 +50,7 @@ val finish : t -> unit
 
 val packets_written : t -> int
 val packets_dropped : t -> int
+
+val faults : t -> Fault.counts
+(** Injection accounting for the whole run — the other half of the
+    conservation invariant the capture engine's stats must satisfy. *)

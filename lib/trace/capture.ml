@@ -9,22 +9,30 @@ module Ops = Nt_nfs.Ops
 type stats = {
   frames : int;
   undecodable_frames : int;
+  corrupt_frames : int;
   rpc_messages : int;
   rpc_errors : int;
   non_nfs : int;
   calls : int;
   replies : int;
+  duplicate_calls : int;
+  duplicate_replies : int;
   orphan_replies : int;
   lost_replies : int;
   tcp_gaps : int;
+  salvaged_records : int;
+  skipped_pcap_bytes : int;
+  truncated_pcap_tails : int;
 }
 
 let stats_to_string s =
   Printf.sprintf
-    "frames=%d undecodable=%d rpc=%d rpc_errors=%d non_nfs=%d calls=%d replies=%d \
-     orphan_replies=%d lost_replies=%d tcp_gaps=%d"
-    s.frames s.undecodable_frames s.rpc_messages s.rpc_errors s.non_nfs s.calls s.replies
-    s.orphan_replies s.lost_replies s.tcp_gaps
+    "frames=%d undecodable=%d corrupt=%d rpc=%d rpc_errors=%d non_nfs=%d calls=%d replies=%d \
+     dup_calls=%d dup_replies=%d orphan_replies=%d lost_replies=%d tcp_gaps=%d salvaged=%d \
+     skipped_bytes=%d truncated_tails=%d"
+    s.frames s.undecodable_frames s.corrupt_frames s.rpc_messages s.rpc_errors s.non_nfs s.calls
+    s.replies s.duplicate_calls s.duplicate_replies s.orphan_replies s.lost_replies s.tcp_gaps
+    s.salvaged_records s.skipped_pcap_bytes s.truncated_pcap_tails
 
 type pending = {
   p_time : float;
@@ -61,6 +69,10 @@ end)
 
 type t = {
   pending : pending Pending_tbl.t;
+  (* Recently answered (client, xid) pairs, so a retransmitted reply —
+     or a retransmitted call whose reply already went by — is counted
+     as a duplicate instead of an orphan or a fresh call. *)
+  answered : float Pending_tbl.t;
   tcp : Tcp.t;
   rm : Rm.reassembler Flow_tbl.t;
   emit : Record.t -> unit;
@@ -69,13 +81,19 @@ type t = {
   mutable last_sweep : float;
   mutable frames : int;
   mutable undecodable_frames : int;
+  mutable corrupt_frames : int;
   mutable rpc_messages : int;
   mutable rpc_errors : int;
   mutable non_nfs : int;
   mutable calls : int;
   mutable replies : int;
+  mutable duplicate_calls : int;
+  mutable duplicate_replies : int;
   mutable orphan_replies : int;
   mutable lost_replies : int;
+  mutable salvaged_records : int;
+  mutable skipped_pcap_bytes : int;
+  mutable truncated_pcap_tails : int;
 }
 
 let create ?(pending_timeout = 60.) ?emit () =
@@ -88,6 +106,7 @@ let create ?(pending_timeout = 60.) ?emit () =
   in
   {
     pending = Pending_tbl.create 4096;
+    answered = Pending_tbl.create 4096;
     tcp = Tcp.create ();
     rm = Flow_tbl.create 64;
     emit;
@@ -96,13 +115,19 @@ let create ?(pending_timeout = 60.) ?emit () =
     last_sweep = 0.;
     frames = 0;
     undecodable_frames = 0;
+    corrupt_frames = 0;
     rpc_messages = 0;
     rpc_errors = 0;
     non_nfs = 0;
     calls = 0;
     replies = 0;
+    duplicate_calls = 0;
+    duplicate_replies = 0;
     orphan_replies = 0;
     lost_replies = 0;
+    salvaged_records = 0;
+    skipped_pcap_bytes = 0;
+    truncated_pcap_tails = 0;
   }
 
 let lost_record (p : pending) =
@@ -132,7 +157,13 @@ let flush_expired t ~now =
         Pending_tbl.remove t.pending (client, xid);
         t.lost_replies <- t.lost_replies + 1;
         t.emit { (lost_record p) with xid })
-      expired
+      expired;
+    let stale =
+      Pending_tbl.fold
+        (fun key at acc -> if now -. at > t.pending_timeout then key :: acc else acc)
+        t.answered []
+    in
+    List.iter (Pending_tbl.remove t.answered) stale
   end
 
 let creds = function
@@ -154,6 +185,11 @@ let handle_rpc t ~time ~src ~dst msg =
   | exception Nt_xdr.Decode.Error _ -> t.rpc_errors <- t.rpc_errors + 1
   | Rpc.Call c, body_pos ->
       if c.prog <> Rpc.nfs_program then t.non_nfs <- t.non_nfs + 1
+      else if Pending_tbl.mem t.pending (src, c.xid) || Pending_tbl.mem t.answered (src, c.xid)
+      then
+        (* A UDP client retransmitted an unanswered (or just-answered)
+           call; the first arrival defines the record's call time. *)
+        t.duplicate_calls <- t.duplicate_calls + 1
       else begin
         match Proc.of_number ~version:c.vers c.proc with
         | None -> t.rpc_errors <- t.rpc_errors + 1
@@ -181,9 +217,13 @@ let handle_rpc t ~time ~src ~dst msg =
   | Rpc.Reply r, body_pos -> (
       (* The reply travels server->client, so the pending key uses dst. *)
       match Pending_tbl.find_opt t.pending (dst, r.xid) with
-      | None -> t.orphan_replies <- t.orphan_replies + 1
+      | None ->
+          if Pending_tbl.mem t.answered (dst, r.xid) then
+            t.duplicate_replies <- t.duplicate_replies + 1
+          else t.orphan_replies <- t.orphan_replies + 1
       | Some p ->
           Pending_tbl.remove t.pending (dst, r.xid);
+          Pending_tbl.replace t.answered (dst, r.xid) time;
           let result =
             match r.status with
             | Rpc.Accepted Rpc.Success -> (
@@ -215,6 +255,16 @@ let handle_rpc t ~time ~src ~dst msg =
               result;
             })
 
+(* The "Never raises" contract of feed_packet: decoders signal malformed
+   input with their own exceptions, but hostile bytes could in principle
+   reach a stdlib primitive first. Anything escaping here is an input
+   problem, not a caller problem, so it lands in rpc_errors. *)
+let handle_rpc t ~time ~src ~dst msg =
+  match handle_rpc t ~time ~src ~dst msg with
+  | () -> ()
+  | exception (Nt_xdr.Decode.Error _ | Invalid_argument _ | Failure _ | Not_found) ->
+      t.rpc_errors <- t.rpc_errors + 1
+
 let rm_for t flow =
   match Flow_tbl.find_opt t.rm flow with
   | Some rm -> rm
@@ -227,6 +277,9 @@ let feed_packet t ~time data =
   t.frames <- t.frames + 1;
   match Frame.decode data with
   | Error _ -> t.undecodable_frames <- t.undecodable_frames + 1
+  | Ok _ when not (Frame.header_checksum_ok data) ->
+      (* Structurally sound but damaged in flight: never trust it. *)
+      t.corrupt_frames <- t.corrupt_frames + 1
   | Ok frame -> (
       match frame.transport with
       | Frame.Udp { payload; _ } ->
@@ -254,7 +307,11 @@ let feed_packet t ~time data =
             events)
 
 let feed_pcap t reader =
-  Seq.iter (fun (p : Pcap.packet) -> feed_packet t ~time:p.time p.data) (Pcap.packets reader)
+  Seq.iter (fun (p : Pcap.packet) -> feed_packet t ~time:p.time p.data) (Pcap.packets reader);
+  let rs = Pcap.read_stats reader in
+  t.salvaged_records <- t.salvaged_records + rs.salvaged;
+  t.skipped_pcap_bytes <- t.skipped_pcap_bytes + rs.skipped_bytes;
+  if rs.truncated_tail then t.truncated_pcap_tails <- t.truncated_pcap_tails + 1
 
 let finish t =
   (* Whatever is still pending never got a reply. *)
@@ -264,18 +321,25 @@ let finish t =
       t.emit { (lost_record p) with xid })
     t.pending;
   Pending_tbl.reset t.pending;
+  Pending_tbl.reset t.answered;
   let stats =
     {
       frames = t.frames;
       undecodable_frames = t.undecodable_frames;
+      corrupt_frames = t.corrupt_frames;
       rpc_messages = t.rpc_messages;
       rpc_errors = t.rpc_errors;
       non_nfs = t.non_nfs;
       calls = t.calls;
       replies = t.replies;
+      duplicate_calls = t.duplicate_calls;
+      duplicate_replies = t.duplicate_replies;
       orphan_replies = t.orphan_replies;
       lost_replies = t.lost_replies;
       tcp_gaps = Tcp.gaps t.tcp;
+      salvaged_records = t.salvaged_records;
+      skipped_pcap_bytes = t.skipped_pcap_bytes;
+      truncated_pcap_tails = t.truncated_pcap_tails;
     }
   in
   let records =

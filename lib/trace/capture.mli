@@ -9,19 +9,29 @@
     Loss handling follows §4.1.4: a reply whose call was never seen is
     undecodable (we count it and drop it); a call whose reply never
     arrives is emitted with [result = None]; TCP stream gaps force RPC
-    resynchronisation and are counted. *)
+    resynchronisation and are counted. Degraded input — corrupted
+    frames, UDP retransmissions, mangled pcap records — is likewise
+    counted, never fatal: every fault the monitor can hand us lands in
+    exactly one counter below (see DESIGN.md, "Fault model & loss
+    accounting"). *)
 
 type stats = {
   frames : int;  (** link frames presented *)
   undecodable_frames : int;  (** not IPv4/UDP/TCP, or truncated *)
+  corrupt_frames : int;  (** parsed, but the IPv4 header checksum failed *)
   rpc_messages : int;
   rpc_errors : int;  (** XDR-level parse failures *)
   non_nfs : int;  (** RPC traffic for other programs *)
-  calls : int;
+  calls : int;  (** distinct calls (retransmissions excluded) *)
   replies : int;
+  duplicate_calls : int;  (** retransmitted calls for a pending/answered xid *)
+  duplicate_replies : int;  (** retransmitted replies for an answered xid *)
   orphan_replies : int;  (** reply seen, call lost — both are lost, per the paper *)
   lost_replies : int;  (** call seen, reply never arrived *)
   tcp_gaps : int;
+  salvaged_records : int;  (** pcap records recovered by the salvage reader *)
+  skipped_pcap_bytes : int;  (** pcap bytes discarded while resyncing *)
+  truncated_pcap_tails : int;  (** pcap streams that ended mid-record *)
 }
 
 val stats_to_string : stats -> string
@@ -35,10 +45,12 @@ val create : ?pending_timeout:float -> ?emit:(Record.t -> unit) -> unit -> t
 
 val feed_packet : t -> time:float -> string -> unit
 (** Process one link-layer frame. Never raises: malformed input is
-    counted in {!stats}. *)
+    counted in {!stats}. The contract is fuzz-verified (random and
+    bit-flipped frames in the test suite). *)
 
 val feed_pcap : t -> Nt_net.Pcap.reader -> unit
-(** Drain a pcap stream through {!feed_packet}. *)
+(** Drain a pcap stream through {!feed_packet}, then fold the reader's
+    salvage/truncation accounting into {!stats}. *)
 
 val finish : t -> stats * Record.t list
 (** Flush unanswered calls, then return statistics and all buffered

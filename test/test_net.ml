@@ -166,6 +166,86 @@ let test_pcap_big_endian () =
       Alcotest.(check (float 1e-6) "time") 1000.25 p.time
   | None -> Alcotest.fail "missing packet"
 
+let test_pcap_truncated_final_record () =
+  (* A capture cut off mid-record must not raise: the good prefix is
+     returned and the cut is accounted in read_stats. *)
+  let buf = Buffer.create 256 in
+  let w = Pcap.writer_to_buffer buf in
+  Pcap.write w ~time:1000. "first-packet";
+  Pcap.write w ~time:1001. "second-packet";
+  let whole = Buffer.contents buf in
+  (* Cut inside the second record's payload. *)
+  let cut_payload = String.sub whole 0 (String.length whole - 5) in
+  let r = Pcap.reader_of_string cut_payload in
+  Alcotest.(check bool) "first packet survives" true (Pcap.read_next r <> None);
+  Alcotest.(check bool) "cut record yields None" true (Pcap.read_next r = None);
+  let st = Pcap.read_stats r in
+  Alcotest.(check bool) "truncated tail flagged" true st.truncated_tail;
+  Alcotest.(check bool) "cut bytes counted" true (st.skipped_bytes > 0);
+  Alcotest.(check int) "one good record" 1 st.records;
+  (* Cut inside the second record's header. *)
+  let second_hdr = 24 + 16 + 12 in
+  let cut_header = String.sub whole 0 (second_hdr + 7) in
+  let r2 = Pcap.reader_of_string cut_header in
+  Alcotest.(check bool) "first packet survives 2" true (Pcap.read_next r2 <> None);
+  Alcotest.(check bool) "cut header yields None" true (Pcap.read_next r2 = None);
+  Alcotest.(check bool) "tail flagged 2" true (Pcap.read_stats r2).truncated_tail
+
+let corrupt_second_record_length () =
+  (* Three packets; the middle record's incl-length field is smashed. *)
+  let buf = Buffer.create 256 in
+  let w = Pcap.writer_to_buffer buf in
+  Pcap.write w ~time:1000. (String.make 20 'A');
+  Pcap.write w ~time:1001. (String.make 24 'B');
+  Pcap.write w ~time:1002. (String.make 28 'C');
+  let b = Bytes.of_string (Buffer.contents buf) in
+  let second = 24 + 16 + 20 in
+  (* incl is the third little-endian u32 of the record header. *)
+  Bytes.set b (second + 8) '\xFF';
+  Bytes.set b (second + 9) '\xFF';
+  Bytes.set b (second + 10) '\xFF';
+  Bytes.set b (second + 11) '\x7F';
+  Bytes.to_string b
+
+let test_pcap_corrupt_raises_without_salvage () =
+  let pcap = corrupt_second_record_length () in
+  let r = Pcap.reader_of_string pcap in
+  Alcotest.(check bool) "first ok" true (Pcap.read_next r <> None);
+  Alcotest.(check bool) "corrupt length raises" true
+    (try
+       ignore (Pcap.read_next r);
+       false
+     with Pcap.Bad_format _ -> true)
+
+let test_pcap_salvage_resyncs () =
+  let pcap = corrupt_second_record_length () in
+  let r = Pcap.reader_of_string ~salvage:true pcap in
+  let all = List.of_seq (Pcap.packets r) in
+  (* The corrupt middle record is lost; the reader resyncs on the third. *)
+  Alcotest.(check int) "two packets recovered" 2 (List.length all);
+  Alcotest.(check string) "first intact" (String.make 20 'A') (List.nth all 0).Pcap.data;
+  Alcotest.(check string) "third recovered" (String.make 28 'C') (List.nth all 1).Pcap.data;
+  let st = Pcap.read_stats r in
+  Alcotest.(check int) "one salvage" 1 st.salvaged;
+  (* Skipped exactly the mangled record: its 16-byte header + 24 bytes. *)
+  Alcotest.(check int) "skipped bytes accounted" 40 st.skipped_bytes;
+  Alcotest.(check bool) "no truncated tail" false st.truncated_tail
+
+let test_pcap_salvage_corrupt_tail () =
+  (* Corruption in the LAST record: salvage scans to EOF and reports. *)
+  let buf = Buffer.create 128 in
+  let w = Pcap.writer_to_buffer buf in
+  Pcap.write w ~time:1000. "only-good-packet";
+  Pcap.write w ~time:1001. (String.make 30 'Z');
+  let b = Bytes.of_string (Buffer.contents buf) in
+  let second = 24 + 16 + 16 in
+  Bytes.set b (second + 8) '\xEE';
+  Bytes.set b (second + 11) '\x7E';
+  let r = Pcap.reader_of_string ~salvage:true (Bytes.to_string b) in
+  Alcotest.(check int) "one packet" 1 (Seq.length (Pcap.packets r));
+  let st = Pcap.read_stats r in
+  Alcotest.(check bool) "tail reported" true (st.truncated_tail || st.skipped_bytes > 0)
+
 let test_pcap_fold_and_seq () =
   let buf = Buffer.create 256 in
   let w = Pcap.writer_to_buffer buf in
@@ -250,6 +330,97 @@ let test_tcp_seq_wraparound () =
   let out = Tcp.push t flow ~seq:0 ~syn:false "cd" in
   Alcotest.(check string) "wraps cleanly" "cd" (collect out)
 
+let test_tcp_retransmission_wraparound () =
+  (* Pure retransmissions (the d < 0 branch) across the 2^32 seq wrap:
+     a duplicated segment straddling the wrap is dropped, partial
+     overlaps are trimmed, and the stream stays intact. *)
+  let t = Tcp.create () in
+  let base = 0xFFFFFFF8 in
+  ignore (Tcp.push t flow ~seq:(base - 1) ~syn:true "");
+  let out1 = Tcp.push t flow ~seq:base ~syn:false "12345678" in
+  Alcotest.(check string) "crosses wrap" "12345678" (collect out1);
+  (* Exact duplicate of the wrap-straddling segment: retransmission. *)
+  let dup = Tcp.push t flow ~seq:base ~syn:false "12345678" in
+  Alcotest.(check string) "retransmission dropped" "" (collect dup);
+  Alcotest.(check (list int)) "no gap events" []
+    (List.filter_map (function Tcp.Gap g -> Some g | Tcp.Data _ -> None) dup);
+  (* Overlapping retransmission that extends past delivered data. *)
+  let out2 = Tcp.push t flow ~seq:0xFFFFFFFC ~syn:false "5678abcd" in
+  Alcotest.(check string) "overlap trimmed across wrap" "abcd" (collect out2);
+  Alcotest.(check int) "no gaps declared" 0 (Tcp.gaps t)
+
+(* Drive segments through a Fault plan (duplication, displacement,
+   bursty drop) and check the reassembler's contract: every Data event
+   carries exactly the original bytes at the stream position implied by
+   the Data/Gap sequence — degraded input, gap-accounted output. *)
+let tcp_fault_plan_case ~plan ~seed ~base =
+  let module Fault = Nt_sim.Fault in
+  let message = String.init 960 (fun i -> Char.chr (32 + (i mod 95))) in
+  let seg_len = 16 in
+  let inj = Fault.create ~seed plan in
+  let timed = ref [] in
+  String.iteri
+    (fun i _ ->
+      if i mod seg_len = 0 then begin
+        let payload = String.sub message i (min seg_len (String.length message - i)) in
+        let seq = (base + i) land 0xFFFFFFFF in
+        let at = float_of_int (i / seg_len) *. 0.001 in
+        List.iter
+          (fun (t, bytes) -> timed := (t, seq, bytes) :: !timed)
+          (Fault.apply inj ~time:at payload)
+      end)
+    message;
+  let arrivals =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> Float.compare a b) (List.rev !timed)
+  in
+  let t = Tcp.create ~max_buffered_segments:4 () in
+  ignore (Tcp.push t flow ~seq:((base - 1) land 0xFFFFFFFF) ~syn:true "");
+  let pos = ref 0 in
+  List.iter
+    (fun (_, seq, payload) ->
+      List.iter
+        (function
+          | Tcp.Data d ->
+              let expected = String.sub message !pos (String.length d) in
+              Alcotest.(check string) "in-order bytes" expected d;
+              pos := !pos + String.length d
+          | Tcp.Gap g ->
+              Alcotest.(check bool) "gap positive" true (g > 0);
+              pos := !pos + g)
+        (Tcp.push t flow ~seq ~syn:false payload))
+    arrivals;
+  let counts = Fault.counts inj in
+  (counts, Tcp.gaps t, !pos)
+
+let test_tcp_fault_duplication_reorder () =
+  (* Duplication + displacement only: everything is recoverable, so the
+     full message must come out with zero gaps, across the seq wrap. *)
+  let module Fault = Nt_sim.Fault in
+  let plan = { Fault.none with duplicate = 0.3; reorder = 0.15; reorder_displace = 0.0021 } in
+  let counts, gaps, pos = tcp_fault_plan_case ~plan ~seed:11L ~base:0xFFFFFE00 in
+  Alcotest.(check bool) "duplicates injected" true (counts.duplicated > 0);
+  Alcotest.(check bool) "reorders injected" true (counts.reordered > 0);
+  Alcotest.(check int) "no gaps" 0 gaps;
+  Alcotest.(check int) "whole stream delivered" 960 pos
+
+let test_tcp_fault_burst_loss_gap_accounted () =
+  (* Add bursty loss: holes must be declared as gaps whose sizes keep
+     the stream position honest (checked inside the driver). *)
+  let module Fault = Nt_sim.Fault in
+  let plan =
+    {
+      Fault.none with
+      drop = Fault.Gilbert_elliott { p_gb = 0.05; p_bg = 0.3; loss_good = 0.01; loss_bad = 0.7 };
+      duplicate = 0.2;
+      reorder = 0.1;
+      reorder_displace = 0.0021;
+    }
+  in
+  let counts, gaps, pos = tcp_fault_plan_case ~plan ~seed:7L ~base:0xFFFFFE80 in
+  Alcotest.(check bool) "packets dropped" true (counts.dropped > 0);
+  Alcotest.(check bool) "gaps declared" true (gaps > 0);
+  Alcotest.(check bool) "position within stream" true (pos <= 960)
+
 let prop_tcp_shuffled_segments =
   QCheck.Test.make ~name:"reassembly restores shuffled segments" ~count:200
     QCheck.(pair small_int (int_range 1 1000))
@@ -311,6 +482,11 @@ let () =
           Alcotest.test_case "truncated header" `Quick test_pcap_truncated_header;
           Alcotest.test_case "big endian" `Quick test_pcap_big_endian;
           Alcotest.test_case "fold and seq" `Quick test_pcap_fold_and_seq;
+          Alcotest.test_case "truncated final record" `Quick test_pcap_truncated_final_record;
+          Alcotest.test_case "corrupt raises without salvage" `Quick
+            test_pcap_corrupt_raises_without_salvage;
+          Alcotest.test_case "salvage resyncs" `Quick test_pcap_salvage_resyncs;
+          Alcotest.test_case "salvage corrupt tail" `Quick test_pcap_salvage_corrupt_tail;
         ] );
       ( "tcp_reassembly",
         [
@@ -323,6 +499,12 @@ let () =
           Alcotest.test_case "gap resync" `Quick test_tcp_gap_resync;
           Alcotest.test_case "independent flows" `Quick test_tcp_two_flows_independent;
           Alcotest.test_case "seq wraparound" `Quick test_tcp_seq_wraparound;
+          Alcotest.test_case "retransmission across wrap" `Quick
+            test_tcp_retransmission_wraparound;
+          Alcotest.test_case "fault plan: duplication+reorder" `Quick
+            test_tcp_fault_duplication_reorder;
+          Alcotest.test_case "fault plan: burst loss gap-accounted" `Quick
+            test_tcp_fault_burst_loss_gap_accounted;
           QCheck_alcotest.to_alcotest prop_tcp_shuffled_segments;
         ] );
     ]

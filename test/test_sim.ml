@@ -532,6 +532,131 @@ let test_readahead_beats_none () =
   let metric = Ra.run ~reorder_fraction:0.1 Ra.Metric in
   Alcotest.(check bool) "read-ahead helps" true (metric.total_time < none.total_time)
 
+(* --- fault injection --- *)
+
+module Fault = Nt_sim.Fault
+
+let apply_n inj n =
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let data = Printf.sprintf "packet-%06d-%s" i (String.make 60 'p') in
+    out := List.rev_append (Fault.apply inj ~time:(float_of_int i *. 0.001) data) !out
+  done;
+  List.rev !out
+
+let test_fault_noop_identity () =
+  Alcotest.(check bool) "none is noop" true (Fault.is_noop Fault.none);
+  Alcotest.(check bool) "campus_burst is not" false (Fault.is_noop Fault.campus_burst);
+  let inj = Fault.create Fault.none in
+  let data = String.make 80 'x' in
+  (match Fault.apply inj ~time:42.5 data with
+  | [ (t, bytes) ] ->
+      Alcotest.(check (float 0.)) "time untouched" 42.5 t;
+      Alcotest.(check string) "bytes untouched" data bytes
+  | _ -> Alcotest.fail "noop must emit exactly one packet");
+  ignore (apply_n inj 999);
+  let c = Fault.counts inj in
+  Alcotest.(check int) "presented" 1000 c.presented;
+  Alcotest.(check int) "emitted = presented" 1000 c.emitted;
+  Alcotest.(check int) "nothing dropped" 0
+    (c.dropped + c.corrupted + c.truncated + c.duplicated + c.reordered)
+
+let test_fault_deterministic () =
+  let run () =
+    let inj = Fault.create ~seed:99L Fault.campus_burst in
+    let out = apply_n inj 2000 in
+    (out, Fault.counts inj)
+  in
+  let out1, c1 = run () in
+  let out2, c2 = run () in
+  Alcotest.(check bool) "same emissions" true (out1 = out2);
+  Alcotest.(check string) "same counts" (Fault.counts_to_string c1) (Fault.counts_to_string c2)
+
+let test_fault_conservation () =
+  let inj = Fault.create ~seed:7L Fault.campus_burst in
+  let out = apply_n inj 20_000 in
+  let c = Fault.counts inj in
+  Alcotest.(check int) "emitted = presented - dropped + duplicated"
+    (c.presented - c.dropped + c.duplicated) c.emitted;
+  Alcotest.(check int) "emission list agrees" c.emitted (List.length out);
+  Alcotest.(check bool) "every fault class exercised" true
+    (c.dropped > 0 && c.corrupted > 0 && c.truncated > 0 && c.duplicated > 0 && c.reordered > 0)
+
+let test_fault_burst_loss_rate () =
+  (* campus_burst models the CAMPUS mirror port: a few percent mean
+     loss concentrated in bursts (Gilbert-Elliott bad states). *)
+  let inj = Fault.create ~seed:2003L Fault.campus_burst in
+  ignore (apply_n inj 100_000);
+  let c = Fault.counts inj in
+  let rate = float_of_int c.dropped /. float_of_int c.presented in
+  Alcotest.(check bool) "mean loss in [0.5%, 5%]" true (rate > 0.005 && rate < 0.05)
+
+let test_fault_bernoulli_rate () =
+  let inj = Fault.create ~seed:5L (Fault.bernoulli_loss 0.10) in
+  ignore (apply_n inj 50_000);
+  let c = Fault.counts inj in
+  let rate = float_of_int c.dropped /. float_of_int c.presented in
+  Alcotest.(check bool) "close to 10%" true (rate > 0.08 && rate < 0.12)
+
+let test_fault_shapes () =
+  (* Force each fault with probability 1 and check the output shape. *)
+  let data = String.make 100 'q' in
+  let trunc = Fault.create { Fault.none with truncate = 1.0; truncate_to = 60 } in
+  (match Fault.apply trunc ~time:0. data with
+  | [ (_, bytes) ] -> Alcotest.(check int) "snaplen cut" 60 (String.length bytes)
+  | _ -> Alcotest.fail "truncate emits one");
+  let dup = Fault.create { Fault.none with duplicate = 1.0; duplicate_delay = 0.25 } in
+  (match Fault.apply dup ~time:1. data with
+  | [ (t1, b1); (t2, b2) ] ->
+      Alcotest.(check string) "copy 1" data b1;
+      Alcotest.(check string) "copy 2" data b2;
+      Alcotest.(check (float 1e-9)) "delayed copy" 1.25 t2;
+      Alcotest.(check (float 1e-9)) "original time" 1. t1
+  | _ -> Alcotest.fail "duplicate emits two");
+  let reord = Fault.create { Fault.none with reorder = 1.0; reorder_displace = 0.5 } in
+  (match Fault.apply reord ~time:2. data with
+  | [ (t, _) ] -> Alcotest.(check (float 1e-9)) "displaced" 2.5 t
+  | _ -> Alcotest.fail "reorder emits one");
+  let corr =
+    Fault.create { Fault.none with corrupt = 1.0; corrupt_bytes = 1; corrupt_addrs_only = true }
+  in
+  match Fault.apply corr ~time:3. data with
+  | [ (_, bytes) ] ->
+      Alcotest.(check int) "length preserved" 100 (String.length bytes);
+      let diffs = ref [] in
+      String.iteri (fun i c -> if c <> data.[i] then diffs := i :: !diffs) bytes;
+      Alcotest.(check int) "exactly one byte flipped" 1 (List.length !diffs);
+      let pos = List.hd !diffs in
+      Alcotest.(check bool) "flip confined to IP addresses" true (pos >= 26 && pos <= 33)
+  | _ -> Alcotest.fail "corrupt emits one"
+
+let test_fault_clock_jitter_bounded () =
+  let inj = Fault.create ~seed:3L { Fault.none with clock_jitter = 0.001 } in
+  let ok = ref true in
+  for i = 0 to 999 do
+    let time = float_of_int i in
+    match Fault.apply inj ~time "x" with
+    | [ (t, _) ] -> if Float.abs (t -. time) > 0.001 then ok := false
+    | _ -> ok := false
+  done;
+  Alcotest.(check bool) "jitter within bound" true !ok
+
+let test_fault_mangle_pcap () =
+  let buf = Buffer.create 256 in
+  let w = Nt_net.Pcap.writer_to_buffer buf in
+  for i = 1 to 10 do
+    Nt_net.Pcap.write w ~time:(float_of_int i) (String.make 40 'm')
+  done;
+  let original = Buffer.contents buf in
+  let mangled, applied = Fault.mangle_pcap ~seed:11L ~flips:25 original in
+  Alcotest.(check int) "flips applied" 25 applied;
+  Alcotest.(check int) "length preserved" (String.length original) (String.length mangled);
+  Alcotest.(check string) "global header spared" (String.sub original 0 24)
+    (String.sub mangled 0 24);
+  Alcotest.(check bool) "body changed" true
+    (String.sub original 24 (String.length original - 24)
+    <> String.sub mangled 24 (String.length mangled - 24))
+
 let () =
   Alcotest.run "nt_sim"
     [
@@ -597,5 +722,16 @@ let () =
           Alcotest.test_case "in order equal" `Quick test_readahead_in_order_equal;
           Alcotest.test_case "metric wins" `Quick test_readahead_metric_wins_under_reorder;
           Alcotest.test_case "beats none" `Quick test_readahead_beats_none;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "noop identity" `Quick test_fault_noop_identity;
+          Alcotest.test_case "deterministic" `Quick test_fault_deterministic;
+          Alcotest.test_case "conservation" `Quick test_fault_conservation;
+          Alcotest.test_case "burst loss rate" `Quick test_fault_burst_loss_rate;
+          Alcotest.test_case "bernoulli rate" `Quick test_fault_bernoulli_rate;
+          Alcotest.test_case "fault shapes" `Quick test_fault_shapes;
+          Alcotest.test_case "clock jitter bounded" `Quick test_fault_clock_jitter_bounded;
+          Alcotest.test_case "mangle pcap" `Quick test_fault_mangle_pcap;
         ] );
     ]

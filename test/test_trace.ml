@@ -277,6 +277,206 @@ let test_capture_garbage_frame () =
   let stats, _ = Capture.finish cap in
   Alcotest.(check int) "undecodable counted" 1 stats.undecodable_frames
 
+let test_capture_duplicate_call_reply () =
+  (* UDP retransmissions: the same call and the same reply each arrive
+     twice. The capture must count the extras, not double-emit. *)
+  let records = [ List.hd (synth_records 1) ] in
+  let buf = Buffer.create 4096 in
+  let writer = Pcap.writer_to_buffer buf in
+  let pipe = Packet_pipe.create ~transport:Packet_pipe.Udp_transport ~writer () in
+  List.iter (Packet_pipe.push pipe) records;
+  Packet_pipe.finish pipe;
+  let reader = Pcap.reader_of_string (Buffer.contents buf) in
+  let packets = List.of_seq (Pcap.packets reader) in
+  let call, reply =
+    match packets with [ c; r ] -> (c, r) | _ -> Alcotest.fail "expected call+reply packets"
+  in
+  let cap = Capture.create () in
+  Capture.feed_packet cap ~time:call.Pcap.time call.Pcap.data;
+  Capture.feed_packet cap ~time:(call.Pcap.time +. 0.01) call.Pcap.data;
+  Capture.feed_packet cap ~time:reply.Pcap.time reply.Pcap.data;
+  Capture.feed_packet cap ~time:(reply.Pcap.time +. 0.01) reply.Pcap.data;
+  let stats, recovered = Capture.finish cap in
+  Alcotest.(check int) "one call" 1 stats.calls;
+  Alcotest.(check int) "one duplicate call" 1 stats.duplicate_calls;
+  Alcotest.(check int) "one reply" 1 stats.replies;
+  Alcotest.(check int) "one duplicate reply" 1 stats.duplicate_replies;
+  Alcotest.(check int) "no orphans" 0 stats.orphan_replies;
+  Alcotest.(check int) "emitted once" 1 (List.length recovered);
+  match recovered with
+  | [ r ] -> Alcotest.(check bool) "with its reply" true (r.Record.result <> None)
+  | _ -> ()
+
+let test_capture_fuzz_10k () =
+  (* The "never raises" contract, exercised at volume: 5000 seeded
+     random frames plus 5000 bit-flipped copies of a real NFS frame,
+     all through one capture. Every frame must land in the stats. *)
+  let module Prng = Nt_util.Prng in
+  let rng = Prng.create 0xF022_2003L in
+  let records = [ List.hd (synth_records 1) ] in
+  let buf = Buffer.create 4096 in
+  let writer = Pcap.writer_to_buffer buf in
+  let pipe = Packet_pipe.create ~transport:Packet_pipe.Udp_transport ~writer () in
+  List.iter (Packet_pipe.push pipe) records;
+  Packet_pipe.finish pipe;
+  let real_frame =
+    match List.of_seq (Pcap.packets (Pcap.reader_of_string (Buffer.contents buf))) with
+    | c :: _ -> c.Pcap.data
+    | [] -> Alcotest.fail "no frame"
+  in
+  let cap = Capture.create () in
+  for i = 0 to 4999 do
+    let len = Prng.int rng 300 in
+    let junk = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+    Capture.feed_packet cap ~time:(float_of_int i *. 0.001) junk
+  done;
+  for i = 0 to 4999 do
+    let b = Bytes.of_string real_frame in
+    let flips = 1 + Prng.int rng 3 in
+    for _ = 1 to flips do
+      let pos = Prng.int rng (Bytes.length b) in
+      let mask = 1 + Prng.int rng 255 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask))
+    done;
+    Capture.feed_packet cap ~time:(10. +. (float_of_int i *. 0.001)) (Bytes.to_string b)
+  done;
+  let stats, _ = Capture.finish cap in
+  Alcotest.(check int) "all frames presented" 10_000 stats.frames;
+  Alcotest.(check bool) "counters within frame total" true
+    (stats.undecodable_frames + stats.corrupt_frames <= stats.frames);
+  Alcotest.(check bool) "junk mostly rejected" true (stats.undecodable_frames >= 4999);
+  Alcotest.(check bool) "flipped frames detected" true
+    (stats.corrupt_frames > 0 && stats.rpc_errors >= 0)
+
+(* --- degraded-vs-clean differential runs --- *)
+
+module Pipeline = Nt_core.Pipeline
+module Fault = Nt_sim.Fault
+
+let degraded ?mangle_flips ~plan n =
+  Pipeline.run_degraded ?mangle_flips ~transport:Packet_pipe.Udp_transport ~plan
+    (synth_records n)
+
+let test_degraded_duplicates_conserved () =
+  (* Duplication only: every injected duplicate is recognised as a
+     retransmitted call or reply, and no record is emitted twice. *)
+  let plan = { Fault.none with duplicate = 0.05; duplicate_delay = 0.005 } in
+  let d = degraded ~plan 400 in
+  Alcotest.(check bool) "duplicates injected" true (d.faults.duplicated > 0);
+  Alcotest.(check int) "injected = counted"
+    d.faults.duplicated
+    (d.degraded.duplicate_calls + d.degraded.duplicate_replies);
+  Alcotest.(check int) "every emission captured" d.faults.emitted d.degraded.frames;
+  Alcotest.(check int) "no double emission"
+    (List.length d.clean_records) (List.length d.degraded_records);
+  Alcotest.(check int) "same calls" d.clean.calls d.degraded.calls
+
+let test_degraded_corrupt_truncate_conserved () =
+  (* Address-only single-byte corruption always breaks the IPv4 header
+     checksum; 30-byte truncation always cuts inside the IP header. So
+     each injected fault lands in exactly one capture counter. *)
+  let plan =
+    {
+      Fault.none with
+      corrupt = 0.03;
+      corrupt_bytes = 1;
+      corrupt_addrs_only = true;
+      truncate = 0.02;
+      truncate_to = 30;
+    }
+  in
+  let d = degraded ~plan 400 in
+  Alcotest.(check bool) "corruptions injected" true (d.faults.corrupted > 0);
+  Alcotest.(check bool) "truncations injected" true (d.faults.truncated > 0);
+  Alcotest.(check int) "corrupted = checksum failures" d.faults.corrupted
+    d.degraded.corrupt_frames;
+  Alcotest.(check int) "truncated = undecodable" d.faults.truncated
+    d.degraded.undecodable_frames;
+  Alcotest.(check int) "every emission captured" d.faults.emitted d.degraded.frames;
+  Alcotest.(check int) "clean run unaffected" 0
+    (d.clean.corrupt_frames + d.clean.undecodable_frames)
+
+let test_degraded_acceptance_burst () =
+  (* The acceptance scenario: burst loss + corruption + duplication +
+     truncation together. Decoding completes without exception and the
+     conservation invariants hold. *)
+  let plan =
+    {
+      Fault.none with
+      drop = Fault.Gilbert_elliott { p_gb = 0.02; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
+      corrupt = 0.02;
+      corrupt_bytes = 1;
+      corrupt_addrs_only = true;
+      truncate = 0.01;
+      truncate_to = 30;
+      duplicate = 0.02;
+      duplicate_delay = 0.005;
+    }
+  in
+  let d = degraded ~plan 600 in
+  let f = d.faults in
+  Alcotest.(check bool) "all fault classes fired" true
+    (f.dropped > 0 && f.corrupted > 0 && f.truncated > 0 && f.duplicated > 0);
+  Alcotest.(check int) "injector conservation" (f.presented - f.dropped + f.duplicated)
+    f.emitted;
+  Alcotest.(check int) "every emission captured" f.emitted d.degraded.frames;
+  Alcotest.(check int) "corrupted = checksum failures" f.corrupted d.degraded.corrupt_frames;
+  Alcotest.(check int) "truncated = undecodable" f.truncated d.degraded.undecodable_frames;
+  (* A duplicate whose counterpart was dropped or corrupted surfaces as
+     an orphan instead, so the duplicate counters are bounded, not
+     exactly equal, once drops are in play. *)
+  Alcotest.(check bool) "duplicates bounded by injection" true
+    (d.degraded.duplicate_calls + d.degraded.duplicate_replies <= f.duplicated);
+  Alcotest.(check bool) "clean baseline intact" true
+    (d.clean.calls = 600 && d.clean.replies = 600 && d.clean.frames = f.presented)
+
+let test_degraded_salvage_mangled_pcap () =
+  (* Savefile-level damage on top of packet faults: 200 byte flips in
+     the pcap stream itself. The salvage reader must absorb them and
+     still recover most of the trace. *)
+  let plan = { Fault.none with duplicate = 0.01; duplicate_delay = 0.005 } in
+  let d = degraded ~mangle_flips:200 ~plan 400 in
+  Alcotest.(check bool) "decoding survives" true (d.degraded.frames > 0);
+  Alcotest.(check bool) "damage visible in stats" true
+    (d.degraded.skipped_pcap_bytes > 0 || d.degraded.corrupt_frames > 0
+    || d.degraded.rpc_errors > 0 || d.degraded.undecodable_frames > 0);
+  let clean_n = List.length d.clean_records in
+  let degraded_n = List.length d.degraded_records in
+  Alcotest.(check bool) "most records recovered" true
+    (float_of_int degraded_n >= 0.5 *. float_of_int clean_n)
+
+let test_degraded_drift_bounded () =
+  (* §4.1.4-style question: does ~2% bursty capture loss distort the
+     analysis? The op mix of the degraded trace must track the clean
+     one within 10% relative, with >=90% of records recovered. *)
+  let plan =
+    {
+      Fault.none with
+      drop = Fault.Gilbert_elliott { p_gb = 0.02; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
+    }
+  in
+  let d = degraded ~plan 900 in
+  let clean_n = List.length d.clean_records in
+  let degraded_n = List.length d.degraded_records in
+  Alcotest.(check bool) "at least 90% of records survive" true
+    (float_of_int degraded_n >= 0.9 *. float_of_int clean_n);
+  let mix records =
+    let total = float_of_int (List.length records) in
+    let frac proc =
+      float_of_int (List.length (List.filter (fun r -> Record.proc r = proc) records))
+      /. total
+    in
+    (frac Nt_nfs.Proc.Read, frac Nt_nfs.Proc.Write, frac Nt_nfs.Proc.Lookup)
+  in
+  let cr, cw, cl = mix d.clean_records in
+  let dr, dw, dl = mix d.degraded_records in
+  let close name a b =
+    Alcotest.(check bool) (name ^ " mix within 10%") true (Float.abs (a -. b) /. a < 0.10)
+  in
+  close "read" cr dr;
+  close "write" cw dw;
+  close "lookup" cl dl
+
 (* --- anonymizer --- *)
 
 let anon ?(config = Anonymize.default_config) () = Anonymize.create ~seed:9L config
@@ -469,8 +669,20 @@ let () =
           Alcotest.test_case "lost reply" `Quick test_capture_lost_reply;
           Alcotest.test_case "orphan reply" `Quick test_capture_orphan_reply;
           Alcotest.test_case "garbage frame" `Quick test_capture_garbage_frame;
+          Alcotest.test_case "duplicate call/reply" `Quick test_capture_duplicate_call_reply;
+          Alcotest.test_case "fuzz 10k frames" `Quick test_capture_fuzz_10k;
           QCheck_alcotest.to_alcotest prop_capture_never_crashes_on_garbage;
           QCheck_alcotest.to_alcotest prop_capture_survives_bitflips;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "duplicates conserved" `Quick test_degraded_duplicates_conserved;
+          Alcotest.test_case "corrupt+truncate conserved" `Quick
+            test_degraded_corrupt_truncate_conserved;
+          Alcotest.test_case "acceptance: burst+corrupt+dup+trunc" `Quick
+            test_degraded_acceptance_burst;
+          Alcotest.test_case "salvage mangled pcap" `Quick test_degraded_salvage_mangled_pcap;
+          Alcotest.test_case "analysis drift bounded" `Quick test_degraded_drift_bounded;
         ] );
       ( "anonymize",
         [
