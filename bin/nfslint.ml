@@ -1,0 +1,136 @@
+(* nfslint: static checker for trace invariants and anonymization-leak
+   safety. Streams a saved text trace through the rule engine and exits
+   non-zero when findings reach the --fail-on threshold.
+
+   Examples:
+     nfslint campus.trace
+     nfslint --anonymized --json --fail-on warn campus.anon.trace
+     nfslint --list-rules *)
+
+open Cmdliner
+module Lint = Nt_lint.Engine
+
+let list_rules () =
+  List.iter
+    (fun (r : Nt_lint.Rule.t) ->
+      Printf.printf "%-22s %-13s %-5s %s\n" r.id
+        (Nt_lint.Rule.family_to_string r.family)
+        (Nt_lint.Rule.severity_to_string r.severity)
+        r.doc)
+    Nt_lint.Rule.all;
+  0
+
+let run input json fail_on anonymized enabled_only disabled reorder_window xid_window
+    max_tracked list =
+  if list then list_rules ()
+  else
+    let unknown =
+      List.filter
+        (fun id -> Nt_lint.Rule.find id = None)
+        (disabled @ Option.value enabled_only ~default:[])
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "nfslint: unknown rule(s): %s (try --list-rules)\n%!"
+        (String.concat ", " unknown);
+      2
+    end
+    else begin
+      let config =
+        {
+          Lint.default_config with
+          anonymized;
+          enabled_only;
+          disabled;
+          reorder_window;
+          xid_window;
+          max_tracked;
+        }
+      in
+      let ic = if input = "-" then stdin else open_in input in
+      let t = Lint.run config (Nt_trace.Record.read_channel ic) in
+      if input <> "-" then close_in ic;
+      let findings = Lint.findings t in
+      if json then print_endline (Nt_lint.Finding.list_to_json findings)
+      else List.iter (fun f -> print_endline (Nt_lint.Finding.to_string f)) findings;
+      Printf.eprintf "nfslint: %d records, %d error(s), %d warning(s), %d info%s\n%!"
+        (Lint.records_seen t)
+        (Lint.severity_count t Nt_lint.Rule.Error)
+        (Lint.severity_count t Nt_lint.Rule.Warn)
+        (Lint.severity_count t Nt_lint.Rule.Info)
+        (if Lint.suppressed t > 0 then
+           Printf.sprintf " (%d findings suppressed past per-rule cap)" (Lint.suppressed t)
+         else "");
+      let failed =
+        match fail_on with
+        | `Never -> false
+        | `Error -> Lint.severity_count t Nt_lint.Rule.Error > 0
+        | `Warn ->
+            Lint.severity_count t Nt_lint.Rule.Error > 0
+            || Lint.severity_count t Nt_lint.Rule.Warn > 0
+      in
+      if failed then 1 else 0
+    end
+
+let input =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Input trace file (- for stdin).")
+
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array.")
+
+let fail_on =
+  Arg.(
+    value
+    & opt (enum [ ("never", `Never); ("warn", `Warn); ("error", `Error) ]) `Error
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:"Exit non-zero when findings reach $(docv): never, warn, or error.")
+
+let anonymized =
+  Arg.(
+    value & flag
+    & info [ "anonymized" ]
+        ~doc:
+          "The trace claims to be anonymized: also run the anonymization-leak family (raw \
+           addresses, unmapped IDs, name residue, dictionary words).")
+
+let enabled_only =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "enable" ] ~docv:"RULES" ~doc:"Run only these comma-separated rule ids.")
+
+let disabled =
+  Arg.(
+    value & opt (list string) []
+    & info [ "disable" ] ~docv:"RULES" ~doc:"Skip these comma-separated rule ids.")
+
+let reorder_window =
+  Arg.(
+    value
+    & opt float Lint.default_config.Lint.reorder_window
+    & info [ "reorder-window" ] ~docv:"SECONDS"
+        ~doc:"Tolerated backwards step in call time before non-monotonic-time fires.")
+
+let xid_window =
+  Arg.(
+    value
+    & opt float Lint.default_config.Lint.xid_window
+    & info [ "xid-window" ] ~docv:"SECONDS"
+        ~doc:"Window within which (client, XID) reuse counts as duplicate-xid.")
+
+let max_tracked =
+  Arg.(
+    value
+    & opt int Lint.default_config.Lint.max_tracked
+    & info [ "max-tracked" ] ~docv:"N"
+        ~doc:"State cap per table (handles, XIDs, bindings); memory stays bounded on \
+              arbitrarily long traces.")
+
+let list = Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "nfslint" ~doc:"Statically check a saved NFS trace for invariant violations")
+    Term.(
+      const run $ input $ json $ fail_on $ anonymized $ enabled_only $ disabled
+      $ reorder_window $ xid_window $ max_tracked $ list)
+
+let () = exit (Cmd.eval' cmd)

@@ -22,7 +22,7 @@ let policy_name = function
 type file_state = {
   mutable expected : int;
   mutable last_block : int;
-  mutable history : bool Queue.t;  (* was each recent access c-consecutive? *)
+  history : bool Queue.t;  (* was each recent access c-consecutive? *)
   mutable consecutive : int;
 }
 

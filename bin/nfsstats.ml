@@ -91,9 +91,18 @@ let print_hourly records =
              ])
        (Nt_analysis.Hourly.series h))
 
-let run input analyses =
+let run input analyses lint =
   let records = load input in
   Printf.eprintf "nfsstats: %d records loaded\n%!" (List.length records);
+  if lint then begin
+    let l = Nt_core.Pipeline.lint_records records in
+    List.iter
+      (fun f -> Printf.eprintf "nfsstats: %s\n" (Nt_lint.Finding.to_string f))
+      (Nt_lint.Engine.findings l);
+    Printf.eprintf "nfsstats: lint: %d error(s), %d warning(s)\n%!"
+      (Nt_lint.Engine.severity_count l Nt_lint.Rule.Error)
+      (Nt_lint.Engine.severity_count l Nt_lint.Rule.Warn)
+  end;
   List.iter
     (fun a ->
       (match a with
@@ -118,9 +127,17 @@ let analyses =
     & opt (list kind) [ `Summary ]
     & info [ "a"; "analysis" ] ~docv:"LIST" ~doc:"Analyses to run: summary, runs, names, hourly.")
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static checker over the loaded records before analyzing; findings go to \
+           stderr so suspicious traces are flagged next to the numbers they distort.")
+
 let cmd =
   Cmd.v
     (Cmd.info "nfsstats" ~doc:"Analyze a saved NFS trace")
-    Term.(const run $ input $ analyses)
+    Term.(const run $ input $ analyses $ lint)
 
 let () = exit (Cmd.eval' cmd)

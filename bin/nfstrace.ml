@@ -5,21 +5,41 @@
 
 open Cmdliner
 
-let run input output salvage =
+let run input output salvage lint =
   let ic = if input = "-" then stdin else open_in_bin input in
   let decode () =
     let reader = Nt_net.Pcap.reader_of_channel ~salvage ic in
     let oc = if output = "-" then stdout else open_out output in
+    let linter =
+      if lint then
+        (* Streamed records are not globally call-time sorted (lost calls
+           flush late), so leave the reorder rule plenty of slack. *)
+        Some
+          (Nt_lint.Engine.create
+             { Nt_lint.Engine.default_config with reorder_window = 120. })
+      else None
+    in
     let emit r =
       output_string oc (Nt_trace.Record.to_line r);
-      output_char oc '\n'
+      output_char oc '\n';
+      Option.iter (fun l -> Nt_lint.Engine.observe l r) linter
     in
     (* Stream records as replies complete; unanswered calls flush at EOF. *)
     let capture = Nt_trace.Capture.create ~emit () in
     Nt_trace.Capture.feed_pcap capture reader;
     let stats, _ = Nt_trace.Capture.finish capture in
     if output <> "-" then close_out oc;
-    Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats)
+    Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats);
+    Option.iter
+      (fun l ->
+        Nt_lint.Engine.observe_stats l stats;
+        List.iter
+          (fun f -> Printf.eprintf "nfstrace: %s\n" (Nt_lint.Finding.to_string f))
+          (Nt_lint.Engine.findings l);
+        Printf.eprintf "nfstrace: lint: %d error(s), %d warning(s)\n%!"
+          (Nt_lint.Engine.severity_count l Nt_lint.Rule.Error)
+          (Nt_lint.Engine.severity_count l Nt_lint.Rule.Warn))
+      linter
   in
   let status =
     match decode () with
@@ -51,9 +71,17 @@ let salvage =
           "Resync past corrupt pcap record headers instead of aborting; skipped bytes and \
            salvaged records are counted in the stats line.")
 
+let lint =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static checker over the decoded records and capture stats; findings go to \
+           stderr and do not affect the exit code (use nfslint for gating).")
+
 let cmd =
   Cmd.v
     (Cmd.info "nfstrace" ~doc:"Decode a pcap capture into NFS trace records")
-    Term.(const run $ input $ output $ salvage)
+    Term.(const run $ input $ output $ salvage $ lint)
 
 let () = exit (Cmd.eval' cmd)

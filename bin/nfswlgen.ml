@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let run system users start_hour hours format loss output =
+let run system users start_hour hours format loss fault fault_seed output =
   let day = Nt_util.Trace_week.Wed in
   let start = Nt_util.Trace_week.time_of ~day ~hour:start_hour ~minute:0 in
   let stop = start +. (3600. *. hours) in
@@ -35,15 +35,26 @@ let run system users start_hour hours format loss output =
     Printf.eprintf "nfswlgen: wrote %d records\n%!" !n
   in
   let emit_pcap oc =
+    let plan =
+      match fault with
+      | `None -> None
+      | `Burst -> Some Nt_sim.Fault.campus_burst
+      | `Truncate ->
+          (* Snaplen-style damage: a quarter of the frames cut to 64
+             bytes, which the capture engine counts as undecodable. *)
+          Some { Nt_sim.Fault.none with truncate = 0.25; truncate_to = 64 }
+    in
     let writer = Nt_net.Pcap.writer_to_channel oc in
     let stats =
       match system with
       | `Campus ->
           let config = { Nt_workload.Email.default_config with users } in
-          Nt_core.Pipeline.campus_to_pcap ~config ~monitor_loss:loss ~start ~stop ~writer ()
+          Nt_core.Pipeline.campus_to_pcap ~config ?fault:plan ~seed:fault_seed
+            ~monitor_loss:loss ~start ~stop ~writer ()
       | `Eecs ->
           let config = { Nt_workload.Research.default_config with users } in
-          Nt_core.Pipeline.eecs_to_pcap ~config ~monitor_loss:loss ~start ~stop ~writer ()
+          Nt_core.Pipeline.eecs_to_pcap ~config ?fault:plan ~seed:fault_seed
+            ~monitor_loss:loss ~start ~stop ~writer ()
     in
     Printf.eprintf "nfswlgen: %d records, %d packets written, %d dropped at monitor\n%!"
       stats.run.records stats.packets_written stats.packets_dropped
@@ -80,6 +91,20 @@ let loss =
     value & opt float 0.
     & info [ "loss" ] ~docv:"P" ~doc:"Monitor-port packet loss probability (pcap format only).")
 
+let fault =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("burst", `Burst); ("truncate", `Truncate) ]) `None
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Inject a monitor fault plan (pcap format only): burst (Gilbert-Elliott bursty \
+           loss with light damage) or truncate (snaplen-style frame truncation).")
+
+let fault_seed =
+  Arg.(
+    value & opt int64 2003L
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed for the fault injector.")
+
 let output =
   Arg.(
     value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (- for stdout).")
@@ -87,6 +112,6 @@ let output =
 let cmd =
   Cmd.v
     (Cmd.info "nfswlgen" ~doc:"Generate a synthetic NFS workload trace or capture")
-    Term.(const run $ system $ users $ start_hour $ hours $ format $ loss $ output)
+    Term.(const run $ system $ users $ start_hour $ hours $ format $ loss $ fault $ fault_seed $ output)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,7 @@ type config = {
 (* Buffered dirty blocks, keyed by (fh hex, block index). [seq] gives
    FIFO flush order; a rewrite refreshes the entry (the old version is
    absorbed, the new one re-enters at the tail). *)
-type entry = { mutable deadline : float; mutable seq : int; mutable live : bool }
+type entry = { mutable seq : int; mutable live : bool }
 
 type t = {
   cfg : config;
@@ -88,10 +88,9 @@ let write_block t ~now key =
   let deadline = now +. t.cfg.flush_delay in
   (match Hashtbl.find_opt t.entries key with
   | Some e ->
-      e.deadline <- deadline;
       e.seq <- seq;
       e.live <- true
-  | None -> Hashtbl.add t.entries key { deadline; seq; live = true });
+  | None -> Hashtbl.add t.entries key { seq; live = true });
   t.buffered <- t.buffered + 1;
   Queue.push (deadline, seq, key) t.queue
 

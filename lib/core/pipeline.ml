@@ -65,8 +65,8 @@ type pcap_stats = {
   packets_dropped : int;
 }
 
-let to_pcap ~transport ~monitor_loss ~writer ~simulate =
-  let pipe = Packet_pipe.create ~monitor_loss ~transport ~writer () in
+let to_pcap ~fault ~seed ~transport ~monitor_loss ~writer ~simulate =
+  let pipe = Packet_pipe.create ~monitor_loss ?fault ?seed ~transport ~writer () in
   let run = simulate ~sink:(Packet_pipe.push pipe) in
   Packet_pipe.finish pipe;
   {
@@ -75,13 +75,13 @@ let to_pcap ~transport ~monitor_loss ~writer ~simulate =
     packets_dropped = Packet_pipe.packets_dropped pipe;
   }
 
-let campus_to_pcap ?config ?(monitor_loss = 0.) ~start ~stop ~writer () =
-  to_pcap ~transport:Packet_pipe.Tcp_transport ~monitor_loss ~writer ~simulate:(fun ~sink ->
-      simulate_campus ?config ~start ~stop ~sink ())
+let campus_to_pcap ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~fault ~seed ~transport:Packet_pipe.Tcp_transport ~monitor_loss ~writer
+    ~simulate:(fun ~sink -> simulate_campus ?config ~start ~stop ~sink ())
 
-let eecs_to_pcap ?config ?(monitor_loss = 0.) ~start ~stop ~writer () =
-  to_pcap ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer ~simulate:(fun ~sink ->
-      simulate_eecs ?config ~start ~stop ~sink ())
+let eecs_to_pcap ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~fault ~seed ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer
+    ~simulate:(fun ~sink -> simulate_eecs ?config ~start ~stop ~sink ())
 
 let capture_pcap ?salvage pcap_bytes =
   let reader = Nt_net.Pcap.reader_of_string ?salvage pcap_bytes in
@@ -125,6 +125,19 @@ let collect_records simulate =
   let acc = ref [] in
   let stats = simulate ~sink:(fun r -> acc := r :: !acc) in
   (stats, List.rev !acc)
+
+(* --- lint hooks: the linter as a differential oracle --- *)
+
+let lint_records ?(config = Nt_lint.Engine.default_config) ?stats records =
+  Nt_lint.Engine.run ?stats config (List.to_seq records)
+
+type lint_oracle = { clean_lint : Nt_lint.Engine.t; degraded_lint : Nt_lint.Engine.t }
+
+let lint_degraded ?config (d : degraded_run) =
+  {
+    clean_lint = lint_records ?config ~stats:d.clean d.clean_records;
+    degraded_lint = lint_records ?config ~stats:d.degraded d.degraded_records;
+  }
 
 let campus_degraded ?config ?seed ?mangle_flips ~plan ~start ~stop () =
   let _, records =

@@ -38,6 +38,8 @@ type pcap_stats = {
 
 val campus_to_pcap :
   ?config:Nt_workload.Email.config ->
+  ?fault:Nt_sim.Fault.plan ->
+  ?seed:int64 ->
   ?monitor_loss:float ->
   start:float ->
   stop:float ->
@@ -46,10 +48,13 @@ val campus_to_pcap :
   pcap_stats
 (** Full wire path: CAMPUS traffic as NFSv3-over-TCP jumbo-frame
     packets in a pcap stream, with optional capture loss — the input
-    the paper's own tracer consumed. *)
+    the paper's own tracer consumed. [fault] injects a full monitor
+    fault plan (overrides [monitor_loss]); [seed] seeds the injector. *)
 
 val eecs_to_pcap :
   ?config:Nt_workload.Research.config ->
+  ?fault:Nt_sim.Fault.plan ->
+  ?seed:int64 ->
   ?monitor_loss:float ->
   start:float ->
   stop:float ->
@@ -88,6 +93,23 @@ val run_degraded :
     fault appears in exactly one capture counter) and bounded analysis
     drift (clean vs degraded metrics stay within tolerance at realistic
     loss rates). *)
+
+val lint_records :
+  ?config:Nt_lint.Engine.config ->
+  ?stats:Nt_trace.Capture.stats ->
+  Nt_trace.Record.t list ->
+  Nt_lint.Engine.t
+(** Run the static checker over a record list (and optional capture
+    stats); inspect the result with {!Nt_lint.Engine.findings} and
+    friends. *)
+
+type lint_oracle = { clean_lint : Nt_lint.Engine.t; degraded_lint : Nt_lint.Engine.t }
+
+val lint_degraded : ?config:Nt_lint.Engine.config -> degraded_run -> lint_oracle
+(** Lint both sides of a differential run. The linter is itself an
+    oracle here: the clean side must come back finding-free while the
+    degraded side must show findings from the family the fault plan
+    predicts (loss ⇒ protocol, truncation/corruption ⇒ hygiene). *)
 
 val campus_degraded :
   ?config:Nt_workload.Email.config ->

@@ -1,0 +1,101 @@
+type profile = {
+  preserve_names : string list;
+  preserve_suffixes : string list;
+  preserve_uids : int list;
+  preserve_gids : int list;
+}
+
+let of_config (c : Nt_trace.Anonymize.config) =
+  {
+    preserve_names = c.preserve_names;
+    preserve_suffixes = c.preserve_suffixes;
+    preserve_uids = c.preserve_uids;
+    preserve_gids = c.preserve_gids;
+  }
+
+let default = of_config Nt_trace.Anonymize.default_config
+
+let is_base36 c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z')
+
+(* Stem tokens are "a" + 5 base36 chars; anonymized suffixes are
+   "." + "s" + 2 base36 chars. Mirrors [Anonymize.fresh_token]. *)
+let is_stem_token s =
+  String.length s = 6
+  && s.[0] = 'a'
+  && (try
+        String.iteri (fun i c -> if i > 0 && not (is_base36 c) then raise Exit) s;
+        true
+      with Exit -> false)
+
+let is_suffix_token s =
+  String.length s = 4
+  && s.[0] = '.'
+  && s.[1] = 's'
+  && is_base36 s.[2]
+  && is_base36 s.[3]
+
+(* Same affix-splitting order as [Anonymize.name], so every string that
+   function can emit parses here. *)
+let rec grammar p n =
+  if n = "" || n = "." || n = ".." then None
+  else if List.mem n p.preserve_names then None
+  else
+    let len = String.length n in
+    if len > 2 && n.[0] = '#' && n.[len - 1] = '#' then
+      grammar p (String.sub n 1 (len - 2))
+    else if len > 1 && n.[len - 1] = '~' then grammar p (String.sub n 0 (len - 1))
+    else if len > 2 && String.sub n (len - 2) 2 = ",v" then
+      grammar p (String.sub n 0 (len - 2))
+    else if n.[0] = '.' then grammar p (String.sub n 1 (len - 1))
+    else
+      match String.rindex_opt n '.' with
+      | Some i when i > 0 && i < len - 1 ->
+          let stem = String.sub n 0 i in
+          let suffix = String.sub n i (len - i) in
+          if not (is_stem_token stem) then
+            Some (Printf.sprintf "stem %S is not an anonymizer token" stem)
+          else if List.mem suffix p.preserve_suffixes || is_suffix_token suffix then None
+          else Some (Printf.sprintf "suffix %S is neither preserved nor a token" suffix)
+      | Some _ | None ->
+          if is_stem_token n then None
+          else Some (Printf.sprintf "component %S is not an anonymizer token" n)
+
+(* Words one should never see in an anonymized trace. All length >= 4
+   so short base36 runs cannot collide; matched as substrings of the
+   lowercased name. *)
+let dictionary =
+  [
+    "mail"; "spam"; "draft"; "paper"; "thesis"; "grade"; "exam"; "homework";
+    "report"; "letter"; "resume"; "secret"; "password"; "private"; "backup";
+    "budget"; "salary"; "finance"; "patient"; "medical"; "student"; "advisor";
+    "faculty"; "project"; "result"; "experiment"; "simulation"; "notes";
+    "admin"; "staff"; "research"; "meeting"; "agenda"; "review"; "proposal";
+    "grant"; "chapter"; "abstract"; "figure"; "source"; "archive"; "personal";
+    "message"; "folder"; "attachment"; "address"; "phone"; "account"; "login";
+  ]
+
+let contains_word name =
+  let n = String.lowercase_ascii name in
+  let nlen = String.length n in
+  let matches w =
+    let wlen = String.length w in
+    let rec at i = i + wlen <= nlen && (String.sub n i wlen = w || at (i + 1)) in
+    at 0
+  in
+  List.find_opt matches dictionary
+
+type name_verdict = Name_ok | Dictionary of string | Residue of string
+
+let check_name p n =
+  match grammar p n with
+  | None -> Name_ok
+  | Some reason -> (
+      (* Only grammar-failing names are screened against the dictionary:
+         a random token can spell a word by chance, and grammar-valid
+         names are what the anonymizer itself produces. *)
+      match contains_word n with Some w -> Dictionary w | None -> Residue reason)
+
+let check_id preserved v = List.mem v preserved || (v >= 10000 && v < 100000)
+let check_uid p u = check_id p.preserve_uids u
+let check_gid p g = check_id p.preserve_gids g
+let check_ip addr = addr lsr 24 = 10

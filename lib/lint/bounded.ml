@@ -1,0 +1,54 @@
+(* Hashtbl plus an insertion-order queue of (seq, key). A queue entry
+   is authoritative only while the table still holds the same seq for
+   that key; stale entries (removed or re-inserted keys) are skipped
+   when popped. The queue is compacted whenever it grows past twice the
+   live size, so total memory stays proportional to the live bindings
+   regardless of how much churn the stream produces. *)
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, int * 'v) Hashtbl.t;
+  order : (int * 'k) Queue.t;
+  mutable seq : int;
+}
+
+let create ~capacity =
+  { capacity = max 1 capacity; tbl = Hashtbl.create 256; order = Queue.create (); seq = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let valid t (seq, key) =
+  match Hashtbl.find_opt t.tbl key with Some (s, _) -> s = seq | None -> false
+
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some ((_, key) as entry) ->
+      if valid t entry then Hashtbl.remove t.tbl key else evict_one t
+
+let compact t =
+  while Queue.length t.order > (2 * Hashtbl.length t.tbl) + 16 do
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some entry ->
+        (* A live entry rotates to the back so compaction always makes
+           progress; eviction order degrades gracefully from FIFO. *)
+        if valid t entry then Queue.add entry t.order
+  done
+
+let set t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (seq, _) ->
+      (* Replacement keeps the original seq so the existing queue entry
+         stays authoritative and insertion order is not refreshed. *)
+      Hashtbl.replace t.tbl key (seq, value)
+  | None ->
+      t.seq <- t.seq + 1;
+      Hashtbl.replace t.tbl key (t.seq, value);
+      Queue.add (t.seq, key) t.order;
+      if Hashtbl.length t.tbl > t.capacity then evict_one t;
+      compact t
+
+let find t key = Option.map snd (Hashtbl.find_opt t.tbl key)
+let mem t key = Hashtbl.mem t.tbl key
+let remove t key = Hashtbl.remove t.tbl key

@@ -1,0 +1,20 @@
+(** A hash table with a hard capacity and FIFO eviction.
+
+    The linter must stream million-record traces in bounded memory, but
+    several of its rules need per-key state (live handles, outstanding
+    XIDs, name bindings). This table keeps at most [capacity] bindings;
+    inserting beyond that evicts the oldest insertion. Eviction can
+    only make the linter forget — i.e. miss a violation — never invent
+    one, so capping state trades recall for memory, not soundness. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace. Replacement does not refresh insertion order. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+val remove : ('k, 'v) t -> 'k -> unit
+val mem : ('k, 'v) t -> 'k -> bool
+val length : ('k, 'v) t -> int

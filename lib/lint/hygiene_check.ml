@@ -1,0 +1,41 @@
+module Capture = Nt_trace.Capture
+
+let fire emit rule fmt =
+  Printf.ksprintf (fun detail -> emit (Finding.v rule ~index:(-1) ~time:Float.nan detail)) fmt
+
+let check ~emit (s : Capture.stats) =
+  (* Conservation laws (DESIGN.md "Fault model & loss accounting"). *)
+  let counters =
+    [
+      ("frames", s.frames); ("undecodable_frames", s.undecodable_frames);
+      ("corrupt_frames", s.corrupt_frames); ("rpc_messages", s.rpc_messages);
+      ("rpc_errors", s.rpc_errors); ("non_nfs", s.non_nfs); ("calls", s.calls);
+      ("replies", s.replies); ("duplicate_calls", s.duplicate_calls);
+      ("duplicate_replies", s.duplicate_replies); ("orphan_replies", s.orphan_replies);
+      ("lost_replies", s.lost_replies); ("tcp_gaps", s.tcp_gaps);
+      ("salvaged_records", s.salvaged_records); ("skipped_pcap_bytes", s.skipped_pcap_bytes);
+      ("truncated_pcap_tails", s.truncated_pcap_tails);
+    ]
+  in
+  List.iter
+    (fun (name, v) ->
+      if v < 0 then fire emit Rule.loss_accounting "counter %s is negative (%d)" name v)
+    counters;
+  if s.calls <> s.replies + s.lost_replies then
+    fire emit Rule.loss_accounting "calls (%d) <> replies (%d) + lost_replies (%d)" s.calls
+      s.replies s.lost_replies;
+  if s.frames < s.undecodable_frames + s.corrupt_frames then
+    fire emit Rule.loss_accounting
+      "frames (%d) < undecodable (%d) + corrupt (%d)" s.frames s.undecodable_frames
+      s.corrupt_frames;
+  (* Loss and damage indicators: legitimate under degraded capture,
+     never present on a clean one. *)
+  if s.orphan_replies > 0 || s.lost_replies > 0 || s.tcp_gaps > 0 then
+    fire emit Rule.capture_loss "orphan_replies=%d lost_replies=%d tcp_gaps=%d"
+      s.orphan_replies s.lost_replies s.tcp_gaps;
+  if s.undecodable_frames > 0 || s.corrupt_frames > 0 || s.rpc_errors > 0 then
+    fire emit Rule.frame_damage "undecodable=%d corrupt=%d rpc_errors=%d"
+      s.undecodable_frames s.corrupt_frames s.rpc_errors;
+  if s.skipped_pcap_bytes > 0 && s.salvaged_records = 0 && s.truncated_pcap_tails = 0 then
+    fire emit Rule.salvage_gap
+      "%d pcap bytes skipped with no salvaged record or truncated tail" s.skipped_pcap_bytes

@@ -1,0 +1,10 @@
+(** Capture-hygiene rules over {!Nt_trace.Capture.stats}.
+
+    Two kinds of check: conservation laws the capture engine promises at
+    [finish] (violations mean the tracer itself is broken — [error]),
+    and loss/damage indicators that are legitimate on degraded input but
+    must never appear on a clean capture — [warn], and the differential
+    oracle CI keys on. Findings carry index [-1]: they describe the
+    capture, not a record. *)
+
+val check : emit:(Finding.t -> unit) -> Nt_trace.Capture.stats -> unit

@@ -1,0 +1,199 @@
+module Record = Nt_trace.Record
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+module Proc = Nt_nfs.Proc
+
+type config = { reorder_window : float; xid_window : float; max_tracked : int }
+
+type suspect = { s_index : int; s_time : float; s_fh : Fh.t; s_proc : Proc.t }
+
+type t = {
+  cfg : config;
+  emit : Finding.t -> unit;
+  xids : (Nt_net.Ip_addr.t * int, float) Bounded.t;
+  seen : (Fh.t, bool) Bounded.t;
+      (* handle -> properly introduced?  [false] marks a handle seen
+         only through flagged I/O (dedup marker, not an introduction) *)
+  links : (Fh.t, int) Bounded.t;
+  removed : (Fh.t, float) Bounded.t;
+  bindings : (Fh.t * string, Fh.t) Bounded.t;
+  pending : suspect Queue.t;
+      (* I/O on not-yet-introduced handles, held one reorder window in
+         case the introducing reply was merely captured late *)
+  mutable prev_time : float;
+  mutable seen_saturated : bool;
+}
+
+let create cfg ~emit =
+  let cap = max 1 cfg.max_tracked in
+  {
+    cfg = { cfg with max_tracked = cap };
+    emit;
+    xids = Bounded.create ~capacity:cap;
+    seen = Bounded.create ~capacity:cap;
+    links = Bounded.create ~capacity:cap;
+    removed = Bounded.create ~capacity:cap;
+    bindings = Bounded.create ~capacity:cap;
+    pending = Queue.create ();
+    prev_time = neg_infinity;
+    seen_saturated = false;
+  }
+
+let tracked t =
+  Bounded.length t.xids + Bounded.length t.seen + Bounded.length t.links
+  + Bounded.length t.removed + Bounded.length t.bindings + Queue.length t.pending
+
+let fire t rule ~index ~time fmt =
+  Printf.ksprintf (fun detail -> t.emit (Finding.v rule ~index ~time detail)) fmt
+
+let introduce t ~proper fh =
+  match Bounded.find t.seen fh with
+  | None ->
+      if Bounded.length t.seen >= t.cfg.max_tracked then t.seen_saturated <- true;
+      Bounded.set t.seen fh proper
+  | Some true -> ()
+  | Some false -> if proper then Bounded.set t.seen fh true
+
+(* A handle handed out by a LOOKUP/CREATE reply supersedes any earlier
+   removal (handle reuse); keep the checker fail-open. *)
+let reintroduce t fh =
+  introduce t ~proper:true fh;
+  Bounded.remove t.removed fh
+
+(* Drop one link; the handle is dead when the last one goes. *)
+let unlink t ~time fh =
+  let links = Option.value (Bounded.find t.links fh) ~default:1 in
+  if links <= 1 then begin
+    Bounded.remove t.links fh;
+    Bounded.set t.removed fh time
+  end
+  else Bounded.set t.links fh (links - 1)
+
+let is_io (p : Proc.t) = match p with Read | Write | Commit -> true | _ -> false
+
+let check_ranges t ~index ~time (r : Record.t) =
+  match (Record.offset r, Record.count r) with
+  | Some off, Some count when Int64.compare off 0L < 0 || count < 0 ->
+      fire t Rule.bad_io_range ~index ~time "offset %Ld count %d" off count
+  | _ -> ()
+
+let check_times t ~index ~time (r : Record.t) =
+  (match r.Record.reply_time with
+  | Some rt when rt < time ->
+      fire t Rule.reply_before_call ~index ~time "reply at %.6f precedes call" rt
+  | _ -> ());
+  if time < t.prev_time -. t.cfg.reorder_window then
+    fire t Rule.non_monotonic_time ~index ~time "call time runs back %.6fs (window %.3fs)"
+      (t.prev_time -. time) t.cfg.reorder_window;
+  if time > t.prev_time then t.prev_time <- time
+
+let check_xid t ~index ~time (r : Record.t) =
+  let key = (r.Record.client, r.Record.xid) in
+  (match Bounded.find t.xids key with
+  | Some prev when time -. prev <= t.cfg.xid_window ->
+      fire t Rule.duplicate_xid ~index ~time "xid %08x reused %.3fs after first use"
+        r.Record.xid (time -. prev)
+  | _ -> ());
+  Bounded.set t.xids key time;
+  if r.Record.result = None then
+    fire t Rule.unanswered_call ~index ~time "xid %08x never answered" r.Record.xid
+
+(* A suspect use is judged one reorder window after its call time: by
+   then the introducing LOOKUP/CREATE reply, if it was merely captured
+   a few milliseconds late, has been folded into [seen]. *)
+let resolve_suspect t s =
+  let properly_introduced = Bounded.find t.seen s.s_fh = Some true in
+  if (not properly_introduced) && not t.seen_saturated then
+    fire t Rule.fh_before_introduction ~index:s.s_index ~time:s.s_time
+      "%s on fh %s never introduced" (Proc.to_string s.s_proc) (Fh.to_hex s.s_fh)
+
+let flush_pending t ~now =
+  while
+    (not (Queue.is_empty t.pending))
+    && (Queue.peek t.pending).s_time <= now -. t.cfg.reorder_window
+  do
+    resolve_suspect t (Queue.pop t.pending)
+  done
+
+let finalize t = flush_pending t ~now:infinity
+
+let check_fh t ~index ~time (r : Record.t) =
+  match Record.fh r with
+  | None -> ()
+  | Some fh ->
+      let proc = Record.proc r in
+      let removed_at = Bounded.find t.removed fh in
+      if Record.is_ok r && removed_at <> None then begin
+        (* Within the window the use may simply have been reordered
+           past the REMOVE at the capture point; beyond it, it is real. *)
+        match removed_at with
+        | Some at when time -. at > t.cfg.reorder_window ->
+            fire t Rule.fh_use_after_remove ~index ~time "%s succeeded on removed fh %s"
+              (Proc.to_string proc) (Fh.to_hex fh)
+        | _ -> ()
+      end
+      else if is_io proc && (not (Bounded.mem t.seen fh)) && not t.seen_saturated then begin
+        if Queue.length t.pending >= t.cfg.max_tracked then
+          resolve_suspect t (Queue.pop t.pending);
+        Queue.push { s_index = index; s_time = time; s_fh = fh; s_proc = proc } t.pending
+      end
+
+let check_size t ~index ~time (r : Record.t) =
+  if Record.is_ok r then
+    match (Record.proc r, Record.offset r, Record.post_size r) with
+    | (Proc.Read | Proc.Write), Some off, Some size ->
+        let moved = Int64.of_int (Record.io_bytes r) in
+        let reach = Int64.add off moved in
+        if moved > 0L && Int64.compare reach size > 0 then
+          fire t Rule.offset_beyond_size ~index ~time
+            "%Ld bytes at offset %Ld reach %Ld, past attested size %Ld" moved off reach size
+    | _ -> ()
+
+(* Fold the record into handle-lifecycle state after the checks. *)
+let update t ~time (r : Record.t) =
+  (* Non-I/O use introduces properly (the mount root arrives outside
+     the trace); I/O only marks the handle so one violation is flagged
+     once, without counting as an introduction for pending suspects. *)
+  Option.iter (introduce t ~proper:(not (is_io (Record.proc r)))) (Record.fh r);
+  (match (r.Record.call, r.Record.result) with
+  | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
+      reintroduce t fh;
+      Bounded.set t.bindings (dir, name) fh
+  | (Ops.Create { dir; name; _ } | Ops.Mkdir { dir; name; _ }
+    | Ops.Symlink { dir; name; _ } | Ops.Mknod { dir; name }),
+    Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+      reintroduce t fh;
+      Bounded.set t.links fh 1;
+      Bounded.set t.bindings (dir, name) fh
+  | (Ops.Remove { dir; name } | Ops.Rmdir { dir; name }), Some (Ok _) -> (
+      match Bounded.find t.bindings (dir, name) with
+      | Some child ->
+          Bounded.remove t.bindings (dir, name);
+          unlink t ~time child
+      | None -> ())
+  | Ops.Rename { from_dir; from_name; to_dir; to_name }, Some (Ok _) -> (
+      (* Renaming over an existing name unlinks whatever it displaced. *)
+      (match Bounded.find t.bindings (to_dir, to_name) with
+      | Some displaced -> unlink t ~time displaced
+      | None -> ());
+      match Bounded.find t.bindings (from_dir, from_name) with
+      | Some child ->
+          Bounded.remove t.bindings (from_dir, from_name);
+          Bounded.set t.bindings (to_dir, to_name) child
+      | None -> Bounded.remove t.bindings (to_dir, to_name))
+  | Ops.Link { fh; to_dir; to_name }, Some (Ok _) ->
+      Bounded.set t.links fh (1 + Option.value (Bounded.find t.links fh) ~default:1);
+      Bounded.set t.bindings (to_dir, to_name) fh
+  | _ -> ())
+
+let observe t ~index (r : Record.t) =
+  let time = r.Record.time in
+  check_ranges t ~index ~time r;
+  check_times t ~index ~time r;
+  check_xid t ~index ~time r;
+  check_fh t ~index ~time r;
+  check_size t ~index ~time r;
+  update t ~time r;
+  (* prev_time is the high-water mark, so suspects are judged only once
+     the stream is a full window past them even under mild reordering. *)
+  flush_pending t ~now:t.prev_time

@@ -1,0 +1,49 @@
+(** Protocol-invariant rules: the per-record state machine.
+
+    One pass over a call-time-sorted record stream, tracking just enough
+    state to check RPC pairing, file-handle lifecycle and I/O sanity:
+
+    - outstanding (client, XID) pairs within a reuse window;
+    - the set of handles the trace has introduced (LOOKUP/CREATE
+      results, or any non-I/O use — the mount-root handle arrives
+      outside the trace, so first use introduces implicitly);
+    - link counts and (dir, name) bindings so REMOVE/RMDIR/RENAME can
+      resolve which handle died;
+    - the previous call timestamp and per-record reply/size fields.
+
+    All tables are {!Bounded}; eviction makes the checker forget and
+    therefore miss violations, never invent them — with one exception:
+    once the introduced-handle set has evicted, [fh-before-introduction]
+    is suppressed entirely (fail open) because lost membership would
+    otherwise fabricate findings.
+
+    Passive captures timestamp packets at the monitor, so causally
+    ordered RPCs can appear a few milliseconds out of order. The
+    handle-lifecycle rules therefore tolerate one [reorder_window]:
+    I/O on a not-yet-introduced handle is held as a suspect and only
+    reported once the stream is a full window past it with no
+    introducing reply having surfaced ({!finalize} judges the rest),
+    and use-after-remove fires only when the use trails the REMOVE by
+    more than the window. *)
+
+type config = {
+  reorder_window : float;  (** tolerated backwards step in call time, seconds *)
+  xid_window : float;  (** (client, XID) reuse within this window is duplicate *)
+  max_tracked : int;  (** capacity of each state table *)
+}
+
+type t
+
+val create : config -> emit:(Finding.t -> unit) -> t
+
+val observe : t -> index:int -> Nt_trace.Record.t -> unit
+(** Check one record and fold it into the state. [index] is the
+    zero-based position in the stream, reported in findings. *)
+
+val finalize : t -> unit
+(** Judge all still-pending suspect uses as if the stream had advanced
+    past every reorder window. Idempotent; call once the stream ends
+    (further {!observe} calls remain valid). *)
+
+val tracked : t -> int
+(** Total live entries across all state tables (bench observability). *)

@@ -85,7 +85,6 @@ type flow_state = { mutable seq : int; mutable started : bool }
 
 type t = {
   transport : transport;
-  writer : Pcap.writer;
   rng : Prng.t;
   mtu : int;
   sorter : Psort.t;
@@ -121,7 +120,6 @@ let create ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer (
   in
   {
     transport;
-    writer;
     rng;
     mtu;
     sorter = Psort.create ~horizon:630. emit;

@@ -1,6 +1,5 @@
 module Types = Nt_nfs.Types
 module Ops = Nt_nfs.Ops
-module Fh = Nt_nfs.Fh
 
 type t = {
   fs : Sim_fs.t;

@@ -12,12 +12,12 @@ type kind =
 
 and node = {
   id : int;
-  mutable kind : kind;
+  kind : kind;
   mutable size : int64;
   mutable nlink : int;
-  mutable mode : int;
-  mutable uid : int;
-  mutable gid : int;
+  mode : int;
+  uid : int;
+  gid : int;
   mutable atime : float;
   mutable mtime : float;
   mutable ctime : float;

@@ -48,6 +48,9 @@ type t = {
   used_tokens : (string, unit) Hashtbl.t;
   used_ids : (int, unit) Hashtbl.t;
   used_ips : (Ip_addr.t, unit) Hashtbl.t;
+  mutable leaks : int;
+      (** sensitive values passed through raw because mapping for their
+          kind is disabled (preserve-list hits are deliberate, not leaks) *)
 }
 
 let create ?(seed = 0x6e667374726163L) config =
@@ -62,7 +65,12 @@ let create ?(seed = 0x6e667374726163L) config =
     used_tokens = Hashtbl.create 4096;
     used_ids = Hashtbl.create 256;
     used_ips = Hashtbl.create 64;
+    leaks = 0;
   }
+
+let leaked t v =
+  t.leaks <- t.leaks + 1;
+  v
 
 let base36 = "0123456789abcdefghijklmnopqrstuvwxyz"
 
@@ -99,9 +107,9 @@ let anon_suffix t suffix =
    affixes around the anonymized core. *)
 let rec name t n =
   if t.config.omit then "x"
-  else if not t.config.map_names then n
   else if n = "" || n = "." || n = ".." then n
   else if List.mem n t.config.preserve_names then n
+  else if not t.config.map_names then leaked t n
   else begin
     let len = String.length n in
     (* Emacs autosave: #core# *)
@@ -127,7 +135,8 @@ let rec name t n =
 
 let uid t u =
   if t.config.omit then 0
-  else if (not t.config.map_ids) || List.mem u t.config.preserve_uids then u
+  else if List.mem u t.config.preserve_uids then u
+  else if not t.config.map_ids then leaked t u
   else
     map_via t.uids
       (fun () ->
@@ -144,7 +153,8 @@ let uid t u =
 
 let gid t g =
   if t.config.omit then 0
-  else if (not t.config.map_ids) || List.mem g t.config.preserve_gids then g
+  else if List.mem g t.config.preserve_gids then g
+  else if not t.config.map_ids then leaked t g
   else
     map_via t.gids
       (fun () ->
@@ -161,7 +171,7 @@ let gid t g =
 
 let ip t addr =
   if t.config.omit then Ip_addr.v 0 0 0 0
-  else if not t.config.map_ips then addr
+  else if not t.config.map_ips then leaked t addr
   else
     map_via t.ips
       (fun () ->
@@ -230,3 +240,4 @@ let record t (r : Record.t) : Record.t =
   }
 
 let mapped_names t = Hashtbl.length t.stems
+let leaks t = t.leaks

@@ -60,3 +60,10 @@ val record : t -> Record.t -> Record.t
 
 val mapped_names : t -> int
 (** Number of distinct components mapped so far. *)
+
+val leaks : t -> int
+(** Number of sensitive values passed through raw because mapping for
+    their kind ([map_names]/[map_ids]/[map_ips]) was disabled. Trivial
+    names ([""], ["."], [".."]) and preserve-list hits are deliberate
+    pass-throughs, not leaks; [omit] mode never leaks. A fully-mapping
+    config keeps this at zero — release gates assert exactly that. *)

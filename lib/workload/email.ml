@@ -2,7 +2,6 @@ module Prng = Nt_util.Prng
 module Dist = Nt_util.Dist
 module Tw = Nt_util.Trace_week
 module Ip_addr = Nt_net.Ip_addr
-module Fh = Nt_nfs.Fh
 module Engine = Nt_sim.Engine
 module Server = Nt_sim.Server
 module Sim_fs = Nt_sim.Sim_fs
@@ -63,7 +62,6 @@ type user = {
 type t = {
   config : config;
   engine : Engine.t;
-  server : Server.t;
   rng : Prng.t;
   users : user array;
   smtp_client : Client.t;
@@ -153,7 +151,6 @@ let setup cfg ~engine ~server ~sink =
   {
     config = cfg;
     engine;
-    server;
     rng;
     users;
     smtp_client;

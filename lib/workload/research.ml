@@ -2,7 +2,6 @@ module Prng = Nt_util.Prng
 module Dist = Nt_util.Dist
 module Tw = Nt_util.Trace_week
 module Ip_addr = Nt_net.Ip_addr
-module Fh = Nt_nfs.Fh
 module Engine = Nt_sim.Engine
 module Server = Nt_sim.Server
 module Sim_fs = Nt_sim.Sim_fs
@@ -52,7 +51,6 @@ type user = {
 type t = {
   config : config;
   engine : Engine.t;
-  server : Server.t;
   rng : Prng.t;
   users : user array;
   batch_client : Client.t;  (** shared compute host running cron jobs *)
@@ -144,7 +142,7 @@ let setup cfg ~engine ~server ~sink =
     { (Client.default_config ~ip:(Ip_addr.v 10 2 9 9) ~version:3) with rsize = 16384; wsize = 16384 }
   in
   let batch_client = Client.create batch_cfg ~server ~sink ~rng:(Prng.split rng) in
-  { config = cfg; engine; server; rng; users; batch_client; stop = infinity; compiles = 0 }
+  { config = cfg; engine; rng; users; batch_client; stop = infinity; compiles = 0 }
 
 let pick_user t = t.users.(Prng.int t.rng (Array.length t.users))
 
