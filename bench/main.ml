@@ -9,7 +9,7 @@
 
    Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
    fig5 nfsiod names readahead nvram blockcache hints capture faultperf
-   degraded lint micro *)
+   degraded lint obs micro *)
 
 module Tw = Nt_util.Trace_week
 module Tables = Nt_util.Tables
@@ -795,11 +795,13 @@ let degraded () =
 (* nfslint throughput on a million-record stream                       *)
 (* ------------------------------------------------------------------ *)
 
-let lint () =
-  banner "nfslint: streaming throughput over a 1M-record synthetic trace";
+(* Shared synthetic lint workload: a pool of live handles, each
+   introduced by one LOOKUP then hit with alternating reads and writes.
+   Used by both the lint throughput bench and the nt_obs overhead
+   gate, so the two measure the same stream. *)
+let lint_stream n : Nt_trace.Record.t Seq.t =
   let module Ops = Nt_nfs.Ops in
   let module Types = Nt_nfs.Types in
-  let n = 1_000_000 in
   let pool = 10_000 (* live file handles rotating through the stream *) in
   let per_file = 8 (* one LOOKUP introduces each handle, then 7 I/Os *) in
   let dir = Nt_nfs.Fh.make ~fsid:1 ~fileid:1 in
@@ -834,8 +836,13 @@ let lint () =
       result = Some (Ok result);
     }
   in
+  Seq.init n record
+
+let lint () =
+  banner "nfslint: streaming throughput over a 1M-record synthetic trace";
+  let n = 1_000_000 in
   let t0 = Unix.gettimeofday () in
-  let engine = Nt_lint.Engine.run Nt_lint.Engine.default_config (Seq.init n record) in
+  let engine = Nt_lint.Engine.run Nt_lint.Engine.default_config (lint_stream n) in
   let errors = Nt_lint.Engine.severity_count engine Nt_lint.Rule.Error in
   let warns = Nt_lint.Engine.severity_count engine Nt_lint.Rule.Warn in
   let dt = Unix.gettimeofday () -. t0 in
@@ -852,6 +859,82 @@ let lint () =
     "\nState is O(active XIDs + live fhs), not O(records): %d entries after %d records\n\
      (capped at max_tracked=%d per table; a week-long trace lints in constant memory).\n"
     (Nt_lint.Engine.tracked engine) n Nt_lint.Engine.default_config.Nt_lint.Engine.max_tracked
+
+(* ------------------------------------------------------------------ *)
+(* nt_obs overhead gate: instrumented vs disabled vs compiled-out      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  banner "nt_obs overhead: lint workload instrumented vs disabled vs compiled-out";
+  let module Obs = Nt_obs.Obs in
+  let n =
+    (* Smoke mode for CI: NT_OBS_BENCH_RECORDS shrinks the stream. *)
+    match Sys.getenv_opt "NT_OBS_BENCH_RECORDS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let cfg = Nt_lint.Engine.default_config in
+  (* Best of 3 per variant; severity_count forces the settle so the
+     deferred protocol checks land inside the timed region. The lint
+     engine's default registry is Obs.null, so the no-registry run is
+     the compiled-out analog: instrumentation reduced to dead branches. *)
+  let time_variant make_obs =
+    let best = ref infinity in
+    let snapshot = ref None in
+    for _ = 1 to 3 do
+      let obs = make_obs () in
+      let t0 = Unix.gettimeofday () in
+      let engine =
+        match obs with
+        | None -> Nt_lint.Engine.run cfg (lint_stream n)
+        | Some o -> Nt_lint.Engine.run ~obs:o cfg (lint_stream n)
+      in
+      ignore (Nt_lint.Engine.severity_count engine Nt_lint.Rule.Error);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      Option.iter (fun o -> snapshot := Some (Obs.snapshot o)) obs
+    done;
+    (!best, !snapshot)
+  in
+  let compiled_out, _ = time_variant (fun () -> None) in
+  let disabled, _ = time_variant (fun () -> Some (Obs.create ~enabled:false ())) in
+  let enabled, snap = time_variant (fun () -> Some (Obs.create ())) in
+  let rate t = float_of_int n /. t in
+  let overhead base t = 100. *. ((t /. base) -. 1.) in
+  let enabled_vs_disabled = overhead disabled enabled in
+  let disabled_vs_compiled = overhead compiled_out disabled in
+  let pass = enabled <= disabled *. 1.05 in
+  Tables.print
+    ~header:[ "variant"; "time (s)"; "records/s"; "overhead" ]
+    [
+      [ "compiled-out (Obs.null default)"; f2 compiled_out;
+        Printf.sprintf "%.0f" (rate compiled_out); "-" ];
+      [ "registry disabled"; f2 disabled; Printf.sprintf "%.0f" (rate disabled);
+        Printf.sprintf "%+.1f%% vs compiled-out" disabled_vs_compiled ];
+      [ "registry enabled"; f2 enabled; Printf.sprintf "%.0f" (rate enabled);
+        Printf.sprintf "%+.1f%% vs disabled" enabled_vs_disabled ];
+    ];
+  Printf.printf "\nenabled-vs-disabled overhead: %+.1f%% (budget <= 5%%): %s\n"
+    enabled_vs_disabled
+    (if pass then "PASS" else "FAIL");
+  let snapshot_json = match snap with Some s -> Obs.to_json s | None -> "null" in
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"nt_bench_obs/1\",\n\
+    \  \"workload\": \"lint_stream\",\n\
+    \  \"records\": %d,\n\
+    \  \"seconds\": {\"compiled_out\": %.6f, \"disabled\": %.6f, \"enabled\": %.6f},\n\
+    \  \"records_per_second\": {\"compiled_out\": %.0f, \"disabled\": %.0f, \"enabled\": %.0f},\n\
+    \  \"overhead_pct\": {\"enabled_vs_disabled\": %.3f, \"disabled_vs_compiled_out\": %.3f},\n\
+    \  \"budget_pct\": 5.0,\n\
+    \  \"pass\": %b,\n\
+    \  \"snapshot\": %s}\n"
+    n compiled_out disabled enabled (rate compiled_out) (rate disabled) (rate enabled)
+    enabled_vs_disabled disabled_vs_compiled pass snapshot_json;
+  close_out oc;
+  print_endline "wrote BENCH_obs.json";
+  if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the tracer's hot paths                 *)
@@ -1077,6 +1160,7 @@ let experiments =
     ("faultperf", faultperf);
     ("degraded", degraded);
     ("lint", lint);
+    ("obs", obs_overhead);
     ("micro", micro);
   ]
 

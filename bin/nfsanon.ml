@@ -6,24 +6,34 @@
 
 open Cmdliner
 
-let run input output seed omit =
+let run input output seed omit obs_opts =
   let config =
     if omit then Nt_trace.Anonymize.omit_config else Nt_trace.Anonymize.default_config
   in
-  let anon = Nt_trace.Anonymize.create ?seed:(Option.map Int64.of_string seed) config in
+  let obs = Nt_obs.Obs.create () in
+  let prog = Obs_cli.progress obs_opts "nfsanon" in
+  let anon =
+    Nt_trace.Anonymize.create ~obs ?seed:(Option.map Int64.of_string seed) config
+  in
+  let c_records = Nt_obs.Obs.counter obs ~help:"records anonymized" "anon.records" in
   let ic = if input = "-" then stdin else open_in input in
   let oc = if output = "-" then stdout else open_out output in
   let n = ref 0 in
-  Seq.iter
-    (fun r ->
-      output_string oc (Nt_trace.Record.to_line (Nt_trace.Anonymize.record anon r));
-      output_char oc '\n';
-      incr n)
-    (Nt_trace.Record.read_channel ic);
+  Nt_obs.Obs.with_span obs "anonymize" (fun () ->
+      Seq.iter
+        (fun r ->
+          output_string oc (Nt_trace.Record.to_line (Nt_trace.Anonymize.record anon r));
+          output_char oc '\n';
+          incr n;
+          Nt_obs.Obs.inc c_records;
+          Obs_cli.tick prog ~stage:"anonymize" 1)
+        (Nt_trace.Record.read_channel ic));
   if input <> "-" then close_in ic;
   if output <> "-" then close_out oc;
   Printf.eprintf "nfsanon: %d records, %d distinct name components mapped\n%!" !n
     (Nt_trace.Anonymize.mapped_names anon);
+  Obs_cli.finish prog;
+  Obs_cli.dump obs_opts obs;
   0
 
 let input =
@@ -47,6 +57,6 @@ let omit =
 let cmd =
   Cmd.v
     (Cmd.info "nfsanon" ~doc:"Anonymize an NFS trace for sharing")
-    Term.(const run $ input $ output $ seed $ omit)
+    Term.(const run $ input $ output $ seed $ omit $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,7 +21,7 @@ let list_rules () =
   0
 
 let run input json fail_on anonymized enabled_only disabled reorder_window xid_window
-    max_tracked list =
+    max_tracked list obs_opts =
   if list then list_rules ()
   else
     let unknown =
@@ -46,9 +46,19 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
           max_tracked;
         }
       in
+      let obs = Nt_obs.Obs.create () in
+      let prog = Obs_cli.progress obs_opts "nfslint" in
       let ic = if input = "-" then stdin else open_in input in
-      let t = Lint.run config (Nt_trace.Record.read_channel ic) in
+      let records =
+        Seq.map
+          (fun r ->
+            Obs_cli.tick prog ~stage:"lint" 1;
+            r)
+          (Nt_trace.Record.read_channel ic)
+      in
+      let t = Nt_obs.Obs.with_span obs "lint.run" (fun () -> Lint.run ~obs config records) in
       if input <> "-" then close_in ic;
+      Obs_cli.finish prog;
       let findings = Lint.findings t in
       if json then print_endline (Nt_lint.Finding.list_to_json findings)
       else List.iter (fun f -> print_endline (Nt_lint.Finding.to_string f)) findings;
@@ -60,6 +70,7 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
         (if Lint.suppressed t > 0 then
            Printf.sprintf " (%d findings suppressed past per-rule cap)" (Lint.suppressed t)
          else "");
+      Obs_cli.dump obs_opts obs;
       let failed =
         match fail_on with
         | `Never -> false
@@ -131,6 +142,6 @@ let cmd =
     (Cmd.info "nfslint" ~doc:"Statically check a saved NFS trace for invariant violations")
     Term.(
       const run $ input $ json $ fail_on $ anonymized $ enabled_only $ disabled
-      $ reorder_window $ xid_window $ max_tracked $ list)
+      $ reorder_window $ xid_window $ max_tracked $ list $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -94,13 +94,41 @@ let replay policy records =
     records;
   (!requests, !total)
 
-let run input =
+let run input obs_opts =
+  let obs = Nt_obs.Obs.create () in
+  let prog = Obs_cli.progress obs_opts "nfsreplay" in
   let ic = if input = "-" then stdin else open_in input in
-  let records = List.of_seq (Record.read_channel ic) in
+  let records =
+    Nt_obs.Obs.with_span obs "load" (fun () ->
+        List.of_seq
+          (Seq.map
+             (fun r ->
+               Obs_cli.tick prog ~stage:"load" 1;
+               r)
+             (Record.read_channel ic)))
+  in
   if input <> "-" then close_in ic;
   Printf.eprintf "nfsreplay: %d records loaded\n%!" (List.length records);
   let results =
-    List.map (fun p -> (p, replay p records)) [ No_readahead; Fragile; Metric ]
+    List.map
+      (fun p ->
+        let name = policy_name p in
+        Obs_cli.set_stage prog name;
+        let ((reqs, total) as r) =
+          Nt_obs.Obs.with_span obs ("replay." ^ name) (fun () -> replay p records)
+        in
+        Nt_obs.Obs.add
+          (Nt_obs.Obs.counter obs
+             ~labels:[ ("policy", name) ]
+             ~help:"READ requests replayed against the disk model" "replay.read_requests")
+          reqs;
+        Nt_obs.Obs.set
+          (Nt_obs.Obs.gauge obs
+             ~labels:[ ("policy", name) ]
+             ~help:"modeled disk service time, seconds" "replay.disk_seconds")
+          total;
+        (p, r))
+      [ No_readahead; Fragile; Metric ]
   in
   let baseline =
     match List.assoc_opt Fragile results with Some (_, t) -> t | None -> 0.
@@ -118,6 +146,8 @@ let run input =
             else "-");
          ])
        results);
+  Obs_cli.finish prog;
+  Obs_cli.dump obs_opts obs;
   0
 
 let input =
@@ -127,6 +157,6 @@ let input =
 let cmd =
   Cmd.v
     (Cmd.info "nfsreplay" ~doc:"Replay a trace's reads against the disk model per read-ahead policy")
-    Term.(const run $ input)
+    Term.(const run $ input $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,9 +4,16 @@
 
 open Cmdliner
 
-let load input =
+let load prog input =
   let ic = if input = "-" then stdin else open_in input in
-  let records = List.of_seq (Nt_trace.Record.read_channel ic) in
+  let records =
+    List.of_seq
+      (Seq.map
+         (fun r ->
+           Obs_cli.tick prog ~stage:"load" 1;
+           r)
+         (Nt_trace.Record.read_channel ic))
+  in
   if input <> "-" then close_in ic;
   records
 
@@ -91,11 +98,22 @@ let print_hourly records =
              ])
        (Nt_analysis.Hourly.series h))
 
-let run input analyses lint =
-  let records = load input in
+let analysis_name = function
+  | `Summary -> "summary"
+  | `Runs -> "runs"
+  | `Names -> "names"
+  | `Hourly -> "hourly"
+
+let run input analyses lint obs_opts =
+  let obs = Nt_obs.Obs.create () in
+  let prog = Obs_cli.progress obs_opts "nfsstats" in
+  let records = Nt_obs.Obs.with_span obs "load" (fun () -> load prog input) in
+  Nt_obs.Obs.add
+    (Nt_obs.Obs.counter obs ~help:"trace records loaded" "stats.records")
+    (List.length records);
   Printf.eprintf "nfsstats: %d records loaded\n%!" (List.length records);
   if lint then begin
-    let l = Nt_core.Pipeline.lint_records records in
+    let l = Nt_core.Pipeline.lint_records ~obs records in
     List.iter
       (fun f -> Printf.eprintf "nfsstats: %s\n" (Nt_lint.Finding.to_string f))
       (Nt_lint.Engine.findings l);
@@ -105,13 +123,23 @@ let run input analyses lint =
   end;
   List.iter
     (fun a ->
-      (match a with
-      | `Summary -> print_summary records
-      | `Runs -> print_runs records
-      | `Names -> print_names records
-      | `Hourly -> print_hourly records);
+      let name = analysis_name a in
+      Obs_cli.set_stage prog name;
+      Nt_obs.Obs.add
+        (Nt_obs.Obs.counter obs
+           ~labels:[ ("pass", name) ]
+           ~help:"records fed to each analysis pass" "analysis.records")
+        (List.length records);
+      Nt_obs.Obs.with_span obs ("analyze." ^ name) (fun () ->
+          match a with
+          | `Summary -> print_summary records
+          | `Runs -> print_runs records
+          | `Names -> print_names records
+          | `Hourly -> print_hourly records);
       print_newline ())
     analyses;
+  Obs_cli.finish prog;
+  Obs_cli.dump obs_opts obs;
   0
 
 let input =
@@ -138,6 +166,6 @@ let lint =
 let cmd =
   Cmd.v
     (Cmd.info "nfsstats" ~doc:"Analyze a saved NFS trace")
-    Term.(const run $ input $ analyses $ lint)
+    Term.(const run $ input $ analyses $ lint $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

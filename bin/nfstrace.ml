@@ -1,32 +1,37 @@
 (* nfstrace: the passive tracer. Decode a pcap capture of NFS traffic
    into nfsdump-style text trace records.
 
-   Example: nfstrace capture.pcap -o capture.trace *)
+   Example: nfstrace capture.pcap -o capture.trace --metrics=run.json *)
 
 open Cmdliner
+module Obs = Nt_obs.Obs
 
-let run input output salvage lint =
+let run input output salvage lint obs_opts =
   let ic = if input = "-" then stdin else open_in_bin input in
+  let obs = Obs.create () in
+  let prog = Obs_cli.progress obs_opts "nfstrace" in
   let decode () =
-    let reader = Nt_net.Pcap.reader_of_channel ~salvage ic in
+    let reader = Nt_net.Pcap.reader_of_channel ~obs ~salvage ic in
     let oc = if output = "-" then stdout else open_out output in
     let linter =
       if lint then
         (* Streamed records are not globally call-time sorted (lost calls
            flush late), so leave the reorder rule plenty of slack. *)
         Some
-          (Nt_lint.Engine.create
+          (Nt_lint.Engine.create ~obs
              { Nt_lint.Engine.default_config with reorder_window = 120. })
       else None
     in
     let emit r =
       output_string oc (Nt_trace.Record.to_line r);
       output_char oc '\n';
-      Option.iter (fun l -> Nt_lint.Engine.observe l r) linter
+      Option.iter (fun l -> Nt_lint.Engine.observe l r) linter;
+      Obs_cli.tick prog ~stage:"decode" 1
     in
     (* Stream records as replies complete; unanswered calls flush at EOF. *)
-    let capture = Nt_trace.Capture.create ~emit () in
-    Nt_trace.Capture.feed_pcap capture reader;
+    let capture = Nt_trace.Capture.create ~obs ~emit () in
+    Obs.with_span obs "capture.decode" (fun () ->
+        Nt_trace.Capture.feed_pcap capture reader);
     let stats, _ = Nt_trace.Capture.finish capture in
     if output <> "-" then close_out oc;
     Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats);
@@ -52,6 +57,10 @@ let run input output salvage lint =
         1
   in
   if input <> "-" then close_in ic;
+  Obs_cli.finish prog;
+  (* Dump whatever was counted even on a decode abort: a partial
+     snapshot is exactly what post-mortems want. *)
+  Obs_cli.dump obs_opts obs;
   status
 
 let input =
@@ -82,6 +91,6 @@ let lint =
 let cmd =
   Cmd.v
     (Cmd.info "nfstrace" ~doc:"Decode a pcap capture into NFS trace records")
-    Term.(const run $ input $ output $ salvage $ lint)
+    Term.(const run $ input $ output $ salvage $ lint $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,7 +7,9 @@
 
 open Cmdliner
 
-let run system users start_hour hours format loss fault fault_seed output =
+let run system users start_hour hours format loss fault fault_seed output obs_opts =
+  let obs = Nt_obs.Obs.create () in
+  let prog = Obs_cli.progress obs_opts "nfswlgen" in
   let day = Nt_util.Trace_week.Wed in
   let start = Nt_util.Trace_week.time_of ~day ~hour:start_hour ~minute:0 in
   let stop = start +. (3600. *. hours) in
@@ -23,15 +25,16 @@ let run system users start_hour hours format loss fault fault_seed output =
     let sink r =
       output_string oc (Nt_trace.Record.to_line r);
       output_char oc '\n';
-      incr n
+      incr n;
+      Obs_cli.tick prog ~stage:"simulate" 1
     in
     (match system with
     | `Campus ->
         let config = { Nt_workload.Email.default_config with users } in
-        ignore (Nt_core.Pipeline.simulate_campus ~config ~start ~stop ~sink ())
+        ignore (Nt_core.Pipeline.simulate_campus ~obs ~config ~start ~stop ~sink ())
     | `Eecs ->
         let config = { Nt_workload.Research.default_config with users } in
-        ignore (Nt_core.Pipeline.simulate_eecs ~config ~start ~stop ~sink ()));
+        ignore (Nt_core.Pipeline.simulate_eecs ~obs ~config ~start ~stop ~sink ()));
     Printf.eprintf "nfswlgen: wrote %d records\n%!" !n
   in
   let emit_pcap oc =
@@ -45,21 +48,25 @@ let run system users start_hour hours format loss fault fault_seed output =
           Some { Nt_sim.Fault.none with truncate = 0.25; truncate_to = 64 }
     in
     let writer = Nt_net.Pcap.writer_to_channel oc in
+    Obs_cli.set_stage prog "emit-pcap";
     let stats =
       match system with
       | `Campus ->
           let config = { Nt_workload.Email.default_config with users } in
-          Nt_core.Pipeline.campus_to_pcap ~config ?fault:plan ~seed:fault_seed
+          Nt_core.Pipeline.campus_to_pcap ~obs ~config ?fault:plan ~seed:fault_seed
             ~monitor_loss:loss ~start ~stop ~writer ()
       | `Eecs ->
           let config = { Nt_workload.Research.default_config with users } in
-          Nt_core.Pipeline.eecs_to_pcap ~config ?fault:plan ~seed:fault_seed
+          Nt_core.Pipeline.eecs_to_pcap ~obs ~config ?fault:plan ~seed:fault_seed
             ~monitor_loss:loss ~start ~stop ~writer ()
     in
+    Obs_cli.tick prog stats.run.records;
     Printf.eprintf "nfswlgen: %d records, %d packets written, %d dropped at monitor\n%!"
       stats.run.records stats.packets_written stats.packets_dropped
   in
   with_out (match format with `Trace -> emit_trace | `Pcap -> emit_pcap);
+  Obs_cli.finish prog;
+  Obs_cli.dump obs_opts obs;
   0
 
 let system =
@@ -112,6 +119,8 @@ let output =
 let cmd =
   Cmd.v
     (Cmd.info "nfswlgen" ~doc:"Generate a synthetic NFS workload trace or capture")
-    Term.(const run $ system $ users $ start_hour $ hours $ format $ loss $ fault $ fault_seed $ output)
+    Term.(
+      const run $ system $ users $ start_hour $ hours $ format $ loss $ fault $ fault_seed
+      $ output $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,75 @@
+(* Shared --metrics / --metrics-format / --progress plumbing for the
+   binaries in this directory. Each binary creates one registry, wires
+   it through the components it drives, and calls [dump] on the way
+   out; [progress]/[tick]/[finish] give the throttled stderr heartbeat
+   without sprinkling option matches through every hot loop. *)
+
+open Cmdliner
+module Obs = Nt_obs.Obs
+
+type format = Json | Prometheus
+
+type opts = { metrics : string option; format : format; progress : bool }
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Dump an observability snapshot (counters, gauges, histograms and stage-span \
+           timings) after the run. With no $(docv) or with '-' the snapshot goes to stdout; \
+           otherwise it is written to $(docv).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", Json); ("prometheus", Prometheus) ]) Json
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:
+          "Snapshot format: json (one self-describing document) or prometheus (text \
+           exposition format).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a throttled heartbeat to stderr while working: records so far, rate, \
+           current stage, and an ETA when the total is known.")
+
+let term =
+  Term.(
+    const (fun metrics format progress -> { metrics; format; progress })
+    $ metrics_arg $ format_arg $ progress_arg)
+
+let dump opts obs =
+  match opts.metrics with
+  | None -> ()
+  | Some path ->
+      let snap = Obs.snapshot obs in
+      let text =
+        match opts.format with
+        | Json -> Obs.to_json snap
+        | Prometheus -> Obs.to_prometheus snap
+      in
+      if path = "-" then begin
+        print_string text;
+        flush stdout
+      end
+      else begin
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+      end
+
+(* Heartbeat helpers over [Nt_obs.Progress.t option] so call sites stay
+   one-liners whether or not --progress was given. *)
+
+let progress opts ?total label =
+  if opts.progress then Some (Nt_obs.Progress.create ?total ~label ()) else None
+
+let tick p ?stage n =
+  match p with None -> () | Some p -> Nt_obs.Progress.tick p ?stage n
+
+let set_stage p s = Option.iter (fun p -> Nt_obs.Progress.set_stage p s) p
+let finish p = Option.iter Nt_obs.Progress.finish p

@@ -5,6 +5,7 @@ module Packet_pipe = Nt_sim.Packet_pipe
 module Email = Nt_workload.Email
 module Research = Nt_workload.Research
 module Ip_addr = Nt_net.Ip_addr
+module Obs = Nt_obs.Obs
 
 type run_stats = {
   records : int;
@@ -17,77 +18,119 @@ type run_stats = {
 let campus_server_ip = Ip_addr.v 10 1 1 2 (* "home02" *)
 let eecs_server_ip = Ip_addr.v 10 2 1 2
 
-let simulate_campus ?(config = Email.default_config) ~start ~stop ~sink () =
-  let engine = Engine.create ~start:(start -. 1.) () in
+(* run_stats is DERIVED from the registry: every field is written to an
+   obs counter first and read back out, so the struct can never
+   disagree with what a --metrics snapshot reports. Deltas against the
+   pre-run counter values keep per-run stats correct when one registry
+   hosts several runs. *)
+let workload_counters obs =
+  ( Obs.counter obs ~help:"trace records emitted to the sink" "pipeline.records",
+    Obs.counter obs ~help:"interactive sessions started" "workload.sessions",
+    Obs.counter obs ~help:"messages delivered" "workload.deliveries",
+    Obs.counter obs ~help:"compile jobs run" "workload.compiles",
+    Obs.counter obs ~help:"NFS calls the simulated server handled" "server.calls" )
+
+let simulate_campus ?obs ?(config = Email.default_config) ~start ~stop ~sink () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let c_records, c_sessions, c_deliveries, c_compiles, c_server = workload_counters obs in
+  let r0 = Obs.value c_records in
+  let engine = Engine.create ~obs ~start:(start -. 1.) () in
   let server = Server.create ~fsid:2 ~ip:campus_server_ip () in
-  let count = ref 0 in
   let sorter =
-    Record_sorter.create (fun r ->
-        incr count;
+    Record_sorter.create ~obs (fun r ->
+        Obs.inc c_records;
         sink r)
   in
   let wl = Email.setup config ~engine ~server ~sink:(Record_sorter.push sorter) in
-  Email.schedule wl ~start ~stop;
-  Engine.run_until engine stop;
-  Record_sorter.flush sorter;
+  Obs.with_span obs "simulate.campus" (fun () ->
+      Email.schedule wl ~start ~stop;
+      Engine.run_until engine stop;
+      Record_sorter.flush sorter);
+  let take c n =
+    let before = Obs.value c in
+    Obs.add c n;
+    Obs.value c - before
+  in
   {
-    records = !count;
-    sessions = Email.sessions_started wl;
-    deliveries = Email.deliveries_made wl;
-    compiles = 0;
-    server_calls = Server.calls_handled server;
+    records = Obs.value c_records - r0;
+    sessions = take c_sessions (Email.sessions_started wl);
+    deliveries = take c_deliveries (Email.deliveries_made wl);
+    compiles = take c_compiles 0;
+    server_calls = take c_server (Server.calls_handled server);
   }
 
-let simulate_eecs ?(config = Research.default_config) ~start ~stop ~sink () =
-  let engine = Engine.create ~start:(start -. 1.) () in
+let simulate_eecs ?obs ?(config = Research.default_config) ~start ~stop ~sink () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let c_records, c_sessions, c_deliveries, c_compiles, c_server = workload_counters obs in
+  let r0 = Obs.value c_records in
+  let engine = Engine.create ~obs ~start:(start -. 1.) () in
   let server = Server.create ~fsid:3 ~ip:eecs_server_ip () in
-  let count = ref 0 in
   let sorter =
-    Record_sorter.create (fun r ->
-        incr count;
+    Record_sorter.create ~obs (fun r ->
+        Obs.inc c_records;
         sink r)
   in
   let wl = Research.setup config ~engine ~server ~sink:(Record_sorter.push sorter) in
-  Research.schedule wl ~start ~stop;
-  Engine.run_until engine stop;
-  Record_sorter.flush sorter;
+  Obs.with_span obs "simulate.eecs" (fun () ->
+      Research.schedule wl ~start ~stop;
+      Engine.run_until engine stop;
+      Record_sorter.flush sorter);
+  let take c n =
+    let before = Obs.value c in
+    Obs.add c n;
+    Obs.value c - before
+  in
   {
-    records = !count;
-    sessions = 0;
-    deliveries = 0;
-    compiles = Research.compiles_run wl;
-    server_calls = Server.calls_handled server;
+    records = Obs.value c_records - r0;
+    sessions = take c_sessions 0;
+    deliveries = take c_deliveries 0;
+    compiles = take c_compiles (Research.compiles_run wl);
+    server_calls = take c_server (Server.calls_handled server);
   }
 
 type pcap_stats = {
   run : run_stats;
   packets_written : int;
   packets_dropped : int;
+  snapshot : Obs.snapshot;
 }
 
-let to_pcap ~fault ~seed ~transport ~monitor_loss ~writer ~simulate =
-  let pipe = Packet_pipe.create ~monitor_loss ?fault ?seed ~transport ~writer () in
-  let run = simulate ~sink:(Packet_pipe.push pipe) in
-  Packet_pipe.finish pipe;
+(* packets_written/dropped are likewise read back from the registry
+   counters the pipe and its fault injector maintain. *)
+let to_pcap ~obs ~fault ~seed ~transport ~monitor_loss ~writer ~simulate =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let c_written = Obs.counter obs "pipe.packets_written" in
+  let c_dropped = Obs.counter obs ~labels:[ ("kind", "dropped") ] "fault.events" in
+  let w0 = Obs.value c_written and d0 = Obs.value c_dropped in
+  let pipe = Packet_pipe.create ~obs ~monitor_loss ?fault ?seed ~transport ~writer () in
+  let run =
+    Obs.with_span obs "emit-pcap" (fun () ->
+        let run = simulate ~obs ~sink:(Packet_pipe.push pipe) in
+        Packet_pipe.finish pipe;
+        run)
+  in
   {
     run;
-    packets_written = Packet_pipe.packets_written pipe;
-    packets_dropped = Packet_pipe.packets_dropped pipe;
+    packets_written = Obs.value c_written - w0;
+    packets_dropped = Obs.value c_dropped - d0;
+    snapshot = Obs.snapshot obs;
   }
 
-let campus_to_pcap ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
-  to_pcap ~fault ~seed ~transport:Packet_pipe.Tcp_transport ~monitor_loss ~writer
-    ~simulate:(fun ~sink -> simulate_campus ?config ~start ~stop ~sink ())
+let campus_to_pcap ?obs ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~obs ~fault ~seed ~transport:Packet_pipe.Tcp_transport ~monitor_loss ~writer
+    ~simulate:(fun ~obs ~sink -> simulate_campus ~obs ?config ~start ~stop ~sink ())
 
-let eecs_to_pcap ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
-  to_pcap ~fault ~seed ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer
-    ~simulate:(fun ~sink -> simulate_eecs ?config ~start ~stop ~sink ())
+let eecs_to_pcap ?obs ?config ?fault ?seed ?(monitor_loss = 0.) ~start ~stop ~writer () =
+  to_pcap ~obs ~fault ~seed ~transport:Packet_pipe.Udp_transport ~monitor_loss ~writer
+    ~simulate:(fun ~obs ~sink -> simulate_eecs ~obs ?config ~start ~stop ~sink ())
 
-let capture_pcap ?salvage pcap_bytes =
-  let reader = Nt_net.Pcap.reader_of_string ?salvage pcap_bytes in
-  let capture = Nt_trace.Capture.create () in
-  Nt_trace.Capture.feed_pcap capture reader;
-  Nt_trace.Capture.finish capture
+let capture_pcap ?obs ?salvage pcap_bytes =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let reader = Nt_net.Pcap.reader_of_string ~obs ?salvage pcap_bytes in
+  let capture = Nt_trace.Capture.create ~obs () in
+  Obs.with_span obs "capture.decode" (fun () ->
+      Nt_trace.Capture.feed_pcap capture reader;
+      Nt_trace.Capture.finish capture)
 
 (* --- degraded-vs-clean differential harness --- *)
 
@@ -128,8 +171,8 @@ let collect_records simulate =
 
 (* --- lint hooks: the linter as a differential oracle --- *)
 
-let lint_records ?(config = Nt_lint.Engine.default_config) ?stats records =
-  Nt_lint.Engine.run ?stats config (List.to_seq records)
+let lint_records ?obs ?(config = Nt_lint.Engine.default_config) ?stats records =
+  Nt_lint.Engine.run ?obs ?stats config (List.to_seq records)
 
 type lint_oracle = { clean_lint : Nt_lint.Engine.t; degraded_lint : Nt_lint.Engine.t }
 

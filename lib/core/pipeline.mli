@@ -13,6 +13,7 @@ type run_stats = {
 }
 
 val simulate_campus :
+  ?obs:Nt_obs.Obs.t ->
   ?config:Nt_workload.Email.config ->
   start:float ->
   stop:float ->
@@ -20,9 +21,17 @@ val simulate_campus :
   unit ->
   run_stats
 (** Run the CAMPUS email workload over [start, stop); records arrive at
-    [sink] sorted by call time. *)
+    [sink] sorted by call time.
+
+    [obs] (default: a private enabled registry) hosts the run's
+    telemetry — [pipeline.records], [workload.*], [server.calls],
+    [engine.*], [sorter.*] and a [simulate.campus] span — and the
+    returned {!run_stats} is {e derived from those counters}, so the
+    struct can never disagree with an exported snapshot. A disabled
+    registry therefore yields all-zero stats. *)
 
 val simulate_eecs :
+  ?obs:Nt_obs.Obs.t ->
   ?config:Nt_workload.Research.config ->
   start:float ->
   stop:float ->
@@ -34,9 +43,13 @@ type pcap_stats = {
   run : run_stats;
   packets_written : int;
   packets_dropped : int;  (** lost at the monitor port *)
+  snapshot : Nt_obs.Obs.snapshot;
+      (** full registry snapshot taken after the run — the same
+          counters the struct fields were read from *)
 }
 
 val campus_to_pcap :
+  ?obs:Nt_obs.Obs.t ->
   ?config:Nt_workload.Email.config ->
   ?fault:Nt_sim.Fault.plan ->
   ?seed:int64 ->
@@ -52,6 +65,7 @@ val campus_to_pcap :
     fault plan (overrides [monitor_loss]); [seed] seeds the injector. *)
 
 val eecs_to_pcap :
+  ?obs:Nt_obs.Obs.t ->
   ?config:Nt_workload.Research.config ->
   ?fault:Nt_sim.Fault.plan ->
   ?seed:int64 ->
@@ -63,10 +77,16 @@ val eecs_to_pcap :
   pcap_stats
 (** EECS traffic as NFS-over-UDP packets (mixed v2/v3 clients). *)
 
-val capture_pcap : ?salvage:bool -> string -> Nt_trace.Capture.stats * Nt_trace.Record.t list
+val capture_pcap :
+  ?obs:Nt_obs.Obs.t ->
+  ?salvage:bool ->
+  string ->
+  Nt_trace.Capture.stats * Nt_trace.Record.t list
 (** Decode a pcap byte string back into trace records — the passive
     tracer itself. [salvage] enables resync past corrupt pcap record
-    headers (see {!Nt_net.Pcap}). *)
+    headers (see {!Nt_net.Pcap}). [obs] is shared between the pcap
+    reader and the capture engine (disjoint [capture.*] namespaces)
+    and gains a [capture.decode] span. *)
 
 type degraded_run = {
   simulated : int;  (** records pushed into both pipes *)
@@ -95,6 +115,7 @@ val run_degraded :
     loss rates). *)
 
 val lint_records :
+  ?obs:Nt_obs.Obs.t ->
   ?config:Nt_lint.Engine.config ->
   ?stats:Nt_trace.Capture.stats ->
   Nt_trace.Record.t list ->

@@ -10,10 +10,17 @@ type ('k, 'v) t = {
   tbl : ('k, int * 'v) Hashtbl.t;
   order : (int * 'k) Queue.t;
   mutable seq : int;
+  mutable evictions : int;
 }
 
 let create ~capacity =
-  { capacity = max 1 capacity; tbl = Hashtbl.create 256; order = Queue.create (); seq = 0 }
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 256;
+    order = Queue.create ();
+    seq = 0;
+    evictions = 0;
+  }
 
 let length t = Hashtbl.length t.tbl
 
@@ -24,7 +31,11 @@ let rec evict_one t =
   match Queue.take_opt t.order with
   | None -> ()
   | Some ((_, key) as entry) ->
-      if valid t entry then Hashtbl.remove t.tbl key else evict_one t
+      if valid t entry then begin
+        Hashtbl.remove t.tbl key;
+        t.evictions <- t.evictions + 1
+      end
+      else evict_one t
 
 let compact t =
   while Queue.length t.order > (2 * Hashtbl.length t.tbl) + 16 do
@@ -50,5 +61,6 @@ let set t key value =
       compact t
 
 let find t key = Option.map snd (Hashtbl.find_opt t.tbl key)
+let evictions t = t.evictions
 let mem t key = Hashtbl.mem t.tbl key
 let remove t key = Hashtbl.remove t.tbl key

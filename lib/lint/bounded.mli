@@ -18,3 +18,7 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val remove : ('k, 'v) t -> 'k -> unit
 val mem : ('k, 'v) t -> 'k -> bool
 val length : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Bindings evicted by the capacity limit so far (explicit {!remove}
+    does not count). *)

@@ -2,6 +2,7 @@ module Record = Nt_trace.Record
 module Ops = Nt_nfs.Ops
 module Types = Nt_nfs.Types
 module Ip_addr = Nt_net.Ip_addr
+module Obs = Nt_obs.Obs
 
 type config = {
   anonymized : bool;
@@ -42,6 +43,14 @@ type t = {
   mutable n_error : int;
   mutable index : int;
   protocol : Protocol_check.t;
+  (* Telemetry mirror: the semantic accessors below never read these,
+     so the default registry is the disabled [Obs.null] and linting
+     pays one dead branch per record when unobserved. *)
+  c_records : Obs.counter;
+  c_findings : (string, Obs.counter) Hashtbl.t;  (* rule id -> labeled counter *)
+  c_suppressed : Obs.counter;
+  c_evictions : Obs.counter;
+  g_tracked : Obs.gauge;
 }
 
 let emit t (f : Finding.t) =
@@ -49,15 +58,27 @@ let emit t (f : Finding.t) =
     let id = f.Finding.rule.Rule.id in
     let n = Option.value (Hashtbl.find_opt t.counts id) ~default:0 in
     Hashtbl.replace t.counts id (n + 1);
+    (match Hashtbl.find_opt t.c_findings id with Some c -> Obs.inc c | None -> ());
     if n < t.cfg.max_findings_per_rule then t.findings_rev <- f :: t.findings_rev
-    else t.suppressed <- t.suppressed + 1;
+    else begin
+      t.suppressed <- t.suppressed + 1;
+      Obs.inc t.c_suppressed
+    end;
     match f.Finding.rule.Rule.severity with
     | Rule.Info -> t.n_info <- t.n_info + 1
     | Rule.Warn -> t.n_warn <- t.n_warn + 1
     | Rule.Error -> t.n_error <- t.n_error + 1
   end
 
-let create cfg =
+let create ?(obs = Obs.null) cfg =
+  let c_findings = Hashtbl.create 32 in
+  List.iter
+    (fun (rule : Rule.t) ->
+      if rule_enabled cfg rule then
+        Hashtbl.replace c_findings rule.Rule.id
+          (Obs.counter obs ~labels:[ ("rule", rule.Rule.id) ] ~help:"lint findings by rule"
+             "lint.findings"))
+    Rule.all;
   let rec t =
     lazy
       {
@@ -77,6 +98,12 @@ let create cfg =
               max_tracked = cfg.max_tracked;
             }
             ~emit:(fun f -> emit (Lazy.force t) f);
+        c_records = Obs.counter obs ~help:"records linted" "lint.records";
+        c_findings;
+        c_suppressed = Obs.counter obs ~help:"findings dropped by per-rule cap" "lint.suppressed";
+        c_evictions =
+          Obs.counter obs ~help:"lint state-table capacity evictions" "lint.evictions";
+        g_tracked = Obs.gauge obs ~help:"live lint protocol-state entries" "lint.tracked";
       }
   in
   Lazy.force t
@@ -141,20 +168,26 @@ let check_anon t ~index ~time (r : Record.t) =
 let observe t r =
   let index = t.index in
   t.index <- index + 1;
+  Obs.inc t.c_records;
   Protocol_check.observe t.protocol ~index r;
   if t.cfg.anonymized then check_anon t ~index ~time:r.Record.time r
 
 let observe_stats t stats = Hygiene_check.check ~emit:(emit t) stats
 
-let run ?stats cfg records =
-  let t = create cfg in
+let run ?obs ?stats cfg records =
+  let t = create ?obs cfg in
   Seq.iter (observe t) records;
   Option.iter (observe_stats t) stats;
   t
 
 (* Reading results implies the stream is over: deferred protocol
-   suspects still waiting out their reorder window get judged now. *)
-let settle t = Protocol_check.finalize t.protocol
+   suspects still waiting out their reorder window get judged now.
+   Also the sync point for state-size telemetry (delta against the
+   counter's own value, so repeated settles don't double-count). *)
+let settle t =
+  Protocol_check.finalize t.protocol;
+  Obs.set t.g_tracked (float_of_int (Protocol_check.tracked t.protocol));
+  Obs.add t.c_evictions (Protocol_check.evictions t.protocol - Obs.value t.c_evictions)
 
 let findings t =
   settle t;

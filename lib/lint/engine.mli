@@ -24,14 +24,20 @@ val rule_enabled : config -> Rule.t -> bool
 
 type t
 
-val create : config -> t
+val create : ?obs:Nt_obs.Obs.t -> config -> t
+(** [obs] (default {!Nt_obs.Obs.null}) mirrors the engine's accounting
+    as [lint.records], [lint.findings{rule=...}], [lint.suppressed],
+    [lint.evictions] and the [lint.tracked] gauge. The accessors below
+    never read the registry, so the disabled default costs one dead
+    branch per record. *)
 
 val observe : t -> Nt_trace.Record.t -> unit
 (** Lint one record; the engine numbers records from zero. *)
 
 val observe_stats : t -> Nt_trace.Capture.stats -> unit
 
-val run : ?stats:Nt_trace.Capture.stats -> config -> Nt_trace.Record.t Seq.t -> t
+val run :
+  ?obs:Nt_obs.Obs.t -> ?stats:Nt_trace.Capture.stats -> config -> Nt_trace.Record.t Seq.t -> t
 (** [create], observe the whole sequence, then any [stats]. *)
 
 val findings : t -> Finding.t list

@@ -43,6 +43,10 @@ let tracked t =
   Bounded.length t.xids + Bounded.length t.seen + Bounded.length t.links
   + Bounded.length t.removed + Bounded.length t.bindings + Queue.length t.pending
 
+let evictions t =
+  Bounded.evictions t.xids + Bounded.evictions t.seen + Bounded.evictions t.links
+  + Bounded.evictions t.removed + Bounded.evictions t.bindings
+
 let fire t rule ~index ~time fmt =
   Printf.ksprintf (fun detail -> t.emit (Finding.v rule ~index ~time detail)) fmt
 

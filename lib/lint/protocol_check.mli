@@ -47,3 +47,6 @@ val finalize : t -> unit
 
 val tracked : t -> int
 (** Total live entries across all state tables (bench observability). *)
+
+val evictions : t -> int
+(** Capacity evictions across all state tables so far. *)

@@ -63,18 +63,24 @@ type read_stats = {
   records : int;
   salvaged : int;
   skipped_bytes : int;
+  resyncs : int;
   truncated_tail : bool;
 }
 
+(* Loss accounting lives on the obs registry (capture.* namespace);
+   [read_stats] reads the counters back so existing callers see the
+   same numbers a --metrics snapshot reports. *)
 type reader = {
   source : source;
   big_endian : bool;
   nanosecond : bool;
   salvage : bool;
   mutable stash : string;  (* bytes read from the source but not yet consumed *)
-  mutable records : int;
-  mutable salvaged : int;
-  mutable skipped : int;
+  c_records : Nt_obs.Obs.counter;
+  c_salvaged : Nt_obs.Obs.counter;
+  c_skipped : Nt_obs.Obs.counter;
+  c_resyncs : Nt_obs.Obs.counter;
+  c_truncated : Nt_obs.Obs.counter;
   mutable truncated_tail : bool;
   mutable last_sec : int;  (* timestamp of the last good record, for resync *)
 }
@@ -125,7 +131,8 @@ let read_exact source n =
         Some (Bytes.to_string b)
       with End_of_file -> None)
 
-let make_reader ~salvage source =
+let make_reader ?obs ~salvage source =
+  let obs = match obs with Some o -> o | None -> Nt_obs.Obs.create () in
   match read_exact source 24 with
   | None -> raise (Bad_format "missing global header")
   | Some hdr ->
@@ -152,25 +159,42 @@ let make_reader ~salvage source =
         nanosecond;
         salvage;
         stash = "";
-        records = 0;
-        salvaged = 0;
-        skipped = 0;
+        c_records =
+          Nt_obs.Obs.counter obs ~help:"pcap records successfully decoded" "capture.pcap_records";
+        c_salvaged =
+          Nt_obs.Obs.counter obs ~help:"pcap records recovered after resync"
+            "capture.salvaged_records";
+        c_skipped =
+          Nt_obs.Obs.counter obs ~help:"bytes discarded while resyncing or at a cut-off tail"
+            "capture.skipped_bytes";
+        c_resyncs =
+          Nt_obs.Obs.counter obs ~help:"times the salvage scanner re-acquired a record boundary"
+            "capture.resyncs";
+        c_truncated =
+          Nt_obs.Obs.counter obs ~help:"captures that ended mid-record" "capture.truncated_tails";
         truncated_tail = false;
         last_sec = 0;
       }
 
-let reader_of_string ?(salvage = false) s =
-  make_reader ~salvage (From_string { data = s; pos = 0 })
+let reader_of_string ?obs ?(salvage = false) s =
+  make_reader ?obs ~salvage (From_string { data = s; pos = 0 })
 
-let reader_of_channel ?(salvage = false) ic = make_reader ~salvage (From_channel ic)
+let reader_of_channel ?obs ?(salvage = false) ic = make_reader ?obs ~salvage (From_channel ic)
 
 let read_stats r =
   {
-    records = r.records;
-    salvaged = r.salvaged;
-    skipped_bytes = r.skipped;
+    records = Nt_obs.Obs.value r.c_records;
+    salvaged = Nt_obs.Obs.value r.c_salvaged;
+    skipped_bytes = Nt_obs.Obs.value r.c_skipped;
+    resyncs = Nt_obs.Obs.value r.c_resyncs;
     truncated_tail = r.truncated_tail;
   }
+
+let mark_truncated r =
+  if not r.truncated_tail then begin
+    r.truncated_tail <- true;
+    Nt_obs.Obs.inc r.c_truncated
+  end
 
 (* A header is plausible when its lengths are frame-sized and its
    fractional timestamp is in range — the resync test applied to each
@@ -201,15 +225,16 @@ let resync r hdr =
     let next = read_upto r 1 in
     if String.length next = 0 then begin
       (* EOF inside the corrupt region: the tail is unrecoverable. *)
-      r.skipped <- r.skipped + String.length !window;
-      r.truncated_tail <- true;
+      Nt_obs.Obs.add r.c_skipped (String.length !window);
+      mark_truncated r;
       continue := false
     end
     else begin
-      r.skipped <- r.skipped + 1;
+      Nt_obs.Obs.inc r.c_skipped;
       window := String.sub !window 1 15 ^ next;
       let sec, frac, incl, orig_len = parse_header r !window in
       if plausible r ~sec ~frac ~incl ~orig_len then begin
+        Nt_obs.Obs.inc r.c_resyncs;
         result := Some !window;
         continue := false
       end
@@ -218,8 +243,8 @@ let resync r hdr =
   !result
 
 let accept r ~salvaged ~sec ~frac ~orig_len data =
-  r.records <- r.records + 1;
-  if salvaged then r.salvaged <- r.salvaged + 1;
+  Nt_obs.Obs.inc r.c_records;
+  if salvaged then Nt_obs.Obs.inc r.c_salvaged;
   r.last_sec <- sec;
   let scale = if r.nanosecond then 1e-9 else 1e-6 in
   Some { time = Float.of_int sec +. (Float.of_int frac *. scale); orig_len; data }
@@ -261,8 +286,8 @@ let read_next r =
   if String.length hdr = 0 then None
   else if String.length hdr < 16 then begin
     (* EOF mid-header: a capture cut off while writing a record. *)
-    r.skipped <- r.skipped + String.length hdr;
-    r.truncated_tail <- true;
+    Nt_obs.Obs.add r.c_skipped (String.length hdr);
+    mark_truncated r;
     None
   end
   else begin
@@ -271,8 +296,8 @@ let read_next r =
       let data = read_upto r incl in
       if String.length data < incl then begin
         (* EOF mid-packet: truncated final record. *)
-        r.skipped <- r.skipped + 16 + String.length data;
-        r.truncated_tail <- true;
+        Nt_obs.Obs.add r.c_skipped (16 + String.length data);
+        mark_truncated r;
         None
       end
       else accept r ~salvaged:false ~sec ~frac ~orig_len data

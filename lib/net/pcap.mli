@@ -27,15 +27,22 @@ type read_stats = {
   records : int;  (** records successfully decoded *)
   salvaged : int;  (** records recovered after resyncing past corruption *)
   skipped_bytes : int;  (** bytes discarded while resyncing or at a cut-off tail *)
+  resyncs : int;  (** times the salvage scanner re-acquired a record boundary *)
   truncated_tail : bool;  (** the capture ended mid-record *)
 }
 
-val reader_of_string : ?salvage:bool -> string -> reader
-val reader_of_channel : ?salvage:bool -> in_channel -> reader
+val reader_of_string : ?obs:Nt_obs.Obs.t -> ?salvage:bool -> string -> reader
+val reader_of_channel : ?obs:Nt_obs.Obs.t -> ?salvage:bool -> in_channel -> reader
 (** [salvage] (default false): instead of raising {!Bad_format} on a
     corrupt record header, scan forward byte-by-byte for the next
     plausible header, counting skipped bytes — a months-long capture
-    with a few mangled records is still mostly analyzable (§4.1.4). *)
+    with a few mangled records is still mostly analyzable (§4.1.4).
+
+    [obs] hosts the loss-accounting counters ([capture.pcap_records],
+    [capture.salvaged_records], [capture.skipped_bytes],
+    [capture.resyncs], [capture.truncated_tails]); defaults to a
+    private always-enabled registry so {!read_stats} works without
+    wiring. *)
 
 val read_next : reader -> packet option
 (** [None] at end of file. A final record cut off by EOF also yields

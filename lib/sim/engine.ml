@@ -1,3 +1,5 @@
+module Obs = Nt_obs.Obs
+
 type entry = { at : float; seq : int; thunk : unit -> unit }
 
 (* Simple binary min-heap over (at, seq). *)
@@ -6,11 +8,24 @@ type t = {
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  c_dispatched : Obs.counter;
+  g_depth : Obs.gauge;
 }
 
 let dummy = { at = 0.; seq = 0; thunk = ignore }
 
-let create ?(start = 0.) () = { heap = Array.make 1024 dummy; size = 0; clock = start; next_seq = 0 }
+(* The event loop has no semantic accessors of its own, so the default
+   registry is the disabled [Obs.null]: uninstrumented simulations pay
+   one dead branch per event. *)
+let create ?(obs = Obs.null) ?(start = 0.) () =
+  {
+    heap = Array.make 1024 dummy;
+    size = 0;
+    clock = start;
+    next_seq = 0;
+    c_dispatched = Obs.counter obs ~help:"simulation events fired" "engine.events_dispatched";
+    g_depth = Obs.gauge obs ~help:"peak event-queue depth" "engine.queue_depth";
+  }
 
 let now t = t.clock
 
@@ -50,6 +65,7 @@ let schedule t at thunk =
   t.heap.(t.size) <- { at; seq = t.next_seq; thunk };
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
+  Obs.set_max t.g_depth (float_of_int t.size);
   sift_up t (t.size - 1)
 
 let schedule_in t delay thunk = schedule t (t.clock +. delay) thunk
@@ -69,6 +85,7 @@ let run_until t horizon =
     else begin
       let e = pop t in
       t.clock <- Float.max t.clock e.at;
+      Obs.inc t.c_dispatched;
       e.thunk ()
     end
   done;
@@ -78,6 +95,7 @@ let run_all t =
   while t.size > 0 do
     let e = pop t in
     t.clock <- Float.max t.clock e.at;
+    Obs.inc t.c_dispatched;
     e.thunk ()
   done
 

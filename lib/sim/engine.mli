@@ -6,7 +6,11 @@
 
 type t
 
-val create : ?start:float -> unit -> t
+val create : ?obs:Nt_obs.Obs.t -> ?start:float -> unit -> t
+(** [obs] (default {!Nt_obs.Obs.null}) hosts
+    [engine.events_dispatched] and the [engine.queue_depth] peak
+    gauge; the disabled default costs one dead branch per event. *)
+
 val now : t -> float
 
 val schedule : t -> float -> (unit -> unit) -> unit

@@ -1,5 +1,6 @@
 module Prng = Nt_util.Prng
 module Pcap = Nt_net.Pcap
+module Obs = Nt_obs.Obs
 
 type drop_model =
   | No_drop
@@ -71,42 +72,48 @@ let counts_to_string c =
     "presented=%d dropped=%d corrupted=%d truncated=%d duplicated=%d reordered=%d emitted=%d"
     c.presented c.dropped c.corrupted c.truncated c.duplicated c.reordered c.emitted
 
+(* Injection accounting lives on the obs registry (fault.* namespace,
+   one [fault.events] counter per kind label); [counts] reads the
+   counters back so existing callers see the numbers a --metrics
+   snapshot reports. *)
 type t = {
   plan : plan;
   rng : Prng.t;
   mutable bad_state : bool;  (* Gilbert-Elliott channel state *)
-  mutable presented : int;
-  mutable dropped : int;
-  mutable corrupted : int;
-  mutable truncated : int;
-  mutable duplicated : int;
-  mutable reordered : int;
-  mutable emitted : int;
+  c_presented : Obs.counter;
+  c_dropped : Obs.counter;
+  c_corrupted : Obs.counter;
+  c_truncated : Obs.counter;
+  c_duplicated : Obs.counter;
+  c_reordered : Obs.counter;
+  c_emitted : Obs.counter;
 }
 
-let create ?(seed = 2003L) plan =
+let create ?obs ?(seed = 2003L) plan =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let kind k = Obs.counter obs ~labels:[ ("kind", k) ] ~help:"injected fault events by kind" "fault.events" in
   {
     plan;
     rng = Prng.create seed;
     bad_state = false;
-    presented = 0;
-    dropped = 0;
-    corrupted = 0;
-    truncated = 0;
-    duplicated = 0;
-    reordered = 0;
-    emitted = 0;
+    c_presented = Obs.counter obs ~help:"packets offered to the injector" "fault.presented";
+    c_dropped = kind "dropped";
+    c_corrupted = kind "corrupted";
+    c_truncated = kind "truncated";
+    c_duplicated = kind "duplicated";
+    c_reordered = kind "reordered";
+    c_emitted = Obs.counter obs ~help:"packets emitted by the injector" "fault.emitted";
   }
 
 let counts t =
   {
-    presented = t.presented;
-    dropped = t.dropped;
-    corrupted = t.corrupted;
-    truncated = t.truncated;
-    duplicated = t.duplicated;
-    reordered = t.reordered;
-    emitted = t.emitted;
+    presented = Obs.value t.c_presented;
+    dropped = Obs.value t.c_dropped;
+    corrupted = Obs.value t.c_corrupted;
+    truncated = Obs.value t.c_truncated;
+    duplicated = Obs.value t.c_duplicated;
+    reordered = Obs.value t.c_reordered;
+    emitted = Obs.value t.c_emitted;
   }
 
 let step_drop t =
@@ -142,9 +149,9 @@ let jitter t at =
   else at +. (((Prng.unit_float t.rng *. 2.) -. 1.) *. t.plan.clock_jitter)
 
 let apply t ~time data =
-  t.presented <- t.presented + 1;
+  Obs.inc t.c_presented;
   if step_drop t then begin
-    t.dropped <- t.dropped + 1;
+    Obs.inc t.c_dropped;
     []
   end
   else begin
@@ -152,26 +159,26 @@ let apply t ~time data =
     let at = jitter t time in
     let out =
       if p.duplicate > 0. && Prng.chance t.rng p.duplicate then begin
-        t.duplicated <- t.duplicated + 1;
+        Obs.inc t.c_duplicated;
         [ (at, data); (at +. p.duplicate_delay, data) ]
       end
       else if p.corrupt > 0. && String.length data > 0 && Prng.chance t.rng p.corrupt then begin
-        t.corrupted <- t.corrupted + 1;
+        Obs.inc t.c_corrupted;
         [ (at, flip_bytes t data) ]
       end
       else if
         p.truncate > 0. && String.length data > p.truncate_to && Prng.chance t.rng p.truncate
       then begin
-        t.truncated <- t.truncated + 1;
+        Obs.inc t.c_truncated;
         [ (at, String.sub data 0 p.truncate_to) ]
       end
       else if p.reorder > 0. && Prng.chance t.rng p.reorder then begin
-        t.reordered <- t.reordered + 1;
+        Obs.inc t.c_reordered;
         [ (at +. p.reorder_displace, data) ]
       end
       else [ (at, data) ]
     in
-    t.emitted <- t.emitted + List.length out;
+    Obs.add t.c_emitted (List.length out);
     out
   end
 

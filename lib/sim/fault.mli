@@ -77,7 +77,10 @@ val counts_to_string : counts -> string
 type t
 (** Stateful injector (drop-model state, PRNG, counters). *)
 
-val create : ?seed:int64 -> plan -> t
+val create : ?obs:Nt_obs.Obs.t -> ?seed:int64 -> plan -> t
+(** [obs] hosts the injection counters ([fault.presented],
+    [fault.events{kind=...}], [fault.emitted]); defaults to a private
+    always-enabled registry so {!counts} works without wiring. *)
 
 val counts : t -> counts
 

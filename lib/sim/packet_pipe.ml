@@ -91,10 +91,13 @@ type t = {
   (* TCP sequence state, keyed by (src ip, dst ip). *)
   flows : (int * int, flow_state) Hashtbl.t;
   injector : Fault.t;
-  written : int ref;
+  c_written : Nt_obs.Obs.counter;
 }
 
-let create ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer () =
+let create ?obs ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer () =
+  (* The written/dropped accessors feed the conservation invariant, so
+     the default registry must count: a private enabled one. *)
+  let obs = match obs with Some o -> o | None -> Nt_obs.Obs.create () in
   let rng = Prng.create seed in
   let plan =
     match (fault, monitor_loss) with
@@ -104,18 +107,20 @@ let create ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer (
   in
   (* The injector gets its own derived stream so that enabling faults
      does not perturb the flow ISNs drawn from [rng]. *)
-  let injector = Fault.create ~seed:(Prng.next_int64 (Prng.copy rng)) plan in
-  let written = ref 0 in
+  let injector = Fault.create ~obs ~seed:(Prng.next_int64 (Prng.copy rng)) plan in
+  let c_written =
+    Nt_obs.Obs.counter obs ~help:"packets written to the capture" "pipe.packets_written"
+  in
   let emit at frame =
     match Fault.apply injector ~time:at frame with
     | [ (t, bytes) ] ->
         Pcap.write writer ~time:t bytes;
-        incr written
+        Nt_obs.Obs.inc c_written
     | out ->
         List.iter
           (fun (t, bytes) ->
             Pcap.write writer ~time:t bytes;
-            incr written)
+            Nt_obs.Obs.inc c_written)
           out
   in
   {
@@ -125,7 +130,7 @@ let create ?monitor_loss ?fault ?(seed = 77L) ?(mtu = 9000) ~transport ~writer (
     sorter = Psort.create ~horizon:630. emit;
     flows = Hashtbl.create 64;
     injector;
-    written;
+    c_written;
   }
 
 let client_port ip = 600 + (ip land 0x3FF)
@@ -218,6 +223,6 @@ let push t (r : Record.t) =
   | _ -> ()
 
 let finish t = Psort.flush t.sorter
-let packets_written t = !(t.written)
+let packets_written t = Nt_obs.Obs.value t.c_written
 let packets_dropped t = (Fault.counts t.injector).dropped
 let faults t = Fault.counts t.injector

@@ -21,6 +21,7 @@ type transport = Udp_transport | Tcp_transport
 type t
 
 val create :
+  ?obs:Nt_obs.Obs.t ->
   ?monitor_loss:float ->
   ?fault:Fault.plan ->
   ?seed:int64 ->
@@ -29,7 +30,11 @@ val create :
   writer:Nt_net.Pcap.writer ->
   unit ->
   t
-(** [fault] is the full monitor fault model; when absent,
+(** [obs] hosts [pipe.packets_written] plus the injector's [fault.*]
+    counters; defaults to a private always-enabled registry so the
+    accessors below keep counting without wiring.
+
+    [fault] is the full monitor fault model; when absent,
     [monitor_loss] (the legacy knob) maps to
     {!Fault.bernoulli_loss} — independent drop with that probability,
     the CAMPUS mirror port's headline behaviour (it lost up to ~10%

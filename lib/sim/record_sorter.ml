@@ -1,4 +1,5 @@
 module Record = Nt_trace.Record
+module Obs = Nt_obs.Obs
 
 type entry = { at : float; seq : int; record : Record.t }
 
@@ -9,7 +10,9 @@ type t = {
   emit : Record.t -> unit;
   mutable max_seen : float;
   mutable next_seq : int;
-  mutable released : int;
+  c_pushed : Obs.counter;
+  c_released : Obs.counter;
+  g_occupancy : Obs.gauge;
 }
 
 let dummy_record : Record.t =
@@ -28,7 +31,10 @@ let dummy_record : Record.t =
 
 let dummy = { at = 0.; seq = 0; record = dummy_record }
 
-let create ?(horizon = 600.) emit =
+let create ?obs ?(horizon = 600.) emit =
+  (* pushed/released feed test assertions, so the default registry is a
+     private enabled one. *)
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     heap = Array.make 4096 dummy;
     size = 0;
@@ -36,7 +42,9 @@ let create ?(horizon = 600.) emit =
     emit;
     max_seen = neg_infinity;
     next_seq = 0;
-    released = 0;
+    c_pushed = Obs.counter obs ~help:"records entering the reorder window" "sorter.pushed";
+    c_released = Obs.counter obs ~help:"records released in sorted order" "sorter.released";
+    g_occupancy = Obs.gauge obs ~help:"peak reorder-window occupancy" "sorter.window_occupancy";
   }
 
 let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
@@ -76,7 +84,7 @@ let pop t =
 let release_until t threshold =
   while t.size > 0 && t.heap.(0).at <= threshold do
     let r = pop t in
-    t.released <- t.released + 1;
+    Obs.inc t.c_released;
     t.emit r
   done
 
@@ -89,10 +97,12 @@ let push t (r : Record.t) =
   t.heap.(t.size) <- { at = r.time; seq = t.next_seq; record = r };
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
+  Obs.inc t.c_pushed;
+  Obs.set_max t.g_occupancy (float_of_int t.size);
   sift_up t (t.size - 1);
   if r.time > t.max_seen then t.max_seen <- r.time;
   release_until t (t.max_seen -. t.horizon)
 
 let flush t = release_until t infinity
 let pushed t = t.next_seq
-let released t = t.released
+let released t = Obs.value t.c_released

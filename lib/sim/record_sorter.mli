@@ -9,9 +9,11 @@
 
 type t
 
-val create : ?horizon:float -> (Nt_trace.Record.t -> unit) -> t
+val create : ?obs:Nt_obs.Obs.t -> ?horizon:float -> (Nt_trace.Record.t -> unit) -> t
 (** [horizon] defaults to 600 s; it must exceed the longest burst any
-    single event emits. *)
+    single event emits. [obs] hosts [sorter.pushed], [sorter.released]
+    and the [sorter.window_occupancy] peak gauge; defaults to a private
+    always-enabled registry. *)
 
 val push : t -> Nt_trace.Record.t -> unit
 val flush : t -> unit

@@ -1,6 +1,7 @@
 module Prng = Nt_util.Prng
 module Ops = Nt_nfs.Ops
 module Ip_addr = Nt_net.Ip_addr
+module Obs = Nt_obs.Obs
 
 type config = {
   map_names : bool;
@@ -48,12 +49,24 @@ type t = {
   used_tokens : (string, unit) Hashtbl.t;
   used_ids : (int, unit) Hashtbl.t;
   used_ips : (Ip_addr.t, unit) Hashtbl.t;
-  mutable leaks : int;
-      (** sensitive values passed through raw because mapping for their
-          kind is disabled (preserve-list hits are deliberate, not leaks) *)
+  c_leaks : Obs.counter;
+      (* sensitive values passed through raw because mapping for their
+         kind is disabled (preserve-list hits are deliberate, not leaks) *)
+  c_map_name : Obs.counter;
+  c_map_suffix : Obs.counter;
+  c_map_uid : Obs.counter;
+  c_map_gid : Obs.counter;
+  c_map_ip : Obs.counter;
 }
 
-let create ?(seed = 0x6e667374726163L) config =
+let create ?obs ?(seed = 0x6e667374726163L) config =
+  (* The leak count gates anonymization safety checks, so the default
+     registry is a private enabled one. *)
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let mapping kind =
+    Obs.counter obs ~labels:[ ("kind", kind) ] ~help:"fresh anonymization mappings by kind"
+      "anon.mappings"
+  in
   {
     config;
     rng = Prng.create seed;
@@ -65,11 +78,16 @@ let create ?(seed = 0x6e667374726163L) config =
     used_tokens = Hashtbl.create 4096;
     used_ids = Hashtbl.create 256;
     used_ips = Hashtbl.create 64;
-    leaks = 0;
+    c_leaks = Obs.counter obs ~help:"sensitive values passed through unmapped" "anon.leaks";
+    c_map_name = mapping "name";
+    c_map_suffix = mapping "suffix";
+    c_map_uid = mapping "uid";
+    c_map_gid = mapping "gid";
+    c_map_ip = mapping "ip";
   }
 
 let leaked t v =
-  t.leaks <- t.leaks + 1;
+  Obs.inc t.c_leaks;
   v
 
 let base36 = "0123456789abcdefghijklmnopqrstuvwxyz"
@@ -97,11 +115,21 @@ let map_via tbl make key =
       Hashtbl.add tbl key v;
       v
 
-let anon_stem t stem = map_via t.stems (fun () -> fresh_token t ~prefix:"a" ~len:5) stem
+let anon_stem t stem =
+  map_via t.stems
+    (fun () ->
+      Obs.inc t.c_map_name;
+      fresh_token t ~prefix:"a" ~len:5)
+    stem
 
 let anon_suffix t suffix =
   if List.mem suffix t.config.preserve_suffixes then suffix
-  else map_via t.suffixes (fun () -> "." ^ fresh_token t ~prefix:"s" ~len:2) suffix
+  else
+    map_via t.suffixes
+      (fun () ->
+        Obs.inc t.c_map_suffix;
+        "." ^ fresh_token t ~prefix:"s" ~len:2)
+      suffix
 
 (* Split [name] into (core, reattach): reattach rebuilds the special
    affixes around the anonymized core. *)
@@ -140,6 +168,7 @@ let uid t u =
   else
     map_via t.uids
       (fun () ->
+        Obs.inc t.c_map_uid;
         let rec draw () =
           let v = 10000 + Prng.int t.rng 90000 in
           if Hashtbl.mem t.used_ids v then draw ()
@@ -158,6 +187,7 @@ let gid t g =
   else
     map_via t.gids
       (fun () ->
+        Obs.inc t.c_map_gid;
         let rec draw () =
           let v = 10000 + Prng.int t.rng 90000 in
           if Hashtbl.mem t.used_ids v then draw ()
@@ -175,6 +205,7 @@ let ip t addr =
   else
     map_via t.ips
       (fun () ->
+        Obs.inc t.c_map_ip;
         let rec draw () =
           let v = Ip_addr.v 10 (Prng.int t.rng 256) (Prng.int t.rng 256) (1 + Prng.int t.rng 254) in
           if Hashtbl.mem t.used_ips v then draw ()
@@ -240,4 +271,4 @@ let record t (r : Record.t) : Record.t =
   }
 
 let mapped_names t = Hashtbl.length t.stems
-let leaks t = t.leaks
+let leaks t = Obs.value t.c_leaks

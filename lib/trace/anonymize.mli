@@ -43,10 +43,14 @@ val omit_config : config
 
 type t
 
-val create : ?seed:int64 -> config -> t
+val create : ?obs:Nt_obs.Obs.t -> ?seed:int64 -> config -> t
 (** [seed] defaults to an arbitrary constant; real deployments pass a
     secret. Same seed + same input order = same mapping (useful for
-    tests), which is why the seed must be kept private. *)
+    tests), which is why the seed must be kept private.
+
+    [obs] hosts [anon.leaks] and [anon.mappings{kind=...}]; defaults
+    to a private always-enabled registry so {!leaks} gates keep
+    working without wiring. *)
 
 val name : t -> string -> string
 (** Anonymize one path component. *)

@@ -5,6 +5,7 @@ module Rpc = Nt_rpc.Rpc_msg
 module Rm = Nt_rpc.Record_mark
 module Proc = Nt_nfs.Proc
 module Ops = Nt_nfs.Ops
+module Obs = Nt_obs.Obs
 
 type stats = {
   frames : int;
@@ -79,30 +80,42 @@ type t = {
   buffer : Record.t list ref option;
   pending_timeout : float;
   mutable last_sweep : float;
-  mutable frames : int;
-  mutable undecodable_frames : int;
-  mutable corrupt_frames : int;
-  mutable rpc_messages : int;
-  mutable rpc_errors : int;
-  mutable non_nfs : int;
-  mutable calls : int;
-  mutable replies : int;
-  mutable duplicate_calls : int;
-  mutable duplicate_replies : int;
-  mutable orphan_replies : int;
-  mutable lost_replies : int;
+  (* Decode accounting lives on the obs registry (capture.* namespace,
+     decode failures as one labeled counter); [finish] reads the
+     counters back into [stats]. The pcap-salvage trio stays as plain
+     ints aggregated from [Pcap.read_stats] — the reader registers
+     those counters itself, so a registry shared with the reader (the
+     normal wiring) is not double-counted. *)
+  c_frames : Obs.counter;
+  c_undecodable : Obs.counter;
+  c_corrupt : Obs.counter;
+  c_rpc_messages : Obs.counter;
+  c_rpc_errors : Obs.counter;
+  c_non_nfs : Obs.counter;
+  c_calls : Obs.counter;
+  c_replies : Obs.counter;
+  c_duplicate_calls : Obs.counter;
+  c_duplicate_replies : Obs.counter;
+  c_orphan_replies : Obs.counter;
+  c_lost_replies : Obs.counter;
+  c_tcp_gaps : Obs.counter;
   mutable salvaged_records : int;
   mutable skipped_pcap_bytes : int;
   mutable truncated_pcap_tails : int;
 }
 
-let create ?(pending_timeout = 60.) ?emit () =
+let create ?obs ?(pending_timeout = 60.) ?emit () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let buffer, emit =
     match emit with
     | Some f -> (None, f)
     | None ->
         let buf = ref [] in
         (Some buf, fun r -> buf := r :: !buf)
+  in
+  let fail reason =
+    Obs.counter obs ~labels:[ ("reason", reason) ] ~help:"frames/messages that failed to decode"
+      "capture.decode_failure"
   in
   {
     pending = Pending_tbl.create 4096;
@@ -113,18 +126,22 @@ let create ?(pending_timeout = 60.) ?emit () =
     buffer;
     pending_timeout;
     last_sweep = 0.;
-    frames = 0;
-    undecodable_frames = 0;
-    corrupt_frames = 0;
-    rpc_messages = 0;
-    rpc_errors = 0;
-    non_nfs = 0;
-    calls = 0;
-    replies = 0;
-    duplicate_calls = 0;
-    duplicate_replies = 0;
-    orphan_replies = 0;
-    lost_replies = 0;
+    c_frames = Obs.counter obs ~help:"link frames presented" "capture.frames";
+    c_undecodable = fail "undecodable-frame";
+    c_corrupt = fail "corrupt-frame";
+    c_rpc_messages = Obs.counter obs ~help:"complete RPC messages seen" "capture.rpc_messages";
+    c_rpc_errors = fail "rpc-error";
+    c_non_nfs = fail "non-nfs";
+    c_calls = Obs.counter obs ~help:"distinct NFS calls decoded" "capture.calls";
+    c_replies = Obs.counter obs ~help:"replies paired with their call" "capture.replies";
+    c_duplicate_calls = Obs.counter obs ~help:"retransmitted calls" "capture.duplicate_calls";
+    c_duplicate_replies =
+      Obs.counter obs ~help:"retransmitted replies" "capture.duplicate_replies";
+    c_orphan_replies =
+      Obs.counter obs ~help:"replies whose call was never seen" "capture.orphan_replies";
+    c_lost_replies =
+      Obs.counter obs ~help:"calls whose reply never arrived" "capture.lost_replies";
+    c_tcp_gaps = Obs.counter obs ~help:"TCP stream resynchronisations" "capture.tcp_gaps";
     salvaged_records = 0;
     skipped_pcap_bytes = 0;
     truncated_pcap_tails = 0;
@@ -155,7 +172,7 @@ let flush_expired t ~now =
     List.iter
       (fun ((client, xid), p) ->
         Pending_tbl.remove t.pending (client, xid);
-        t.lost_replies <- t.lost_replies + 1;
+        Obs.inc t.c_lost_replies;
         t.emit { (lost_record p) with xid })
       expired;
     let stale =
@@ -180,26 +197,26 @@ let decode_result_body ~version ~proc msg body_pos =
 
 (* Handle one complete RPC message travelling from [src] to [dst]. *)
 let handle_rpc t ~time ~src ~dst msg =
-  t.rpc_messages <- t.rpc_messages + 1;
+  Obs.inc t.c_rpc_messages;
   match Rpc.decode msg ~pos:0 ~len:(String.length msg) with
-  | exception Nt_xdr.Decode.Error _ -> t.rpc_errors <- t.rpc_errors + 1
+  | exception Nt_xdr.Decode.Error _ -> Obs.inc t.c_rpc_errors
   | Rpc.Call c, body_pos ->
-      if c.prog <> Rpc.nfs_program then t.non_nfs <- t.non_nfs + 1
+      if c.prog <> Rpc.nfs_program then Obs.inc t.c_non_nfs
       else if Pending_tbl.mem t.pending (src, c.xid) || Pending_tbl.mem t.answered (src, c.xid)
       then
         (* A UDP client retransmitted an unanswered (or just-answered)
            call; the first arrival defines the record's call time. *)
-        t.duplicate_calls <- t.duplicate_calls + 1
+        Obs.inc t.c_duplicate_calls
       else begin
         match Proc.of_number ~version:c.vers c.proc with
-        | None -> t.rpc_errors <- t.rpc_errors + 1
+        | None -> Obs.inc t.c_rpc_errors
         | Some proc -> (
             match decode_call_body ~version:c.vers ~proc msg body_pos with
-            | exception Nt_xdr.Decode.Error _ -> t.rpc_errors <- t.rpc_errors + 1
-            | exception Nt_nfs.V2.Unsupported _ -> t.rpc_errors <- t.rpc_errors + 1
-            | exception Nt_nfs.V3.Unsupported _ -> t.rpc_errors <- t.rpc_errors + 1
+            | exception Nt_xdr.Decode.Error _ -> Obs.inc t.c_rpc_errors
+            | exception Nt_nfs.V2.Unsupported _ -> Obs.inc t.c_rpc_errors
+            | exception Nt_nfs.V3.Unsupported _ -> Obs.inc t.c_rpc_errors
             | call ->
-                t.calls <- t.calls + 1;
+                Obs.inc t.c_calls;
                 let uid, gid = creds c.cred in
                 Pending_tbl.replace t.pending (src, c.xid)
                   {
@@ -219,8 +236,8 @@ let handle_rpc t ~time ~src ~dst msg =
       match Pending_tbl.find_opt t.pending (dst, r.xid) with
       | None ->
           if Pending_tbl.mem t.answered (dst, r.xid) then
-            t.duplicate_replies <- t.duplicate_replies + 1
-          else t.orphan_replies <- t.orphan_replies + 1
+            Obs.inc t.c_duplicate_replies
+          else Obs.inc t.c_orphan_replies
       | Some p ->
           Pending_tbl.remove t.pending (dst, r.xid);
           Pending_tbl.replace t.answered (dst, r.xid) time;
@@ -229,18 +246,18 @@ let handle_rpc t ~time ~src ~dst msg =
             | Rpc.Accepted Rpc.Success -> (
                 match decode_result_body ~version:p.p_version ~proc:p.p_proc msg body_pos with
                 | exception Nt_xdr.Decode.Error _ ->
-                    t.rpc_errors <- t.rpc_errors + 1;
+                    Obs.inc t.c_rpc_errors;
                     None
                 | exception Nt_nfs.V2.Unsupported _ ->
-                    t.rpc_errors <- t.rpc_errors + 1;
+                    Obs.inc t.c_rpc_errors;
                     None
                 | exception Nt_nfs.V3.Unsupported _ ->
-                    t.rpc_errors <- t.rpc_errors + 1;
+                    Obs.inc t.c_rpc_errors;
                     None
                 | res -> Some res)
             | Rpc.Accepted _ | Rpc.Denied _ -> Some (Error Nt_nfs.Types.Err_serverfault)
           in
-          t.replies <- t.replies + 1;
+          Obs.inc t.c_replies;
           t.emit
             {
               Record.time = p.p_time;
@@ -263,7 +280,7 @@ let handle_rpc t ~time ~src ~dst msg =
   match handle_rpc t ~time ~src ~dst msg with
   | () -> ()
   | exception (Nt_xdr.Decode.Error _ | Invalid_argument _ | Failure _ | Not_found) ->
-      t.rpc_errors <- t.rpc_errors + 1
+      Obs.inc t.c_rpc_errors
 
 let rm_for t flow =
   match Flow_tbl.find_opt t.rm flow with
@@ -274,18 +291,18 @@ let rm_for t flow =
       rm
 
 let feed_packet t ~time data =
-  t.frames <- t.frames + 1;
+  Obs.inc t.c_frames;
   match Frame.decode data with
-  | Error _ -> t.undecodable_frames <- t.undecodable_frames + 1
+  | Error _ -> Obs.inc t.c_undecodable
   | Ok _ when not (Frame.header_checksum_ok data) ->
       (* Structurally sound but damaged in flight: never trust it. *)
-      t.corrupt_frames <- t.corrupt_frames + 1
+      Obs.inc t.c_corrupt
   | Ok frame -> (
       match frame.transport with
       | Frame.Udp { payload; _ } ->
           if String.length payload >= 16 then
             handle_rpc t ~time ~src:frame.src_ip ~dst:frame.dst_ip payload
-          else t.undecodable_frames <- t.undecodable_frames + 1
+          else Obs.inc t.c_undecodable
       | Frame.Tcp { src_port; dst_port; seq; syn; payload; fin = _ } ->
           let flow =
             { Tcp.src_ip = frame.src_ip; src_port; dst_ip = frame.dst_ip; dst_port }
@@ -301,6 +318,7 @@ let feed_packet t ~time data =
                     (fun msg -> handle_rpc t ~time ~src:frame.src_ip ~dst:frame.dst_ip msg)
                     records
               | Tcp.Gap _ ->
+                  Obs.inc t.c_tcp_gaps;
                   (* The stream resynchronised past a hole; any partial
                      RPC record is unrecoverable. Start clean. *)
                   Flow_tbl.replace t.rm flow (Rm.create_reassembler ()))
@@ -317,25 +335,25 @@ let finish t =
   (* Whatever is still pending never got a reply. *)
   Pending_tbl.iter
     (fun (_, xid) p ->
-      t.lost_replies <- t.lost_replies + 1;
+      Obs.inc t.c_lost_replies;
       t.emit { (lost_record p) with xid })
     t.pending;
   Pending_tbl.reset t.pending;
   Pending_tbl.reset t.answered;
   let stats =
     {
-      frames = t.frames;
-      undecodable_frames = t.undecodable_frames;
-      corrupt_frames = t.corrupt_frames;
-      rpc_messages = t.rpc_messages;
-      rpc_errors = t.rpc_errors;
-      non_nfs = t.non_nfs;
-      calls = t.calls;
-      replies = t.replies;
-      duplicate_calls = t.duplicate_calls;
-      duplicate_replies = t.duplicate_replies;
-      orphan_replies = t.orphan_replies;
-      lost_replies = t.lost_replies;
+      frames = Obs.value t.c_frames;
+      undecodable_frames = Obs.value t.c_undecodable;
+      corrupt_frames = Obs.value t.c_corrupt;
+      rpc_messages = Obs.value t.c_rpc_messages;
+      rpc_errors = Obs.value t.c_rpc_errors;
+      non_nfs = Obs.value t.c_non_nfs;
+      calls = Obs.value t.c_calls;
+      replies = Obs.value t.c_replies;
+      duplicate_calls = Obs.value t.c_duplicate_calls;
+      duplicate_replies = Obs.value t.c_duplicate_replies;
+      orphan_replies = Obs.value t.c_orphan_replies;
+      lost_replies = Obs.value t.c_lost_replies;
       tcp_gaps = Tcp.gaps t.tcp;
       salvaged_records = t.salvaged_records;
       skipped_pcap_bytes = t.skipped_pcap_bytes;

@@ -38,10 +38,18 @@ val stats_to_string : stats -> string
 
 type t
 
-val create : ?pending_timeout:float -> ?emit:(Record.t -> unit) -> unit -> t
+val create :
+  ?obs:Nt_obs.Obs.t -> ?pending_timeout:float -> ?emit:(Record.t -> unit) -> unit -> t
 (** [pending_timeout] (default 60 s): a call unanswered for this long is
     emitted as reply-lost. [emit] receives records as they complete; when
-    omitted, records accumulate for {!finish}. *)
+    omitted, records accumulate for {!finish}.
+
+    [obs] hosts the capture counters ([capture.frames],
+    [capture.decode_failure{reason=...}], [capture.calls], ...);
+    defaults to a private always-enabled registry so {!finish} stats
+    work without wiring. Share one registry between the pcap reader and
+    the capture engine to get a single self-consistent snapshot — the
+    namespaces are disjoint, so nothing double-counts. *)
 
 val feed_packet : t -> time:float -> string -> unit
 (** Process one link-layer frame. Never raises: malformed input is

@@ -1,0 +1,296 @@
+(* nt_obs tests: metric semantics, label canonicalisation, span nesting
+   under a fake clock, disabled-mode no-ops, both exporters, the
+   embedded JSON parser, and a Pipeline integration test asserting
+   packet conservation straight from the exported JSON. *)
+
+module Obs = Nt_obs.Obs
+module Json = Nt_obs.Obs.Json
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let t = Obs.create () in
+  let c = Obs.counter t ~help:"test" "c.basic" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.value c);
+  Obs.inc c;
+  Obs.add c 41;
+  Alcotest.(check int) "inc + add" 42 (Obs.value c);
+  Obs.add c (-7);
+  Alcotest.(check int) "negative add ignored (monotone)" 42 (Obs.value c)
+
+let test_counter_idempotent_registration () =
+  let t = Obs.create () in
+  let a = Obs.counter t "c.same" in
+  let b = Obs.counter t "c.same" in
+  Obs.inc a;
+  Obs.inc b;
+  Alcotest.(check int) "both handles hit one cell" 2 (Obs.value a);
+  Alcotest.(check int)
+    "snapshot sees a single metric" 1
+    (List.length
+       (List.filter (fun (m : Obs.metric) -> m.name = "c.same") (Obs.snapshot t).metrics))
+
+let test_cross_kind_registration_rejected () =
+  let t = Obs.create () in
+  ignore (Obs.counter t "c.kind");
+  match Obs.gauge t "c.kind" with
+  | _ -> Alcotest.fail "re-registering a counter as a gauge must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- labels --- *)
+
+let test_labels_distinguish_and_canonicalise () =
+  let t = Obs.create () in
+  let red = Obs.counter t ~labels:[ ("colour", "red"); ("shape", "dot") ] "c.lab" in
+  let blue = Obs.counter t ~labels:[ ("colour", "blue"); ("shape", "dot") ] "c.lab" in
+  (* Same pairs in the opposite order resolve to the same cell. *)
+  let red2 = Obs.counter t ~labels:[ ("shape", "dot"); ("colour", "red") ] "c.lab" in
+  Obs.inc red;
+  Obs.inc red2;
+  Obs.inc blue;
+  Alcotest.(check int) "label order is canonical" 2 (Obs.value red);
+  Alcotest.(check int) "distinct label sets are distinct" 1 (Obs.value blue);
+  let snap = Obs.snapshot t in
+  Alcotest.(check (option int))
+    "lookup by labels" (Some 2)
+    (Obs.get_counter snap ~labels:[ ("colour", "red"); ("shape", "dot") ] "c.lab");
+  Alcotest.(check int) "sum across label sets" 3 (Obs.sum_counter snap "c.lab")
+
+(* --- gauges and histograms --- *)
+
+let test_gauge () =
+  let t = Obs.create () in
+  let g = Obs.gauge t "g.depth" in
+  Obs.set g 3.;
+  Alcotest.(check (float 0.)) "set" 3. (Obs.gauge_value g);
+  Obs.set_max g 1.;
+  Alcotest.(check (float 0.)) "set_max keeps the peak" 3. (Obs.gauge_value g);
+  Obs.set_max g 9.;
+  Alcotest.(check (float 0.)) "set_max moves up" 9. (Obs.gauge_value g)
+
+let test_histogram () =
+  let t = Obs.create () in
+  let h = Obs.histogram t ~buckets:[ 1.; 5. ] "h.lat" in
+  List.iter (Obs.observe h) [ 0.5; 3.; 10. ];
+  Alcotest.(check int) "count" 3 (Obs.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 13.5 (Obs.histogram_sum h);
+  match
+    List.find_opt (fun (m : Obs.metric) -> m.name = "h.lat") (Obs.snapshot t).metrics
+  with
+  | Some { value = Obs.Histogram { le; counts; sum; count }; _ } ->
+      Alcotest.(check (list (float 0.))) "bounds" [ 1.; 5. ] le;
+      Alcotest.(check (list int)) "per-bucket counts + overflow" [ 1; 1; 1 ] counts;
+      Alcotest.(check (float 1e-9)) "snap sum" 13.5 sum;
+      Alcotest.(check int) "snap count" 3 count
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+(* --- spans --- *)
+
+let test_span_nesting_and_timing () =
+  let clock = ref 100. in
+  let t = Obs.create ~clock:(fun () -> !clock) () in
+  Obs.span_open t "outer";
+  clock := 101.;
+  Obs.span_open t "inner";
+  clock := 103.;
+  Obs.span_close t "inner";
+  clock := 106.;
+  Obs.span_close t "outer";
+  let snap = Obs.snapshot t in
+  (match Obs.get_span snap "outer" with
+  | Some s ->
+      Alcotest.(check int) "outer count" 1 s.count;
+      Alcotest.(check (float 1e-9)) "outer total" 6. s.total_s
+  | None -> Alcotest.fail "outer span missing");
+  match Obs.get_span snap "outer/inner" with
+  | Some s ->
+      Alcotest.(check int) "nested count" 1 s.count;
+      Alcotest.(check (float 1e-9)) "nested total" 2. s.total_s;
+      Alcotest.(check (float 1e-9)) "min = max on one sample" s.min_s s.max_s
+  | None -> Alcotest.fail "nested span recorded under parent/child path"
+
+let test_span_monotonic_clamp () =
+  (* A clock that runs backwards must never produce a negative span. *)
+  let clock = ref 50. in
+  let t = Obs.create ~clock:(fun () -> !clock) () in
+  Obs.span_open t "back";
+  clock := 40.;
+  Obs.span_close t "back";
+  match Obs.get_span (Obs.snapshot t) "back" with
+  | Some s -> Alcotest.(check bool) "non-negative duration" true (s.total_s >= 0.)
+  | None -> Alcotest.fail "span missing"
+
+let test_with_span_closes_on_raise () =
+  let clock = ref 0. in
+  let t = Obs.create ~clock:(fun () -> !clock) () in
+  (try
+     Obs.with_span t "boom" (fun () ->
+         clock := 2.;
+         failwith "inside")
+   with Failure _ -> ());
+  (* If "boom" leaked open, this span would nest under it. *)
+  Obs.with_span t "after" (fun () -> clock := 3.);
+  let snap = Obs.snapshot t in
+  Alcotest.(check bool) "raising span recorded" true (Obs.get_span snap "boom" <> None);
+  Alcotest.(check bool) "later span is top-level" true (Obs.get_span snap "after" <> None);
+  Obs.span_close t "stray";
+  Alcotest.(check int) "extra close is ignored" 2 (List.length (Obs.snapshot t).spans)
+
+(* --- disabled mode --- *)
+
+let test_disabled_noop () =
+  let reads = ref 0 in
+  let t =
+    Obs.create ~enabled:false
+      ~clock:(fun () ->
+        incr reads;
+        0.)
+      ()
+  in
+  let reads_at_create = !reads in
+  let c = Obs.counter t "c.off" in
+  let g = Obs.gauge t "g.off" in
+  let h = Obs.histogram t ~buckets:[ 1. ] "h.off" in
+  Obs.inc c;
+  Obs.add c 10;
+  Obs.set g 5.;
+  Obs.observe h 2.;
+  Obs.with_span t "s.off" Fun.id;
+  Alcotest.(check int) "counter untouched" 0 (Obs.value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Obs.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.histogram_count h);
+  (* Taking the snapshot below reads the clock once for taken_at; the
+     updates and spans above must not have. *)
+  Alcotest.(check int) "disabled spans never read the clock" reads_at_create !reads;
+  Alcotest.(check bool) "no spans recorded" true ((Obs.snapshot t).spans = []);
+  Alcotest.(check bool) "snapshot says disabled" false (Obs.snapshot t).snap_enabled
+
+let test_null_registry_stays_disabled () =
+  Obs.set_enabled Obs.null true;
+  Alcotest.(check bool) "null is frozen" false (Obs.enabled Obs.null);
+  let c = Obs.counter Obs.null "c.null" in
+  Obs.inc c;
+  Alcotest.(check int) "null counters never move" 0 (Obs.value c)
+
+(* --- exporters and the JSON parser --- *)
+
+let test_json_roundtrip () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t ~labels:[ ("kind", "x") ] ~help:"things" "c.json") 7;
+  Obs.set (Obs.gauge t "g.json") 2.5;
+  Obs.with_span t "stage" Fun.id;
+  let doc =
+    match Json.parse (Obs.to_json (Obs.snapshot t)) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "export does not parse: %s" e
+  in
+  Alcotest.(check (option string))
+    "schema tag" (Some "nt_obs/1")
+    (Option.bind (Json.member "schema" doc) Json.to_str);
+  Alcotest.(check (option (float 0.)))
+    "labeled counter via metric_number" (Some 7.)
+    (Json.metric_number doc ~labels:[ ("kind", "x") ] "c.json");
+  Alcotest.(check (option (float 0.)))
+    "gauge via metric_number" (Some 2.5) (Json.metric_number doc "g.json");
+  Alcotest.(check bool) "wrong labels miss" true
+    (Json.find_metric doc ~labels:[ ("kind", "y") ] "c.json" = None);
+  let spans = Option.bind (Json.member "spans" doc) Json.to_list in
+  Alcotest.(check (option int)) "span exported" (Some 1) (Option.map List.length spans)
+
+let test_json_parser_rejects_garbage () =
+  (match Json.parse "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed value accepted"
+
+let test_prometheus_export () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t ~labels:[ ("reason", "bad") ] ~help:"oops" "capture.decode_failure") 3;
+  Obs.observe (Obs.histogram t ~buckets:[ 1. ] "h.prom") 0.5;
+  Obs.with_span t "stage" Fun.id;
+  let text = Obs.to_prometheus (Obs.snapshot t) in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "sanitised counter line" true
+    (has "capture_decode_failure{reason=\"bad\"} 3");
+  Alcotest.(check bool) "type header" true (has "# TYPE capture_decode_failure counter");
+  Alcotest.(check bool) "histogram +Inf bucket" true (has "h_prom_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "span series" true (has "nt_span_count{path=\"stage\"} 1")
+
+(* --- Pipeline integration: conservation from the exported JSON --- *)
+
+let test_pipeline_conservation_from_json () =
+  let obs = Obs.create () in
+  let start = Nt_util.Trace_week.time_of ~day:Nt_util.Trace_week.Wed ~hour:9 ~minute:0 in
+  let buf = Buffer.create (1 lsl 20) in
+  let writer = Nt_net.Pcap.writer_to_buffer buf in
+  let stats =
+    Nt_core.Pipeline.campus_to_pcap ~obs
+      ~config:{ Nt_workload.Email.default_config with users = 8 }
+      ~monitor_loss:0.05 ~start ~stop:(start +. 600.) ~writer ()
+  in
+  let doc =
+    match Json.parse (Obs.to_json stats.snapshot) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "snapshot does not parse: %s" e
+  in
+  let num ?labels name =
+    match Json.metric_number doc ?labels name with
+    | Some v -> int_of_float v
+    | None -> Alcotest.failf "metric %s missing from snapshot" name
+  in
+  let presented = num "fault.presented" in
+  let written = num "pipe.packets_written" in
+  let dropped = num ~labels:[ ("kind", "dropped") ] "fault.events" in
+  Alcotest.(check int) "packets_written + dropped = frames attempted" presented
+    (written + dropped);
+  Alcotest.(check int) "struct written = registry" stats.packets_written written;
+  Alcotest.(check int) "struct dropped = registry" stats.packets_dropped dropped;
+  Alcotest.(check bool) "wrote some packets" true (written > 0);
+  Alcotest.(check bool) "5% monitor loss dropped some" true (dropped > 0);
+  Alcotest.(check bool) "emit-pcap span present" true
+    (Obs.get_span stats.snapshot "emit-pcap" <> None);
+  Alcotest.(check bool) "simulate span nests under emit-pcap" true
+    (Obs.get_span stats.snapshot "emit-pcap/simulate.campus" <> None)
+
+let () =
+  Alcotest.run "nt_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "idempotent registration" `Quick test_counter_idempotent_registration;
+          Alcotest.test_case "cross-kind rejected" `Quick test_cross_kind_registration_rejected;
+        ] );
+      ( "labels",
+        [ Alcotest.test_case "distinguish + canonicalise" `Quick test_labels_distinguish_and_canonicalise ] );
+      ( "gauges-histograms",
+        [
+          Alcotest.test_case "gauge set/set_max" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting + timing" `Quick test_span_nesting_and_timing;
+          Alcotest.test_case "monotonic clamp" `Quick test_span_monotonic_clamp;
+          Alcotest.test_case "with_span closes on raise" `Quick test_with_span_closes_on_raise;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "no-op updates" `Quick test_disabled_noop;
+          Alcotest.test_case "null stays disabled" `Quick test_null_registry_stays_disabled;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json parser rejects garbage" `Quick test_json_parser_rejects_garbage;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "conservation from exported JSON" `Quick test_pipeline_conservation_from_json ] );
+    ]
