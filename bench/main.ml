@@ -937,6 +937,94 @@ let obs_overhead () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* nt_par speedup gate: sharded analyses across domains vs sequential  *)
+(* ------------------------------------------------------------------ *)
+
+let par_speedup () =
+  banner "nt_par: sharded analysis engine, 4 domains vs sequential";
+  let module Obs = Nt_obs.Obs in
+  let n =
+    (* Smoke mode for CI: NT_PAR_BENCH_RECORDS shrinks the stream. *)
+    match Sys.getenv_opt "NT_PAR_BENCH_RECORDS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let min_speedup =
+    match Sys.getenv_opt "NT_PAR_BENCH_MIN_SPEEDUP" with
+    | Some s -> ( try float_of_string s with Failure _ -> 2.0)
+    | None -> 2.0
+  in
+  (* Re-time the shared lint workload across a synthetic week so the
+     summary and hourly passes see a realistic trace span. *)
+  let span = 7. *. 86400. in
+  let records =
+    lint_stream n
+    |> Seq.mapi (fun i (r : Nt_trace.Record.t) ->
+           let time = 1000. +. (span *. float_of_int i /. float_of_int n) in
+           { r with time; reply_time = Some (time +. 0.0005) })
+    |> Array.of_seq
+  in
+  let sections = [ `Summary; `Runs; `Names; `Hourly ] in
+  (* Best of 3 per jobs setting; the rendered report is kept so the two
+     settings can be compared byte for byte. *)
+  let time_jobs jobs =
+    let best = ref infinity and snapshot = ref None and report = ref "" in
+    for _ = 1 to 3 do
+      let obs = Obs.create () in
+      let t0 = Unix.gettimeofday () in
+      let out = Nt_par.Report.run ~obs ~jobs ~sections records in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      snapshot := Some (Obs.snapshot obs);
+      report := String.concat "\n" (List.map snd out)
+    done;
+    (!best, !report, !snapshot)
+  in
+  let t1, r1, _ = time_jobs 1 in
+  let t4, r4, snap = time_jobs 4 in
+  let speedup = t1 /. t4 in
+  let identical = String.equal r1 r4 in
+  let domains = Domain.recommended_domain_count () in
+  (* The >= 2x gate only means something with real parallel hardware;
+     on fewer cores the run still reports and checks determinism. *)
+  let enforced = domains >= 4 in
+  let pass = identical && ((not enforced) || speedup >= min_speedup) in
+  let rate t = float_of_int n /. t in
+  Tables.print
+    ~header:[ "jobs"; "time (s)"; "records/s" ]
+    [
+      [ "1 (sequential)"; f2 t1; Printf.sprintf "%.0f" (rate t1) ];
+      [ "4 (sharded)"; f2 t4; Printf.sprintf "%.0f" (rate t4) ];
+    ];
+  Printf.printf
+    "\nspeedup at 4 domains: %.2fx (gate >= %.1fx %s on %d available core(s))\n\
+     reports byte-identical across jobs settings: %s\n"
+    speedup min_speedup
+    (if enforced then "ENFORCED" else "not enforced")
+    domains
+    (if identical then "yes" else "NO");
+  let snapshot_json = match snap with Some s -> Obs.to_json s | None -> "null" in
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"nt_bench_par/1\",\n\
+    \  \"workload\": \"lint_stream/week\",\n\
+    \  \"records\": %d,\n\
+    \  \"available_domains\": %d,\n\
+    \  \"seconds\": {\"jobs1\": %.6f, \"jobs4\": %.6f},\n\
+    \  \"records_per_second\": {\"jobs1\": %.0f, \"jobs4\": %.0f},\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"min_speedup\": %.2f,\n\
+    \  \"gate_enforced\": %b,\n\
+    \  \"reports_identical\": %b,\n\
+    \  \"pass\": %b,\n\
+    \  \"snapshot\": %s}\n"
+    n domains t1 t4 (rate t1) (rate t4) speedup min_speedup enforced identical pass snapshot_json;
+  close_out oc;
+  print_endline "wrote BENCH_par.json";
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the tracer's hot paths                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1161,6 +1249,7 @@ let experiments =
     ("degraded", degraded);
     ("lint", lint);
     ("obs", obs_overhead);
+    ("par", par_speedup);
     ("micro", micro);
   ]
 

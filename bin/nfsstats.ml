@@ -1,6 +1,6 @@
 (* nfsstats: run the paper's analyses over a saved text trace.
 
-   Example: nfsstats --analysis summary,runs,names campus.trace *)
+   Example: nfsstats --analysis summary,runs,names --jobs 4 campus.trace *)
 
 open Cmdliner
 
@@ -17,94 +17,7 @@ let load prog input =
   if input <> "-" then close_in ic;
   records
 
-let print_summary records =
-  let s = Nt_analysis.Summary.create () in
-  List.iter (Nt_analysis.Summary.observe s) records;
-  let module T = Nt_util.Tables in
-  T.print ~title:"Summary" ~header:[ "statistic"; "value" ]
-    [
-      [ "records"; string_of_int (Nt_analysis.Summary.total_ops s) ];
-      [ "trace span"; T.fmt_duration (Nt_analysis.Summary.days s *. 86400.) ];
-      [ "data read"; T.fmt_bytes (Nt_analysis.Summary.bytes_read s) ];
-      [ "data written"; T.fmt_bytes (Nt_analysis.Summary.bytes_written s) ];
-      [ "read ops"; string_of_int (Nt_analysis.Summary.read_ops s) ];
-      [ "write ops"; string_of_int (Nt_analysis.Summary.write_ops s) ];
-      [ "R/W op ratio"; T.fmt_float (Nt_analysis.Summary.read_write_op_ratio s) ];
-      [ "R/W byte ratio"; T.fmt_float (Nt_analysis.Summary.read_write_byte_ratio s) ];
-      [ "data calls"; T.fmt_pct (Nt_analysis.Summary.data_ops_pct s) ];
-      [ "unique files"; string_of_int (Nt_analysis.Summary.unique_files_accessed s) ];
-    ];
-  print_newline ();
-  Nt_util.Tables.print ~title:"Calls by procedure" ~header:[ "procedure"; "calls" ]
-    (List.map
-       (fun (p, n) -> [ Nt_nfs.Proc.to_string p; string_of_int n ])
-       (Nt_analysis.Summary.top_procs s))
-
-let print_runs records =
-  let log = Nt_analysis.Io_log.create () in
-  List.iter (Nt_analysis.Io_log.observe log) records;
-  let t = Nt_analysis.Runs.table3 (Nt_analysis.Runs.analyze ~window:0.01 ~jump_blocks:10 log) in
-  let module T = Nt_util.Tables in
-  let f = T.fmt_float ~decimals:1 in
-  T.print ~title:"Run patterns (processed: 10ms window, 10-block jumps)"
-    ~header:[ "pattern"; "%" ]
-    [
-      [ "total runs"; string_of_int t.total_runs ];
-      [ "reads (% total)"; f t.reads_pct ];
-      [ "  entire (% read)"; f t.read.entire_pct ];
-      [ "  sequential (% read)"; f t.read.sequential_pct ];
-      [ "  random (% read)"; f t.read.random_pct ];
-      [ "writes (% total)"; f t.writes_pct ];
-      [ "  entire (% write)"; f t.write.entire_pct ];
-      [ "  sequential (% write)"; f t.write.sequential_pct ];
-      [ "  random (% write)"; f t.write.random_pct ];
-      [ "read-write (% total)"; f t.rw_pct ];
-    ]
-
-let print_names records =
-  let n = Nt_analysis.Names.create () in
-  List.iter (Nt_analysis.Names.observe n) records;
-  let module T = Nt_util.Tables in
-  T.print ~title:"File categories (by last pathname component)"
-    ~header:[ "category"; "files"; "created+deleted"; "median size"; "read-only %" ]
-    (List.map
-       (fun (cat, (s : Nt_analysis.Names.category_stats)) ->
-         [
-           Nt_analysis.Names.category_to_string cat;
-           string_of_int s.files_seen;
-           string_of_int s.created_deleted;
-           T.fmt_bytes s.median_size;
-           T.fmt_pct s.read_only_pct;
-         ])
-       (Nt_analysis.Names.stats n));
-  Printf.printf "locks among created+deleted files: %.1f%%\n"
-    (Nt_analysis.Names.lock_created_deleted_pct n)
-
-let print_hourly records =
-  let h = Nt_analysis.Hourly.create () in
-  List.iter (Nt_analysis.Hourly.observe h) records;
-  Nt_util.Tables.print ~title:"Hourly activity" ~header:[ "hour"; "ops"; "reads"; "writes"; "R/W" ]
-    (List.filter_map
-       (fun (p : Nt_analysis.Hourly.hour_point) ->
-         if p.ops = 0 then None
-         else
-           Some
-             [
-               string_of_int p.hour;
-               string_of_int p.ops;
-               string_of_int p.reads;
-               string_of_int p.writes;
-               Nt_util.Tables.fmt_float (Nt_analysis.Hourly.rw_ratio p);
-             ])
-       (Nt_analysis.Hourly.series h))
-
-let analysis_name = function
-  | `Summary -> "summary"
-  | `Runs -> "runs"
-  | `Names -> "names"
-  | `Hourly -> "hourly"
-
-let run input analyses lint obs_opts =
+let run input analyses jobs shard_records lint obs_opts =
   let obs = Nt_obs.Obs.create () in
   let prog = Obs_cli.progress obs_opts "nfsstats" in
   let records = Nt_obs.Obs.with_span obs "load" (fun () -> load prog input) in
@@ -123,21 +36,23 @@ let run input analyses lint obs_opts =
   end;
   List.iter
     (fun a ->
-      let name = analysis_name a in
-      Obs_cli.set_stage prog name;
       Nt_obs.Obs.add
         (Nt_obs.Obs.counter obs
-           ~labels:[ ("pass", name) ]
+           ~labels:[ ("pass", Nt_par.Report.section_name a) ]
            ~help:"records fed to each analysis pass" "analysis.records")
-        (List.length records);
-      Nt_obs.Obs.with_span obs ("analyze." ^ name) (fun () ->
-          match a with
-          | `Summary -> print_summary records
-          | `Runs -> print_runs records
-          | `Names -> print_names records
-          | `Hourly -> print_hourly records);
-      print_newline ())
+        (List.length records))
     analyses;
+  Obs_cli.set_stage prog "analyze";
+  let sections =
+    Nt_obs.Obs.with_span obs "analyze" (fun () ->
+        Nt_core.Pipeline.analyze_records ~obs ~jobs ~records_per_shard:shard_records
+          ~sections:analyses records)
+  in
+  List.iter
+    (fun (_, text) ->
+      print_string text;
+      print_newline ())
+    sections;
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
   0
@@ -155,6 +70,21 @@ let analyses =
     & opt (list kind) [ `Summary ]
     & info [ "a"; "analysis" ] ~docv:"LIST" ~doc:"Analyses to run: summary, runs, names, hourly.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sharded analysis engine (default 1: inline, no domains; 0: the \
+           machine's recommended domain count). The report text is byte-identical at any setting \
+           — sharding and merge order never depend on it.")
+
+let shard_records =
+  Arg.(
+    value
+    & opt int Nt_par.Report.default_records_per_shard
+    & info [ "shard-records" ] ~docv:"N" ~doc:"Records per analysis shard.")
+
 let lint =
   Arg.(
     value & flag
@@ -166,6 +96,6 @@ let lint =
 let cmd =
   Cmd.v
     (Cmd.info "nfsstats" ~doc:"Analyze a saved NFS trace")
-    Term.(const run $ input $ analyses $ lint $ Obs_cli.term)
+    Term.(const run $ input $ analyses $ jobs $ shard_records $ lint $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

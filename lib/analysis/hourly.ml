@@ -35,6 +35,18 @@ let observe t (r : Record.t) =
       b.bytes_written <- b.bytes_written +. float_of_int (Record.io_bytes r)
   | Proc.Metadata_read | Proc.Metadata_write -> ()
 
+let merge a b =
+  Hashtbl.iter
+    (fun hour (src : bucket) ->
+      let dst = bucket_for a hour in
+      dst.ops <- dst.ops + src.ops;
+      dst.reads <- dst.reads + src.reads;
+      dst.writes <- dst.writes + src.writes;
+      dst.bytes_read <- dst.bytes_read +. src.bytes_read;
+      dst.bytes_written <- dst.bytes_written +. src.bytes_written)
+    b.buckets;
+  a
+
 type hour_point = {
   hour : int;
   ops : int;

@@ -11,6 +11,12 @@ type t
 val create : unit -> t
 val observe : t -> Nt_trace.Record.t -> unit
 
+val merge : t -> t -> t
+(** [merge a b] adds [b]'s hour buckets into [a] and returns [a].
+    Hour bucketing is position-independent, so merged shards equal the
+    sequential pass exactly on counts; per-bucket byte sums are floats
+    and carry the usual reassociation tolerance (1e-9 relative). *)
+
 type hour_point = {
   hour : int;  (** hour index since week start *)
   ops : int;

@@ -83,6 +83,23 @@ let observe t (r : Record.t) =
           }
   | _ -> ()
 
+let merge a b =
+  (* Per-file lists are kept newest-first, so appending [a]'s list after
+     [b]'s reproduces the sequential arrival order exactly. This is the
+     whole boundary carry for the downstream run/reorder/sequentiality
+     analyses: a run or reorder window straddling a shard edge is made
+     whole here, before any splitter or window ever sees the stream. *)
+  Fh_tbl.iter
+    (fun fh (src : file_log) ->
+      match Fh_tbl.find_opt a.files fh with
+      | None -> Fh_tbl.add a.files fh src
+      | Some dst ->
+          dst.items <- src.items @ dst.items;
+          dst.n <- dst.n + src.n)
+    b.files;
+  a.total <- a.total + b.total;
+  a
+
 let files t = Fh_tbl.length t.files
 let accesses t = t.total
 
@@ -92,6 +109,14 @@ let iter_files t f =
       let arr = Array.of_list (List.rev l.items) in
       f fh arr)
     t.files
+
+let sorted_files t =
+  let all =
+    Fh_tbl.fold (fun fh l acc -> (fh, Array.of_list (List.rev l.items)) :: acc) t.files []
+  in
+  let arr = Array.of_list all in
+  Array.sort (fun (x, _) (y, _) -> Fh.compare x y) arr;
+  arr
 
 (* The paper's partial sort: for each position, look ahead within the
    temporal window for the smallest-offset access and swap it to the

@@ -23,11 +23,26 @@ val observe : t -> Nt_trace.Record.t -> unit
     still count with the requested byte count, as the paper's tools
     must assume. *)
 
+val merge : t -> t -> t
+(** [merge a b] splices [b]'s per-file access lists after [a]'s and
+    returns [a]; [b] must cover the later time range and must not be
+    used afterwards. The merged log is structurally identical to the
+    sequential single-pass log — every downstream analysis (runs,
+    reorder window, sequentiality metric) is a pure function of the
+    per-file access lists, so open runs and reorder windows that
+    straddle a shard boundary are carried across it exactly. *)
+
 val files : t -> int
 val accesses : t -> int
 
 val iter_files : t -> (Nt_nfs.Fh.t -> access array -> unit) -> unit
 (** Visit each file's accesses in arrival order. *)
+
+val sorted_files : t -> (Nt_nfs.Fh.t * access array) array
+(** Every file's accesses in arrival order, as an array sorted by
+    {!Nt_nfs.Fh.compare} — a deterministic snapshot independent of hash
+    table iteration order, used to chunk terminal analyses across
+    domains reproducibly. *)
 
 val sort_window : float -> access array -> access array * int
 (** [sort_window w accesses] applies the paper's reorder window: each

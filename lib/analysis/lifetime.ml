@@ -34,12 +34,40 @@ end)
 
 type death_cause = Overwrite | Truncate | Deletion
 
+(* Name-binding states. Root accumulators know every binding, so an
+   absent key means unbound. Shard accumulators start mid-trace and
+   absent means unknown; [K_unbound] is an explicit tombstone, and
+   [K_tainted] marks a binding whose value depends on predecessor state
+   (a rename whose source the shard never saw) — events against it must
+   be deferred to preserve ordering. *)
+type kstate = K_bound of Fh.t | K_unbound | K_tainted
+
+(* Shard replay log, oldest last. [L_bind] records every locally
+   applied binding transition; [L_record] is a record the shard could
+   not process (it needed predecessor bindings or block state). At
+   merge the log replays in time order against the merged root, which
+   restores exactly the binding/state context the sequential pass had. *)
+type litem = L_bind of (string * string) * kstate | L_record of Record.t
+
+(* Shard knowledge about a handle's block state. [Grounded]: the file
+   was created inside this shard, so its whole history is local.
+   [Frozen]: it was grounded, but then a record touching it was
+   deferred — local state stops evolving and later events defer too, so
+   replay at merge sees states in true time order. Absent: unknown
+   (pre-existing file); every state-touching event defers. *)
+type fground = Grounded | Frozen
+
 type t = {
   cfg : config;
   files : file_state Fh_tbl.t;
-  (* (dir handle hex, name) -> fh, learned from lookups/creates so
-     REMOVE calls can be resolved to the dying file. *)
-  names : (string * string, Fh.t) Hashtbl.t;
+  (* (dir handle hex, name) -> binding, learned from lookups/creates so
+     REMOVE/RENAME calls can be resolved to the dying file. *)
+  names : (string * string, kstate) Hashtbl.t;
+  root : bool;
+  ground : fground Fh_tbl.t;  (* shard mode only *)
+  mutable log : litem list;  (* shard mode only, newest first *)
+  mutable ground_conflicts : int;
+      (* merge-detected violations of the fresh-create assumption *)
   mutable births_write : int;
   mutable births_extension : int;
   mutable deaths : (float * death_cause) list;  (** lifetimes *)
@@ -51,16 +79,23 @@ let lifetime_edges =
   [| 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10.; 30.; 60.; 120.; 300.; 600.; 1200.; 1800.;
      3600.; 7200.; 14400.; 28800.; 43200.; 86400.; 172800.; 345600. |]
 
-let create cfg =
+let make ~root cfg =
   {
     cfg;
     files = Fh_tbl.create 1024;
     names = Hashtbl.create 1024;
+    root;
+    ground = Fh_tbl.create 256;
+    log = [];
+    ground_conflicts = 0;
     births_write = 0;
     births_extension = 0;
     deaths = [];
     lifetimes = Histogram.create ~edges:lifetime_edges;
   }
+
+let create cfg = make ~root:true cfg
+let create_shard cfg = make ~root:false cfg
 
 let phase1_end t = t.cfg.phase1_start +. t.cfg.phase1_len
 let phase2_end t = phase1_end t +. t.cfg.phase2_len
@@ -175,56 +210,194 @@ let note_size t fh size =
 
 let name_key dir name = (Fh.to_hex_full dir, name)
 
-let observe t (r : Record.t) =
-  if r.time < phase2_end t then begin
-    (* Name learning for REMOVE resolution. *)
-    (match (r.call, r.result) with
-    | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
-        Hashtbl.replace t.names (name_key dir name) fh
-    | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
-        Hashtbl.replace t.names (name_key dir name) fh
-    | _ -> ());
-    match r.call with
-    | Ops.Write { fh; offset; count; _ } ->
-        let count =
-          match r.result with Some (Ok (Ops.R_write { count = c; _ })) when c > 0 -> c | _ -> count
+(* Binding lookup that distinguishes "known unbound" (root: absent;
+   shard: tombstone) from "never seen" (shard: absent). *)
+type kq = Q_bound of Fh.t | Q_unbound | Q_tainted | Q_unknown
+
+let kstate_of t k =
+  match Hashtbl.find_opt t.names k with
+  | Some (K_bound fh) -> Q_bound fh
+  | Some K_unbound -> Q_unbound
+  | Some K_tainted -> Q_tainted
+  | None -> if t.root then Q_unbound else Q_unknown
+
+(* Every locally applied binding transition is journaled so merge can
+   replay it at its stream position. [~log:false] marks shard-mode
+   bookkeeping for a *deferred* record: the replayed record itself will
+   redo the binding on the root, so journaling it too would apply it
+   twice. *)
+let set_key ?(log = true) t k st =
+  (match st with
+  | K_unbound when t.root -> Hashtbl.remove t.names k
+  | _ -> Hashtbl.replace t.names k st);
+  if log && not t.root then t.log <- L_bind (k, st) :: t.log
+
+let is_grounded t fh =
+  t.root || match Fh_tbl.find_opt t.ground fh with Some Grounded -> true | _ -> false
+
+let freeze t fh =
+  match Fh_tbl.find_opt t.ground fh with
+  | Some Grounded -> Fh_tbl.replace t.ground fh Frozen
+  | _ -> ()
+
+(* Defer [r] to merge time. Any locally grounded handle whose state the
+   record would touch is frozen so no later local event mutates it out
+   of order. *)
+let defer t (r : Record.t) fhs =
+  t.log <- L_record r :: t.log;
+  List.iter (freeze t) fhs
+
+(* Process a record whose every prerequisite (bindings, block states)
+   is locally known. This is the entire sequential semantics; the root
+   path and the merge replay both come straight here. *)
+let apply t (r : Record.t) =
+  (* Name learning for REMOVE/RENAME resolution. *)
+  (match (r.call, r.result) with
+  | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
+      set_key t (name_key dir name) (K_bound fh)
+  | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+      set_key t (name_key dir name) (K_bound fh)
+  | _ -> ());
+  match r.call with
+  | Ops.Write { fh; offset; count; _ } ->
+      let count =
+        match r.result with Some (Ok (Ops.R_write { count = c; _ })) when c > 0 -> c | _ -> count
+      in
+      handle_write t fh ~time:r.time ~offset:(Int64.to_int offset) ~count
+        ~post_size:(Record.post_size r)
+  | Ops.Setattr { fh; attrs } -> (
+      match attrs.set_size with
+      | Some s -> handle_truncate t fh ~time:r.time ~new_size:(Int64.to_int s)
+      | None -> ())
+  | Ops.Remove { dir; name } ->
+      if Record.is_ok r then begin
+        match kstate_of t (name_key dir name) with
+        | Q_bound fh ->
+            handle_remove t fh ~time:r.time;
+            set_key t (name_key dir name) K_unbound
+        | Q_unbound | Q_tainted | Q_unknown -> ()
+      end
+  | Ops.Rename { from_dir; from_name; to_dir; to_name } ->
+      if Record.is_ok r then begin
+        (* POSIX rename: a pre-existing target is unlinked. *)
+        let fk = name_key from_dir from_name and tk = name_key to_dir to_name in
+        (match kstate_of t tk with
+        | Q_bound victim -> handle_remove t victim ~time:r.time
+        | _ -> ());
+        match kstate_of t fk with
+        | Q_bound fh ->
+            set_key t fk K_unbound;
+            set_key t tk (K_bound fh)
+        | _ -> set_key t tk K_unbound
+      end
+  | Ops.Create { dir = _; name = _; _ } -> (
+      (* A create that truncated an existing file would show as size 0. *)
+      match (Record.target_fh r, Record.post_size r) with
+      | Some fh, Some size -> note_size t fh size
+      | _ -> ())
+  | _ -> (
+      match (Record.target_fh r, Record.post_size r) with
+      | Some fh, Some size -> note_size t fh size
+      | _ -> ())
+
+(* Shard-mode dispatch: apply locally when every prerequisite is
+   shard-local knowledge, otherwise journal the record for merge-time
+   replay and keep just enough local bookkeeping (tombstones, taint,
+   un-journaled bindings) that later records resolve consistently. *)
+let observe_shard t (r : Record.t) =
+  match r.call with
+  | Ops.Write { fh; _ } -> if is_grounded t fh then apply t r else defer t r []
+  | Ops.Setattr { fh; attrs } ->
+      if attrs.set_size = None then ()
+      else if is_grounded t fh then apply t r
+      else defer t r []
+  | Ops.Remove { dir; name } ->
+      if Record.is_ok r then begin
+        let k = name_key dir name in
+        match kstate_of t k with
+        | Q_bound fh when is_grounded t fh -> apply t r
+        | Q_unbound -> ()
+        | Q_bound _ | Q_tainted | Q_unknown ->
+            (* The dying file's block state (or the binding itself)
+               lives in a predecessor shard. *)
+            defer t r [];
+            set_key ~log:false t k K_unbound
+      end
+  | Ops.Rename { from_dir; from_name; to_dir; to_name } ->
+      if Record.is_ok r then begin
+        let fk = name_key from_dir from_name and tk = name_key to_dir to_name in
+        let fq = kstate_of t fk and tq = kstate_of t tk in
+        let victim_local =
+          match tq with
+          | Q_bound vfh -> is_grounded t vfh
+          | Q_unbound -> true
+          | Q_tainted | Q_unknown -> false
         in
-        handle_write t fh ~time:r.time ~offset:(Int64.to_int offset) ~count
-          ~post_size:(Record.post_size r)
-    | Ops.Setattr { fh; attrs } -> (
-        match attrs.set_size with
-        | Some s -> handle_truncate t fh ~time:r.time ~new_size:(Int64.to_int s)
-        | None -> ())
-    | Ops.Remove { dir; name } ->
-        if Record.is_ok r then begin
-          match Hashtbl.find_opt t.names (name_key dir name) with
-          | Some fh ->
-              handle_remove t fh ~time:r.time;
-              Hashtbl.remove t.names (name_key dir name)
-          | None -> ()
+        let from_known = match fq with Q_bound _ | Q_unbound -> true | _ -> false in
+        if victim_local && from_known then apply t r
+        else begin
+          (* A locally known victim dies at replay time: freeze it. *)
+          defer t r (match tq with Q_bound vfh -> [ vfh ] | _ -> []);
+          set_key ~log:false t fk K_unbound;
+          match fq with
+          | Q_bound fh -> set_key ~log:false t tk (K_bound fh)
+          | Q_unbound -> set_key ~log:false t tk K_unbound
+          | Q_tainted | Q_unknown -> set_key ~log:false t tk K_tainted
         end
-    | Ops.Rename { from_dir; from_name; to_dir; to_name } ->
-        if Record.is_ok r then begin
-          (* POSIX rename: a pre-existing target is unlinked. *)
-          (match Hashtbl.find_opt t.names (name_key to_dir to_name) with
-          | Some victim -> handle_remove t victim ~time:r.time
-          | None -> ());
-          match Hashtbl.find_opt t.names (name_key from_dir from_name) with
-          | Some fh ->
-              Hashtbl.remove t.names (name_key from_dir from_name);
-              Hashtbl.replace t.names (name_key to_dir to_name) fh
-          | None -> Hashtbl.remove t.names (name_key to_dir to_name)
-        end
-    | Ops.Create { dir = _; name = _; _ } -> (
-        (* A create that truncated an existing file would show as size 0. *)
-        match (Record.target_fh r, Record.post_size r) with
-        | Some fh, Some size -> note_size t fh size
-        | _ -> ())
-    | _ -> (
-        match (Record.target_fh r, Record.post_size r) with
-        | Some fh, Some size -> note_size t fh size
-        | _ -> ())
-  end
+      end
+  | _ -> (
+      (* Lookup / Create / attribute-bearing replies. A successful
+         CREATE grounds its handle: the reply handle is assumed fresh
+         (no handle reuse within a trace), so the file's whole history
+         is shard-local from here on. *)
+      (match (r.call, r.result) with
+      | Ops.Create _, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
+          if not (Fh_tbl.mem t.ground fh) then Fh_tbl.replace t.ground fh Grounded
+      | _ -> ());
+      match (Record.target_fh r, Record.post_size r) with
+      | Some fh, Some _ when not (is_grounded t fh) ->
+          (* note_size needs predecessor state; the Lookup binding is
+             state-free, so keep it usable locally (un-journaled — the
+             replayed record re-binds at its own stream slot). *)
+          defer t r [];
+          (match (r.call, r.result) with
+          | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh = lfh; _ })) ->
+              set_key ~log:false t (name_key dir name) (K_bound lfh)
+          | _ -> ())
+      | _ -> apply t r)
+
+let observe t (r : Record.t) =
+  if r.time < phase2_end t then if t.root then apply t r else observe_shard t r
+
+let ground_conflicts t = t.ground_conflicts
+
+let merge a b =
+  if not a.root then invalid_arg "Lifetime.merge: destination must be a root accumulator";
+  (* 1. Absorb [b]'s shard-local file states. Each is either grounded
+     (created in [b], never deferred against — final) or frozen at its
+     defer point (replay below finishes its history in time order). *)
+  Fh_tbl.iter
+    (fun fh st ->
+      if Fh_tbl.mem a.files fh then a.ground_conflicts <- a.ground_conflicts + 1;
+      Fh_tbl.replace a.files fh st)
+    b.files;
+  a.ground_conflicts <- a.ground_conflicts + b.ground_conflicts;
+  (* 2. Replay binding transitions and deferred records oldest-first
+     against the merged root, restoring the sequential pass's context
+     for each deferred record. *)
+  List.iter
+    (function
+      | L_bind (k, K_unbound) -> Hashtbl.remove a.names k
+      | L_bind (k, st) -> Hashtbl.replace a.names k st
+      | L_record r -> observe a r)
+    (List.rev b.log);
+  (* 3. Counters, deaths and the lifetime histogram are plain sums
+     (replayed records above contributed to [a]'s, never [b]'s). *)
+  a.births_write <- a.births_write + b.births_write;
+  a.births_extension <- a.births_extension + b.births_extension;
+  a.deaths <- b.deaths @ a.deaths;
+  ignore (Histogram.merge a.lifetimes b.lifetimes);
+  a
 
 type result = {
   births : int;

@@ -87,15 +87,46 @@ module Fh_tbl = Hashtbl.Make (struct
   let hash = Fh.hash
 end)
 
-type t = {
-  files : file_info Fh_tbl.t;
-  names : (string * string, Fh.t) Hashtbl.t;
-  mutable t_min : float;
-  mutable t_max : float;
+(* Key states for (dir, name) bindings. A root accumulator knows every
+   binding, so "absent" means unbound. A shard accumulator starts blind:
+   "absent" means unknown — the predecessor shards may hold a binding —
+   and [Unbound] is an explicit tombstone recording that the shard
+   itself unbound the key (so later events need no deferral). *)
+type kstate = Bound of Fh.t | Unbound
+
+(* I/O against a handle the shard has no info for. The sequential pass
+   would count it iff an earlier shard introduced the file; kept aside
+   and resolved (or dropped, matching the sequential drop) at merge. *)
+type orphan = {
+  mutable o_reads : int;
+  mutable o_writes : int;
+  mutable o_bytes : float;
+  mutable o_max : float;
 }
 
-let create () =
-  { files = Fh_tbl.create 4096; names = Hashtbl.create 4096; t_min = infinity; t_max = neg_infinity }
+type t = {
+  files : file_info Fh_tbl.t;
+  names : (string * string, kstate) Hashtbl.t;
+  mutable t_min : float;
+  mutable t_max : float;
+  root : bool;
+  orphans : orphan Fh_tbl.t;  (* shard mode only *)
+  mutable deferred : Record.t list;  (* unresolved REMOVEs, newest first *)
+}
+
+let make ~root =
+  {
+    files = Fh_tbl.create 4096;
+    names = Hashtbl.create 4096;
+    t_min = infinity;
+    t_max = neg_infinity;
+    root;
+    orphans = Fh_tbl.create 64;
+    deferred = [];
+  }
+
+let create () = make ~root:true
+let create_shard () = make ~root:false
 
 let info_for t fh ~name =
   match Fh_tbl.find_opt t.files fh with
@@ -112,46 +143,121 @@ let key dir name = (Fh.to_hex_full dir, name)
 
 let note_size info size = if size > info.max_size then info.max_size <- size
 
+let unbind t k =
+  (* Root accumulators keep the historical "absent = unbound" encoding;
+     shards need the tombstone to distinguish unbound from unknown. *)
+  if t.root then Hashtbl.remove t.names k else Hashtbl.replace t.names k Unbound
+
+let orphan_for t fh =
+  match Fh_tbl.find_opt t.orphans fh with
+  | Some o -> o
+  | None ->
+      let o = { o_reads = 0; o_writes = 0; o_bytes = 0.; o_max = 0. } in
+      Fh_tbl.add t.orphans fh o;
+      o
+
+let count_io t fh ~is_read (r : Record.t) =
+  match Fh_tbl.find_opt t.files fh with
+  | Some info ->
+      if is_read then info.reads <- info.reads + 1 else info.writes <- info.writes + 1;
+      info.bytes <- info.bytes +. float_of_int (Record.io_bytes r);
+      (match Record.post_size r with
+      | Some s -> note_size info (Int64.to_float s)
+      | None -> ())
+  | None ->
+      (* A root pass drops I/O on never-named handles; a shard must
+         remember it, because an earlier shard may have named the file. *)
+      if not t.root then begin
+        let o = orphan_for t fh in
+        if is_read then o.o_reads <- o.o_reads + 1 else o.o_writes <- o.o_writes + 1;
+        o.o_bytes <- o.o_bytes +. float_of_int (Record.io_bytes r);
+        match Record.post_size r with
+        | Some s -> if Int64.to_float s > o.o_max then o.o_max <- Int64.to_float s
+        | None -> ()
+      end
+
 let observe t (r : Record.t) =
   if r.time < t.t_min then t.t_min <- r.time;
   if r.time > t.t_max then t.t_max <- r.time;
   match (r.call, r.result) with
   | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; obj; _ })) ->
-      Hashtbl.replace t.names (key dir name) fh;
+      Hashtbl.replace t.names (key dir name) (Bound fh);
       let info = info_for t fh ~name in
       (match obj with Some a -> note_size info (Int64.to_float a.size) | None -> ())
   | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ }))
   | Ops.Mkdir { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
-      Hashtbl.replace t.names (key dir name) fh;
+      Hashtbl.replace t.names (key dir name) (Bound fh);
       let info = info_for t fh ~name in
       if info.created = None then info.created <- Some r.time
   | Ops.Remove { dir; name }, Some (Ok _) -> (
-      match Hashtbl.find_opt t.names (key dir name) with
-      | Some fh -> (
-          Hashtbl.remove t.names (key dir name);
+      let k = key dir name in
+      match Hashtbl.find_opt t.names k with
+      | Some (Bound fh) -> (
+          unbind t k;
           match Fh_tbl.find_opt t.files fh with
           | Some info -> if info.deleted = None then info.deleted <- Some r.time
           | None -> ())
-      | None -> ())
-  | Ops.Read { fh; _ }, _ -> (
-      match Fh_tbl.find_opt t.files fh with
-      | Some info ->
-          info.reads <- info.reads + 1;
-          info.bytes <- info.bytes +. float_of_int (Record.io_bytes r);
-          (match Record.post_size r with
-          | Some s -> note_size info (Int64.to_float s)
-          | None -> ())
-      | None -> ())
-  | Ops.Write { fh; _ }, _ -> (
-      match Fh_tbl.find_opt t.files fh with
-      | Some info ->
-          info.writes <- info.writes + 1;
-          info.bytes <- info.bytes +. float_of_int (Record.io_bytes r);
-          (match Record.post_size r with
-          | Some s -> note_size info (Int64.to_float s)
-          | None -> ())
-      | None -> ())
+      | Some Unbound -> ()
+      | None ->
+          (* Unknown key. A root pass knows that means no binding; a
+             shard defers the whole record for replay at merge, when the
+             predecessor's bindings are in scope, and tombstones the key
+             (whatever the binding was, the REMOVE consumed it). *)
+          if not t.root then begin
+            t.deferred <- r :: t.deferred;
+            Hashtbl.replace t.names k Unbound
+          end)
+  | Ops.Read { fh; _ }, _ -> count_io t fh ~is_read:true r
+  | Ops.Write { fh; _ }, _ -> count_io t fh ~is_read:false r
   | _ -> ()
+
+let merge a b =
+  if not a.root then invalid_arg "Names.merge: left accumulator must be a root (or merged) one";
+  (* 1. Replay b's unresolved REMOVEs, oldest first, against a's state —
+     exactly the bindings the sequential pass would have had in scope,
+     since a deferred key was never locally bound before the REMOVE. *)
+  List.iter (observe a) (List.rev b.deferred);
+  (* 2. Orphan I/O resolves only against files named before b began. An
+     orphan with no match is dropped, matching the sequential pass: the
+     file was first named after those accesses, so they never counted. *)
+  Fh_tbl.iter
+    (fun fh (o : orphan) ->
+      match Fh_tbl.find_opt a.files fh with
+      | Some info ->
+          info.reads <- info.reads + o.o_reads;
+          info.writes <- info.writes + o.o_writes;
+          info.bytes <- info.bytes +. o.o_bytes;
+          note_size info o.o_max
+      | None -> ())
+    b.orphans;
+  (* 3. Absorb b's per-file infos; earlier-shard category/created win
+     (first-sight semantics), counters add. [deleted] takes the
+     earliest time from either side: the sequential pass stamps it at
+     the first successful REMOVE, and a remove b resolved locally can
+     precede one that had to wait for merge-time replay (step 1). *)
+  Fh_tbl.iter
+    (fun fh (bi : file_info) ->
+      match Fh_tbl.find_opt a.files fh with
+      | None -> Fh_tbl.add a.files fh bi
+      | Some ai ->
+          if ai.created = None then ai.created <- bi.created;
+          (match (ai.deleted, bi.deleted) with
+          | None, d -> ai.deleted <- d
+          | Some ta, Some tb when tb < ta -> ai.deleted <- Some tb
+          | _ -> ());
+          note_size ai bi.max_size;
+          ai.reads <- ai.reads + bi.reads;
+          ai.writes <- ai.writes + bi.writes;
+          ai.bytes <- ai.bytes +. bi.bytes)
+    b.files;
+  (* 4. Keys b touched take b's (later) end state. *)
+  Hashtbl.iter
+    (fun k st ->
+      match st with Bound _ -> Hashtbl.replace a.names k st | Unbound -> Hashtbl.remove a.names k)
+    b.names;
+  if b.t_min < a.t_min then a.t_min <- b.t_min;
+  if b.t_max > a.t_max then a.t_max <- b.t_max;
+  a
 
 let lifetime info =
   match (info.created, info.deleted) with

@@ -38,6 +38,26 @@ type t
 val create : unit -> t
 val observe : t -> Nt_trace.Record.t -> unit
 
+val create_shard : unit -> t
+(** An accumulator for a non-initial trace shard: unlike a {!create}d
+    (root) one, it cannot assume an unknown (dir, name) key is unbound
+    or an unknown handle is unnamed. It defers unresolvable REMOVEs and
+    banks I/O on unknown handles for {!merge} to settle. *)
+
+val merge : t -> t -> t
+(** [merge a b] folds shard [b] (the next time range) into root/merged
+    accumulator [a] and returns [a]; [b] must not be used afterwards.
+    Deferred REMOVEs replay in time order against [a]'s bindings,
+    orphan I/O resolves against files [a] already knows (and is dropped
+    otherwise, matching the sequential pass), per-file infos combine
+    with first-sight-wins category/created and earliest-time deleted
+    (the sequential pass stamps the first successful REMOVE, which a
+    merge-time replay may follow), and [b]'s binding
+    end-states override [a]'s. Left folds in shard order reproduce the
+    sequential pass exactly up to float reassociation in byte sums
+    (assuming the server does not reuse a file handle within the
+    trace). *)
+
 type category_stats = {
   files_seen : int;  (** distinct files bearing this category's names *)
   created_deleted : int;  (** created AND deleted inside the window *)

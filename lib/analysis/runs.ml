@@ -77,13 +77,14 @@ let run_of_accesses ~jump_blocks (accesses : Io_log.access array) =
     accesses = Array.length accesses;
   }
 
+let analyze_file ?(window = 0.) ?(gap = 30.) ~jump_blocks accesses =
+  let sorted = if window > 0. then fst (Io_log.sort_window window accesses) else accesses in
+  List.map (run_of_accesses ~jump_blocks) (split ~gap sorted)
+
 let analyze ?(window = 0.) ?(gap = 30.) ~jump_blocks log =
   let out = ref [] in
   Io_log.iter_files log (fun _ accesses ->
-      let sorted = if window > 0. then fst (Io_log.sort_window window accesses) else accesses in
-      List.iter
-        (fun run_accesses -> out := run_of_accesses ~jump_blocks run_accesses :: !out)
-        (split ~gap sorted));
+      out := List.rev_append (analyze_file ~window ~gap ~jump_blocks accesses) !out);
   !out
 
 type table3_row = { entire_pct : float; sequential_pct : float; random_pct : float }

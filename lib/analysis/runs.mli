@@ -29,6 +29,11 @@ val classify : ?block:int -> jump_blocks:int -> Io_log.access array -> pattern
     the paper argues never move a disk arm. Singleton runs are entire
     when they span the whole file and sequential otherwise. *)
 
+val analyze_file : ?window:float -> ?gap:float -> jump_blocks:int -> Io_log.access array -> run list
+(** Window-sort, split and classify one file's accesses. Runs never
+    span files, so a full analysis is the per-file concatenation — the
+    unit the parallel driver fans out over domains. *)
+
 val analyze : ?window:float -> ?gap:float -> jump_blocks:int -> Io_log.t -> run list
 (** Full pipeline: optional reorder-window sort (seconds), split,
     classify every run of every file. *)

@@ -32,51 +32,86 @@ let bucket_of bytes =
   in
   go 0
 
-let analyze ?(window = 0.01) log =
+type tally = {
+  sum_ra : float array;
+  n_ra : int array;
+  sum_rs : float array;
+  sum_wa : float array;
+  n_wa : int array;
+  sum_ws : float array;
+  runs_total : int array;
+  runs_read : int array;
+  runs_write : int array;
+  mutable total_runs : int;
+}
+
+let tally () =
   let nb = Array.length edges in
-  let sum_ra = Array.make nb 0. and n_ra = Array.make nb 0 in
-  let sum_rs = Array.make nb 0. in
-  let sum_wa = Array.make nb 0. and n_wa = Array.make nb 0 in
-  let sum_ws = Array.make nb 0. in
-  let runs_total = Array.make nb 0 in
-  let runs_read = Array.make nb 0 in
-  let runs_write = Array.make nb 0 in
-  let total_runs = ref 0 in
-  Io_log.iter_files log (fun _ accesses ->
-      let sorted = if window > 0. then fst (Io_log.sort_window window accesses) else accesses in
-      List.iter
-        (fun run ->
-          let bytes =
-            float_of_int
-              (Array.fold_left (fun acc (a : Io_log.access) -> acc + a.count) 0 run)
-          in
-          let b = bucket_of bytes in
-          incr total_runs;
-          runs_total.(b) <- runs_total.(b) + 1;
-          let is_read = Array.for_all (fun (a : Io_log.access) -> a.is_read) run in
-          let is_write = Array.for_all (fun (a : Io_log.access) -> not a.is_read) run in
-          let allowed = run_metric ~c:10 run in
-          let strict = run_metric ~c:1 run in
-          if is_read then begin
-            runs_read.(b) <- runs_read.(b) + 1;
-            sum_ra.(b) <- sum_ra.(b) +. allowed;
-            sum_rs.(b) <- sum_rs.(b) +. strict;
-            n_ra.(b) <- n_ra.(b) + 1
-          end
-          else if is_write then begin
-            runs_write.(b) <- runs_write.(b) + 1;
-            sum_wa.(b) <- sum_wa.(b) +. allowed;
-            sum_ws.(b) <- sum_ws.(b) +. strict;
-            n_wa.(b) <- n_wa.(b) + 1
-          end)
-        (Runs.split sorted));
+  {
+    sum_ra = Array.make nb 0.;
+    n_ra = Array.make nb 0;
+    sum_rs = Array.make nb 0.;
+    sum_wa = Array.make nb 0.;
+    n_wa = Array.make nb 0;
+    sum_ws = Array.make nb 0.;
+    runs_total = Array.make nb 0;
+    runs_read = Array.make nb 0;
+    runs_write = Array.make nb 0;
+    total_runs = 0;
+  }
+
+let tally_file ?(window = 0.01) t accesses =
+  let sorted = if window > 0. then fst (Io_log.sort_window window accesses) else accesses in
+  List.iter
+    (fun run ->
+      let bytes =
+        float_of_int (Array.fold_left (fun acc (a : Io_log.access) -> acc + a.count) 0 run)
+      in
+      let b = bucket_of bytes in
+      t.total_runs <- t.total_runs + 1;
+      t.runs_total.(b) <- t.runs_total.(b) + 1;
+      let is_read = Array.for_all (fun (a : Io_log.access) -> a.is_read) run in
+      let is_write = Array.for_all (fun (a : Io_log.access) -> not a.is_read) run in
+      let allowed = run_metric ~c:10 run in
+      let strict = run_metric ~c:1 run in
+      if is_read then begin
+        t.runs_read.(b) <- t.runs_read.(b) + 1;
+        t.sum_ra.(b) <- t.sum_ra.(b) +. allowed;
+        t.sum_rs.(b) <- t.sum_rs.(b) +. strict;
+        t.n_ra.(b) <- t.n_ra.(b) + 1
+      end
+      else if is_write then begin
+        t.runs_write.(b) <- t.runs_write.(b) + 1;
+        t.sum_wa.(b) <- t.sum_wa.(b) +. allowed;
+        t.sum_ws.(b) <- t.sum_ws.(b) +. strict;
+        t.n_wa.(b) <- t.n_wa.(b) + 1
+      end)
+    (Runs.split sorted)
+
+let tally_merge a b =
+  let addf dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) +. v) src in
+  let addi dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  addf a.sum_ra b.sum_ra;
+  addi a.n_ra b.n_ra;
+  addf a.sum_rs b.sum_rs;
+  addf a.sum_wa b.sum_wa;
+  addi a.n_wa b.n_wa;
+  addf a.sum_ws b.sum_ws;
+  addi a.runs_total b.runs_total;
+  addi a.runs_read b.runs_read;
+  addi a.runs_write b.runs_write;
+  a.total_runs <- a.total_runs + b.total_runs;
+  a
+
+let curve_of_tally t =
+  let nb = Array.length edges in
   let avg sums counts =
     Array.mapi (fun i s -> if counts.(i) = 0 then nan else s /. float_of_int counts.(i)) sums
   in
   let cumulative counts =
     let out = Array.make nb 0. in
     let acc = ref 0 in
-    let total = float_of_int (max 1 !total_runs) in
+    let total = float_of_int (max 1 t.total_runs) in
     for i = 0 to nb - 1 do
       acc := !acc + counts.(i);
       out.(i) <- 100. *. float_of_int !acc /. total
@@ -85,11 +120,16 @@ let analyze ?(window = 0.01) log =
   in
   {
     bucket_edges = edges;
-    read_allowed = avg sum_ra n_ra;
-    read_strict = avg sum_rs n_ra;
-    write_allowed = avg sum_wa n_wa;
-    write_strict = avg sum_ws n_wa;
-    cum_total_runs = cumulative runs_total;
-    cum_read_runs = cumulative runs_read;
-    cum_write_runs = cumulative runs_write;
+    read_allowed = avg t.sum_ra t.n_ra;
+    read_strict = avg t.sum_rs t.n_ra;
+    write_allowed = avg t.sum_wa t.n_wa;
+    write_strict = avg t.sum_ws t.n_wa;
+    cum_total_runs = cumulative t.runs_total;
+    cum_read_runs = cumulative t.runs_read;
+    cum_write_runs = cumulative t.runs_write;
   }
+
+let analyze ?(window = 0.01) log =
+  let t = tally () in
+  Io_log.iter_files log (fun _ accesses -> tally_file ~window t accesses);
+  curve_of_tally t

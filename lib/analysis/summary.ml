@@ -44,6 +44,23 @@ let observe t (r : Record.t) =
   | Some fh -> if not (Fh_set.mem t.touched fh) then Fh_set.add t.touched fh ()
   | None -> ()
 
+let merge a b =
+  Hashtbl.iter
+    (fun proc n ->
+      Hashtbl.replace a.per_proc proc (n + Option.value (Hashtbl.find_opt a.per_proc proc) ~default:0))
+    b.per_proc;
+  a.total <- a.total + b.total;
+  a.bytes_read <- a.bytes_read +. b.bytes_read;
+  a.bytes_written <- a.bytes_written +. b.bytes_written;
+  Fh_set.iter (fun fh () -> if not (Fh_set.mem a.touched fh) then Fh_set.add a.touched fh ()) b.touched;
+  (* The infinity sentinels make an empty accumulator merge-neutral:
+     min/max against them never widens the observed span, so an empty
+     shard contributes nothing (the >= 1 us clamp in [days] applies only
+     to the final merged span, never per shard). *)
+  if b.first < a.first then a.first <- b.first;
+  if b.last > a.last then a.last <- b.last;
+  a
+
 let total_ops t = t.total
 let ops_for t proc = Option.value (Hashtbl.find_opt t.per_proc proc) ~default:0
 let read_ops t = ops_for t Proc.Read

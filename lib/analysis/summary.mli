@@ -10,6 +10,16 @@ type t
 val create : unit -> t
 val observe : t -> Nt_trace.Record.t -> unit
 
+val merge : t -> t -> t
+(** [merge a b] folds [b] into [a] and returns [a]; [b] must not be
+    used afterwards. Shard-order left folds of per-shard accumulators
+    reproduce the sequential pass exactly for every integer statistic;
+    byte totals are float sums, so sharded results can differ from the
+    sequential ones only by float-addition reassociation (documented
+    tolerance: 1e-9 relative). An empty accumulator is merge-neutral —
+    in particular it does not contribute the "empty trace" one-
+    microsecond span clamp of {!days} to the merged span. *)
+
 val total_ops : t -> int
 val ops_for : t -> Nt_nfs.Proc.t -> int
 val read_ops : t -> int

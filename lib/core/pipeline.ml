@@ -169,6 +169,11 @@ let collect_records simulate =
   let stats = simulate ~sink:(fun r -> acc := r :: !acc) in
   (stats, List.rev !acc)
 
+(* --- sharded analysis entry point --- *)
+
+let analyze_records ?obs ?jobs ?records_per_shard ~sections records =
+  Nt_par.Report.run ?obs ?jobs ?records_per_shard ~sections (Array.of_list records)
+
 (* --- lint hooks: the linter as a differential oracle --- *)
 
 let lint_records ?obs ?(config = Nt_lint.Engine.default_config) ?stats records =

@@ -114,6 +114,18 @@ val run_degraded :
     drift (clean vs degraded metrics stay within tolerance at realistic
     loss rates). *)
 
+val analyze_records :
+  ?obs:Nt_obs.Obs.t ->
+  ?jobs:int ->
+  ?records_per_shard:int ->
+  sections:Nt_par.Report.section list ->
+  Nt_trace.Record.t list ->
+  (Nt_par.Report.section * string) list
+(** Run the paper's analyses over a time-sorted record list with the
+    sharded map-merge engine (see {!Nt_par.Report.run}): [jobs] worker
+    domains (default 1), [records_per_shard]-sized shards. The rendered
+    text is byte-identical at any [jobs] setting. *)
+
 val lint_records :
   ?obs:Nt_obs.Obs.t ->
   ?config:Nt_lint.Engine.config ->

@@ -177,6 +177,19 @@ let span_close t _name =
         if d < a.sp_min then a.sp_min <- d;
         if d > a.sp_max then a.sp_max <- d
 
+let span_record t name ~seconds =
+  if t.on then begin
+    let path =
+      match t.stack with [] -> name | { o_path; _ } :: _ -> o_path ^ "/" ^ name
+    in
+    let d = Float.max 0. seconds in
+    let a = span_agg_for t path in
+    a.sp_count <- a.sp_count + 1;
+    a.sp_total <- a.sp_total +. d;
+    if d < a.sp_min then a.sp_min <- d;
+    if d > a.sp_max then a.sp_max <- d
+  end
+
 let with_span t name f =
   if not t.on then f ()
   else begin

@@ -91,6 +91,13 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] runs [f] inside a span; the span closes even
     if [f] raises. *)
 
+val span_record : t -> string -> seconds:float -> unit
+(** Record one completed span of the given duration without touching
+    the registry clock, attributed under the currently open span path.
+    This is how work timed on another domain (e.g. a shard task in the
+    parallel driver) is folded into a single-domain registry: workers
+    measure, the coordinator records. Negative durations clamp to 0. *)
+
 (** {1 Snapshots and exporters} *)
 
 type metric_value =

@@ -1,0 +1,101 @@
+module Record = Nt_trace.Record
+module Obs = Nt_obs.Obs
+
+type 'a pass = {
+  name : string;
+  init : unit -> 'a;
+  init_shard : unit -> 'a;
+  observe : 'a -> Record.t -> unit;
+  merge : 'a -> 'a -> 'a;
+}
+
+type job = Job : 'a pass * ('a -> unit) -> job
+
+let instrument obs pool ~shards ~tasks =
+  Obs.set (Obs.gauge obs ~help:"worker domains in the shard pool" "par.jobs")
+    (float_of_int (Pool.size pool));
+  Obs.set_max
+    (Obs.gauge obs ~help:"peak queued shard tasks" "par.queue_depth")
+    (float_of_int (Pool.peak_queue pool));
+  Obs.add (Obs.counter obs ~help:"shard tasks executed" "par.tasks") tasks;
+  Obs.add (Obs.counter obs ~help:"shards planned" "par.shards") shards
+
+let run_jobs ?(obs = Obs.null) pool ~(records : Record.t array) ~(slices : Shard.slice array)
+    jobs =
+  Shard.check ~total:(Array.length records) slices;
+  let nslices = Array.length slices in
+  let tasks = ref [] in
+  let ntasks = ref 0 in
+  let finishers = ref [] in
+  List.iter
+    (fun (Job (p, k)) ->
+      let accs = Array.make (max nslices 1) None in
+      let times = Array.make (max nslices 1) 0. in
+      Array.iteri
+        (fun si (s : Shard.slice) ->
+          incr ntasks;
+          tasks :=
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              (* Shard 0 is the root: it starts the trace, so full
+                 sequential semantics apply to it directly. *)
+              let acc = if si = 0 then p.init () else p.init_shard () in
+              for i = s.off to s.off + s.len - 1 do
+                p.observe acc records.(i)
+              done;
+              times.(si) <- Unix.gettimeofday () -. t0;
+              accs.(si) <- Some acc)
+            :: !tasks)
+        slices;
+      finishers :=
+        (fun () ->
+          for si = 0 to nslices - 1 do
+            Obs.span_record obs ("par.pass." ^ p.name) ~seconds:times.(si)
+          done;
+          let root =
+            if nslices = 0 then p.init ()
+            else match accs.(0) with Some a -> a | None -> assert false
+          in
+          let merged =
+            Obs.with_span obs "par.merge" (fun () ->
+                let acc = ref root in
+                for si = 1 to nslices - 1 do
+                  match accs.(si) with Some b -> acc := p.merge !acc b | None -> assert false
+                done;
+                !acc)
+          in
+          k merged)
+        :: !finishers)
+    jobs;
+  ignore (Pool.run_all pool (Array.of_list (List.rev !tasks)) : unit array);
+  instrument obs pool ~shards:nslices ~tasks:!ntasks;
+  (* Merges run on the coordinator, in job order then shard order —
+     part of the fixed plan that makes output worker-count-invariant. *)
+  List.iter (fun f -> f ()) (List.rev !finishers)
+
+let run_pass ?obs pool ~records ~slices p =
+  let out = ref None in
+  run_jobs ?obs pool ~records ~slices [ Job (p, fun a -> out := Some a) ];
+  match !out with Some a -> a | None -> assert false
+
+let map_chunks ?(obs = Obs.null) ?(chunk = 512) pool ~name f items =
+  if chunk <= 0 then invalid_arg "Driver.map_chunks: chunk must be positive";
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let slices = Shard.plan ~records_per_shard:chunk n in
+    let times = Array.make (Array.length slices) 0. in
+    let tasks =
+      Array.mapi
+        (fun i (s : Shard.slice) () ->
+          let t0 = Unix.gettimeofday () in
+          let r = f (Array.sub items s.off s.len) in
+          times.(i) <- Unix.gettimeofday () -. t0;
+          r)
+        slices
+    in
+    let results = Pool.run_all pool tasks in
+    Array.iter (fun s -> Obs.span_record obs ("par.pass." ^ name) ~seconds:s) times;
+    instrument obs pool ~shards:(Array.length slices) ~tasks:(Array.length slices);
+    Array.to_list results
+  end

@@ -1,0 +1,42 @@
+(** The paper's analyses packaged as {!Driver.pass} values, plus the
+    chunk-parallel terminal analyses that consume a merged I/O log.
+
+    Summary, hourly and the I/O log are position-independent, so their
+    shard accumulator is the plain empty one. Names and lifetime need
+    the shard-mode constructors that defer what only predecessor shards
+    can resolve. Runs, the sequentiality metric and the reorder window
+    are pure functions of per-file access lists, so they run after the
+    I/O-log merge, chunked over {!Nt_analysis.Io_log.sorted_files} —
+    the shard-boundary carry for an open run is the log merge itself. *)
+
+val summary : Nt_analysis.Summary.t Driver.pass
+val hourly : Nt_analysis.Hourly.t Driver.pass
+val io_log : Nt_analysis.Io_log.t Driver.pass
+val names : Nt_analysis.Names.t Driver.pass
+val lifetime : Nt_analysis.Lifetime.config -> Nt_analysis.Lifetime.t Driver.pass
+
+val runs :
+  ?obs:Nt_obs.Obs.t ->
+  ?window:float ->
+  ?gap:float ->
+  ?chunk:int ->
+  jump_blocks:int ->
+  Pool.t ->
+  Nt_analysis.Io_log.t ->
+  Nt_analysis.Runs.run list
+(** Chunk-parallel {!Nt_analysis.Runs.analyze}. Runs come back ordered
+    by (file-handle, position) rather than hash-table order — a
+    deterministic permutation of the sequential result, so every
+    aggregate ({!Nt_analysis.Runs.table3} etc.) is identical. *)
+
+val seq_curve :
+  ?obs:Nt_obs.Obs.t ->
+  ?window:float ->
+  ?chunk:int ->
+  Pool.t ->
+  Nt_analysis.Io_log.t ->
+  Nt_analysis.Seqmetric.curve
+(** Chunk-parallel {!Nt_analysis.Seqmetric.analyze}. Per-chunk tallies
+    merge in chunk order, so the result is worker-count-invariant;
+    against the sequential pass, float metric sums may differ by
+    reassociation only (1e-9 relative). *)

@@ -1,0 +1,112 @@
+module A = Nt_analysis
+module T = Nt_util.Tables
+module Obs = Nt_obs.Obs
+
+type section = [ `Summary | `Runs | `Names | `Hourly ]
+
+let section_name = function
+  | `Summary -> "summary"
+  | `Runs -> "runs"
+  | `Names -> "names"
+  | `Hourly -> "hourly"
+
+let render_summary s =
+  T.render ~title:"Summary" ~header:[ "statistic"; "value" ]
+    [
+      [ "records"; string_of_int (A.Summary.total_ops s) ];
+      [ "trace span"; T.fmt_duration (A.Summary.days s *. 86400.) ];
+      [ "data read"; T.fmt_bytes (A.Summary.bytes_read s) ];
+      [ "data written"; T.fmt_bytes (A.Summary.bytes_written s) ];
+      [ "read ops"; string_of_int (A.Summary.read_ops s) ];
+      [ "write ops"; string_of_int (A.Summary.write_ops s) ];
+      [ "R/W op ratio"; T.fmt_float (A.Summary.read_write_op_ratio s) ];
+      [ "R/W byte ratio"; T.fmt_float (A.Summary.read_write_byte_ratio s) ];
+      [ "data calls"; T.fmt_pct (A.Summary.data_ops_pct s) ];
+      [ "unique files"; string_of_int (A.Summary.unique_files_accessed s) ];
+    ]
+  ^ "\n"
+  ^ T.render ~title:"Calls by procedure" ~header:[ "procedure"; "calls" ]
+      (List.map
+         (fun (p, n) -> [ Nt_nfs.Proc.to_string p; string_of_int n ])
+         (A.Summary.top_procs s))
+
+let render_runs (t : A.Runs.table3) =
+  let f = T.fmt_float ~decimals:1 in
+  T.render ~title:"Run patterns (processed: 10ms window, 10-block jumps)" ~header:[ "pattern"; "%" ]
+    [
+      [ "total runs"; string_of_int t.total_runs ];
+      [ "reads (% total)"; f t.reads_pct ];
+      [ "  entire (% read)"; f t.read.entire_pct ];
+      [ "  sequential (% read)"; f t.read.sequential_pct ];
+      [ "  random (% read)"; f t.read.random_pct ];
+      [ "writes (% total)"; f t.writes_pct ];
+      [ "  entire (% write)"; f t.write.entire_pct ];
+      [ "  sequential (% write)"; f t.write.sequential_pct ];
+      [ "  random (% write)"; f t.write.random_pct ];
+      [ "read-write (% total)"; f t.rw_pct ];
+    ]
+
+let render_names n =
+  T.render ~title:"File categories (by last pathname component)"
+    ~header:[ "category"; "files"; "created+deleted"; "median size"; "read-only %" ]
+    (List.map
+       (fun (cat, (s : A.Names.category_stats)) ->
+         [
+           A.Names.category_to_string cat;
+           string_of_int s.files_seen;
+           string_of_int s.created_deleted;
+           T.fmt_bytes s.median_size;
+           T.fmt_pct s.read_only_pct;
+         ])
+       (A.Names.stats n))
+  ^ Printf.sprintf "locks among created+deleted files: %.1f%%\n"
+      (A.Names.lock_created_deleted_pct n)
+
+let render_hourly h =
+  T.render ~title:"Hourly activity" ~header:[ "hour"; "ops"; "reads"; "writes"; "R/W" ]
+    (List.filter_map
+       (fun (p : A.Hourly.hour_point) ->
+         if p.ops = 0 then None
+         else
+           Some
+             [
+               string_of_int p.hour;
+               string_of_int p.ops;
+               string_of_int p.reads;
+               string_of_int p.writes;
+               T.fmt_float (A.Hourly.rw_ratio p);
+             ])
+       (A.Hourly.series h))
+
+let default_records_per_shard = 65536
+
+let run ?(obs = Obs.null) ?(jobs = 1) ?(records_per_shard = default_records_per_shard) ~sections
+    records =
+  let slices = Shard.plan ~records_per_shard (Array.length records) in
+  Pool.with_pool ~jobs (fun pool ->
+      let want s = List.mem s sections in
+      let summary = ref None and hourly = ref None and names = ref None and log = ref None in
+      let batch =
+        List.concat
+          [
+            (if want `Summary then [ Driver.Job (Passes.summary, fun a -> summary := Some a) ]
+             else []);
+            (if want `Hourly then [ Driver.Job (Passes.hourly, fun a -> hourly := Some a) ]
+             else []);
+            (if want `Names then [ Driver.Job (Passes.names, fun a -> names := Some a) ] else []);
+            (if want `Runs then [ Driver.Job (Passes.io_log, fun a -> log := Some a) ] else []);
+          ]
+      in
+      Driver.run_jobs ~obs pool ~records ~slices batch;
+      List.map
+        (fun s ->
+          let text =
+            match s with
+            | `Summary -> render_summary (Option.get !summary)
+            | `Hourly -> render_hourly (Option.get !hourly)
+            | `Names -> render_names (Option.get !names)
+            | `Runs ->
+                render_runs (A.Runs.table3 (Passes.runs ~obs ~jump_blocks:10 pool (Option.get !log)))
+          in
+          (s, text))
+        sections)

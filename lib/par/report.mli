@@ -1,0 +1,37 @@
+(** The nfsstats report, computed by the sharded engine and rendered
+    deterministically.
+
+    Rendering goes through {!Nt_util.Tables.render} into strings, so a
+    report is a value that can be golden-tested; and because the shard
+    plan, merge order and terminal chunking are all independent of the
+    worker count, the same trace renders to byte-identical text at any
+    [jobs] setting. *)
+
+type section = [ `Summary | `Runs | `Names | `Hourly ]
+
+val section_name : section -> string
+
+val default_records_per_shard : int
+(** 65536 — small enough to give a day-scale trace real parallelism,
+    large enough that per-shard constant costs stay negligible. *)
+
+val run :
+  ?obs:Nt_obs.Obs.t ->
+  ?jobs:int ->
+  ?records_per_shard:int ->
+  sections:section list ->
+  Nt_trace.Record.t array ->
+  (section * string) list
+(** Run the requested sections over a time-sorted record array with
+    [jobs] worker domains (default 1 — inline, no domains; 0 = the
+    machine's recommended count) and [records_per_shard]-sized shards
+    (default 65536). All requested passes share one task batch; the
+    runs section additionally chunk-fans its terminal analysis over the
+    merged I/O log. Results come back in request order. *)
+
+val render_summary : Nt_analysis.Summary.t -> string
+val render_runs : Nt_analysis.Runs.table3 -> string
+val render_names : Nt_analysis.Names.t -> string
+val render_hourly : Nt_analysis.Hourly.t -> string
+(** The individual section renderers, exposed for tests that build
+    accumulators by hand. *)

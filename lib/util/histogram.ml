@@ -32,6 +32,13 @@ let edges t = t.edges
 let weight t i = t.weights.(i)
 let total_weight t = Array.fold_left ( +. ) 0. t.weights
 
+let merge a b =
+  if a.edges <> b.edges then invalid_arg "Histogram.merge: bucket edges differ";
+  for i = 0 to Array.length a.weights - 1 do
+    a.weights.(i) <- a.weights.(i) +. b.weights.(i)
+  done;
+  a
+
 let cdf t =
   let total = total_weight t in
   let acc = ref 0. in

@@ -1,0 +1,739 @@
+(* Parallel sharded analysis engine tests.
+
+   The centerpiece is a differential oracle: for randomized workloads,
+   shard sizes and shard counts, merge-of-shards must equal the
+   sequential single-pass result for every analysis pass — exactly for
+   integers, within 1e-9 relative for float sums (reassociation).
+   Around it: shard-boundary unit tests (runs, lifetimes and reorder
+   windows straddling a cut), report determinism + a golden file, the
+   Summary.days empty-shard regression, and pool/shard-plan unit
+   tests. NT_PAR_TEST_JOBS sets the worker-domain count the sharded
+   side runs with (CI's par job uses 4); the results must not care. *)
+
+module Summary = Nt_analysis.Summary
+module Hourly = Nt_analysis.Hourly
+module Io_log = Nt_analysis.Io_log
+module Runs = Nt_analysis.Runs
+module Seqmetric = Nt_analysis.Seqmetric
+module Names = Nt_analysis.Names
+module Lifetime = Nt_analysis.Lifetime
+module Record = Nt_trace.Record
+module Ops = Nt_nfs.Ops
+module Types = Nt_nfs.Types
+module Fh = Nt_nfs.Fh
+module Ip = Nt_net.Ip_addr
+module Tw = Nt_util.Trace_week
+module Obs = Nt_obs.Obs
+module Pool = Nt_par.Pool
+module Shard = Nt_par.Shard
+module Driver = Nt_par.Driver
+module Passes = Nt_par.Passes
+module Report = Nt_par.Report
+
+let test_jobs =
+  match Sys.getenv_opt "NT_PAR_TEST_JOBS" with Some s -> int_of_string s | None -> 1
+
+(* --- record constructors --- *)
+
+let record ?(time = Tw.week_start) ?(result = None) call : Record.t =
+  {
+    time;
+    reply_time = Some (time +. 0.001);
+    client = Ip.v 10 0 0 1;
+    server = Ip.v 10 0 0 2;
+    version = 3;
+    xid = 1;
+    uid = 1;
+    gid = 1;
+    call;
+    result;
+  }
+
+let fattr_size size = { Types.default_fattr with size = Int64.of_int size }
+
+let read_rec ~fh ~time ~offset ~count ~size ~eof ?(lost = false) () =
+  record ~time
+    ~result:
+      (if lost then None
+       else Some (Ok (Ops.R_read { attr = Some (fattr_size size); count; eof })))
+    (Ops.Read { fh; offset = Int64.of_int offset; count })
+
+let write_rec ~fh ~time ~offset ~count ~size ?(lost = false) () =
+  record ~time
+    ~result:
+      (if lost then None
+       else
+         Some
+           (Ok (Ops.R_write { count; committed = Types.File_sync; attr = Some (fattr_size size) })))
+    (Ops.Write { fh; offset = Int64.of_int offset; count; stable = Types.File_sync })
+
+let lookup_rec ~time ~dir ~name ~fh ~size ?(ok = true) () =
+  record ~time
+    ~result:
+      (if ok then Some (Ok (Ops.R_lookup { fh; obj = Some (fattr_size size); dir = None }))
+       else Some (Error Types.Err_noent))
+    (Ops.Lookup { dir; name })
+
+let create_rec ~time ~dir ~name ~fh () =
+  record ~time
+    ~result:(Some (Ok (Ops.R_create { fh = Some fh; attr = Some (fattr_size 0) })))
+    (Ops.Create { dir; name; mode = 0o644; exclusive = false })
+
+let remove_rec ~time ~dir ~name ?(ok = true) () =
+  record ~time
+    ~result:(Some (if ok then Ok Ops.R_empty else Error Types.Err_noent))
+    (Ops.Remove { dir; name })
+
+let rename_rec ~time ~from_dir ~from_name ~to_dir ~to_name () =
+  record ~time ~result:(Some (Ok Ops.R_empty))
+    (Ops.Rename { from_dir; from_name; to_dir; to_name })
+
+let truncate_rec ~time ~fh ~size () =
+  record ~time
+    ~result:(Some (Ok (Ops.R_attr (fattr_size size))))
+    (Ops.Setattr { fh; attrs = { Types.empty_sattr with set_size = Some (Int64.of_int size) } })
+
+let getattr_rec ~time ~fh ~size () =
+  record ~time ~result:(Some (Ok (Ops.R_attr (fattr_size size)))) (Ops.Getattr fh)
+
+(* --- comparison helpers: exact for ints, 1e-9 relative for sums --- *)
+
+let feq ?(tol = 1e-9) a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let cki name a b = if a <> b then QCheck.Test.fail_reportf "%s: %d <> %d" name a b
+let ckf name a b = if not (feq a b) then QCheck.Test.fail_reportf "%s: %.17g <> %.17g" name a b
+
+let ckfa name a b =
+  if Array.length a <> Array.length b then
+    QCheck.Test.fail_reportf "%s: lengths %d <> %d" name (Array.length a) (Array.length b);
+  Array.iteri (fun i v -> ckf (Printf.sprintf "%s[%d]" name i) v b.(i)) a
+
+(* --- randomized workload generator ---
+
+   Deterministic in (seed, n). Mixes the shapes that stress shard-mode
+   accumulators: pre-existing files first named (or never named)
+   mid-trace, creates of fresh handles, removes of bindings learned
+   shards earlier, unresolvable and failed removes, renames with
+   unknown sources and live victims, truncates, lost replies, run gaps
+   and hour/phase-scale time jumps. *)
+
+type genfile = { g_fh : Fh.t; mutable g_size : int; mutable g_pos : int }
+
+let gen_records ~seed ~n =
+  let rng = Random.State.make [| 0x9e3779b9; seed; n |] in
+  let dirs = [| Fh.make ~fsid:9 ~fileid:1; Fh.make ~fsid:9 ~fileid:2 |] in
+  let pick_dir () = dirs.(Random.State.int rng 2) in
+  let name_id = ref 0 in
+  let fresh_name () =
+    incr name_id;
+    match Random.State.int rng 6 with
+    | 0 -> Printf.sprintf "user%d.lock" !name_id
+    | 1 -> Printf.sprintf "mbox%d" !name_id
+    | 2 -> Printf.sprintf ".rc%d" !name_id
+    | 3 -> Printf.sprintf "src%d.c" !name_id
+    | 4 -> Printf.sprintf "#comp%d#" !name_id
+    | _ -> Printf.sprintf "data%d" !name_id
+  in
+  let pre =
+    Array.init 8 (fun i ->
+        { g_fh = Fh.make ~fsid:9 ~fileid:(100 + i); g_size = 65536; g_pos = 0 })
+  in
+  let files = ref (Array.to_list pre) in
+  (* (dir, name, file) bindings the stream has established *)
+  let bound = ref [] in
+  let next_fileid = ref 5000 in
+  let t = ref Tw.week_start in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let io ~read f time =
+    let seq = Random.State.int rng 4 <> 0 in
+    let offset = if seq then f.g_pos else 8192 * Random.State.int rng 32 in
+    let count = [| 2048; 4096; 8192; 16384 |].(Random.State.int rng 4) in
+    let lost = Random.State.int rng 20 = 0 in
+    if read then begin
+      let eof = offset + count >= f.g_size in
+      f.g_pos <- offset + count;
+      emit (read_rec ~fh:f.g_fh ~time ~offset ~count ~size:f.g_size ~eof ~lost ())
+    end
+    else begin
+      f.g_size <- max f.g_size (offset + count);
+      f.g_pos <- offset + count;
+      emit (write_rec ~fh:f.g_fh ~time ~offset ~count ~size:f.g_size ~lost ())
+    end
+  in
+  for _ = 1 to n do
+    let dt =
+      match Random.State.int rng 100 with
+      | 0 | 1 -> 31. +. Random.State.float rng 10. (* breaks a run *)
+      | 2 -> 3600. +. Random.State.float rng 400. (* next hour *)
+      | 3 -> 25000. (* phase-scale jump *)
+      | _ -> Random.State.float rng 0.3
+    in
+    t := !t +. dt;
+    let time = !t in
+    match Random.State.int rng 20 with
+    | 0 | 1 ->
+        (* lookup: bind a (possibly pre-existing) file to a name *)
+        let f = pick !files in
+        let d = pick_dir () and name = fresh_name () in
+        emit (lookup_rec ~time ~dir:d ~name ~fh:f.g_fh ~size:f.g_size ());
+        bound := (d, name, f) :: !bound
+    | 2 ->
+        emit (lookup_rec ~time ~dir:(pick_dir ()) ~name:(fresh_name ()) ~fh:dirs.(0) ~size:0 ~ok:false ())
+    | 3 | 4 ->
+        (* create: always a fresh handle *)
+        incr next_fileid;
+        let f = { g_fh = Fh.make ~fsid:9 ~fileid:!next_fileid; g_size = 0; g_pos = 0 } in
+        let d = pick_dir () and name = fresh_name () in
+        emit (create_rec ~time ~dir:d ~name ~fh:f.g_fh ());
+        files := f :: !files;
+        bound := (d, name, f) :: !bound
+    | 5 when !bound <> [] ->
+        (* remove a binding some earlier record (maybe shards ago) made *)
+        let ((d, name, f) as b) = pick !bound in
+        emit (remove_rec ~time ~dir:d ~name ());
+        bound := List.filter (fun b' -> b' != b) !bound;
+        if Random.State.bool rng then files := List.filter (fun f' -> f' != f) !files
+    | 6 ->
+        (* remove of a name never bound in the stream *)
+        emit (remove_rec ~time ~dir:(pick_dir ()) ~name:(fresh_name ()) ())
+    | 7 when !bound <> [] ->
+        (* failed remove: binding survives *)
+        let d, name, _ = pick !bound in
+        emit (remove_rec ~time ~dir:d ~name ~ok:false ())
+    | 8 when !bound <> [] ->
+        (* rename a known binding, sometimes onto a live victim *)
+        let ((d, name, f) as b) = pick !bound in
+        let to_dir, to_name =
+          if Random.State.int rng 3 = 0 && List.exists (fun b' -> b' != b) !bound then begin
+            let victims = List.filter (fun b' -> b' != b) !bound in
+            let ((vd, vn, _) as v) = pick victims in
+            bound := List.filter (fun b' -> b' != v) !bound;
+            (vd, vn)
+          end
+          else (pick_dir (), fresh_name ())
+        in
+        emit (rename_rec ~time ~from_dir:d ~from_name:name ~to_dir ~to_name ());
+        bound := (to_dir, to_name, f) :: List.filter (fun b' -> b' != b) !bound
+    | 9 ->
+        (* rename whose source the stream never bound *)
+        emit
+          (rename_rec ~time ~from_dir:(pick_dir ()) ~from_name:(fresh_name ())
+             ~to_dir:(pick_dir ()) ~to_name:(fresh_name ()) ())
+    | 10 ->
+        let f = pick !files in
+        let size = if Random.State.bool rng then f.g_size / 2 else f.g_size + 8192 in
+        f.g_size <- size;
+        emit (truncate_rec ~time ~fh:f.g_fh ~size ())
+    | 11 ->
+        let f = pick !files in
+        emit (getattr_rec ~time ~fh:f.g_fh ~size:f.g_size ())
+    | 12 | 13 | 14 | 15 -> io ~read:true (pick !files) time
+    | _ -> io ~read:false (pick !files) time
+  done;
+  Array.of_list (List.rev !out)
+
+(* --- sequential vs sharded harness --- *)
+
+let run_seq (pass : 'a Driver.pass) records =
+  let acc = pass.Driver.init () in
+  Array.iter (pass.Driver.observe acc) records;
+  acc
+
+let run_sharded ?(jobs = test_jobs) pass ~shard_len records =
+  let slices = Shard.plan ~records_per_shard:shard_len (Array.length records) in
+  Pool.with_pool ~jobs (fun pool -> Driver.run_pass pool ~records ~slices pass)
+
+(* --- per-pass equivalence checks --- *)
+
+let check_summary_eq s p =
+  cki "total_ops" (Summary.total_ops s) (Summary.total_ops p);
+  cki "read_ops" (Summary.read_ops s) (Summary.read_ops p);
+  cki "write_ops" (Summary.write_ops s) (Summary.write_ops p);
+  cki "unique_files" (Summary.unique_files_accessed s) (Summary.unique_files_accessed p);
+  ckf "bytes_read" (Summary.bytes_read s) (Summary.bytes_read p);
+  ckf "bytes_written" (Summary.bytes_written s) (Summary.bytes_written p);
+  ckf "days" (Summary.days s) (Summary.days p);
+  ckf "data_ops_pct" (Summary.data_ops_pct s) (Summary.data_ops_pct p);
+  let by_proc l = List.sort compare (List.map (fun (p, n) -> (Nt_nfs.Proc.to_string p, n)) l) in
+  if by_proc (Summary.top_procs s) <> by_proc (Summary.top_procs p) then
+    QCheck.Test.fail_reportf "top_procs differ"
+
+let check_hourly_eq s p =
+  let hs = Hourly.series s and hp = Hourly.series p in
+  cki "series length" (List.length hs) (List.length hp);
+  List.iter2
+    (fun (a : Hourly.hour_point) (b : Hourly.hour_point) ->
+      cki "hour" a.hour b.hour;
+      cki "ops" a.ops b.ops;
+      cki "reads" a.reads b.reads;
+      cki "writes" a.writes b.writes;
+      ckf "bytes_read" a.bytes_read b.bytes_read;
+      ckf "bytes_written" a.bytes_written b.bytes_written)
+    hs hp
+
+let check_io_log_eq s p =
+  cki "files" (Io_log.files s) (Io_log.files p);
+  cki "accesses" (Io_log.accesses s) (Io_log.accesses p);
+  let fs = Io_log.sorted_files s and fp = Io_log.sorted_files p in
+  Array.iteri
+    (fun i (fh, aa) ->
+      let fh', ab = fp.(i) in
+      if not (Fh.equal fh fh') then QCheck.Test.fail_reportf "file %d handle differs" i;
+      if aa <> ab then QCheck.Test.fail_reportf "file %d access list differs" i)
+    fs
+
+let check_runs_eq rs rp =
+  cki "run count" (List.length rs) (List.length rp);
+  (* order differs (hash order vs handle order): compare as multisets *)
+  if List.sort compare rs <> List.sort compare rp then
+    QCheck.Test.fail_reportf "run multiset differs";
+  let ts = Runs.table3 rs and tp = Runs.table3 rp in
+  cki "total_runs" ts.total_runs tp.total_runs;
+  ckf "reads_pct" ts.reads_pct tp.reads_pct;
+  ckf "writes_pct" ts.writes_pct tp.writes_pct;
+  ckf "rw_pct" ts.rw_pct tp.rw_pct;
+  ckf "read.entire" ts.read.entire_pct tp.read.entire_pct;
+  ckf "write.entire" ts.write.entire_pct tp.write.entire_pct
+
+let check_curve_eq (s : Seqmetric.curve) (p : Seqmetric.curve) =
+  ckfa "read_allowed" s.read_allowed p.read_allowed;
+  ckfa "read_strict" s.read_strict p.read_strict;
+  ckfa "write_allowed" s.write_allowed p.write_allowed;
+  ckfa "write_strict" s.write_strict p.write_strict;
+  ckfa "cum_total_runs" s.cum_total_runs p.cum_total_runs;
+  ckfa "cum_read_runs" s.cum_read_runs p.cum_read_runs;
+  ckfa "cum_write_runs" s.cum_write_runs p.cum_write_runs
+
+let check_names_eq s p =
+  cki "created_deleted_total" (Names.created_deleted_total s) (Names.created_deleted_total p);
+  ckf "lock_created_deleted_pct" (Names.lock_created_deleted_pct s)
+    (Names.lock_created_deleted_pct p);
+  ckf "lock_lifetime_under" (Names.lock_lifetime_under s 0.4) (Names.lock_lifetime_under p 0.4);
+  ckf "composer_size_under" (Names.composer_size_under s 8192.)
+    (Names.composer_size_under p 8192.);
+  List.iter2
+    (fun (c, (a : Names.category_stats)) (c', (b : Names.category_stats)) ->
+      if c <> c' then QCheck.Test.fail_reportf "category order differs";
+      let n = Names.category_to_string c in
+      cki (n ^ ".files_seen") a.files_seen b.files_seen;
+      cki (n ^ ".created_deleted") a.created_deleted b.created_deleted;
+      ckf (n ^ ".median_size") a.median_size b.median_size;
+      ckf (n ^ ".median_lifetime") a.median_lifetime b.median_lifetime;
+      ckf (n ^ ".read_only_pct") a.read_only_pct b.read_only_pct;
+      ckf (n ^ ".write_only_pct") a.write_only_pct b.write_only_pct)
+    (Names.stats s) (Names.stats p);
+  List.iter
+    (fun c ->
+      ckf
+        (Names.category_to_string c ^ ".byte_share")
+        (Names.byte_share s c) (Names.byte_share p c))
+    Names.all_categories
+
+let check_lifetime_eq s p =
+  cki "ground_conflicts" 0 (Lifetime.ground_conflicts p);
+  let a = Lifetime.result s and b = Lifetime.result p in
+  cki "births" a.births b.births;
+  cki "deaths" a.deaths b.deaths;
+  cki "end_surplus" a.end_surplus b.end_surplus;
+  ckf "births_write_pct" a.births_write_pct b.births_write_pct;
+  ckf "births_extension_pct" a.births_extension_pct b.births_extension_pct;
+  ckf "deaths_overwrite_pct" a.deaths_overwrite_pct b.deaths_overwrite_pct;
+  ckf "deaths_truncate_pct" a.deaths_truncate_pct b.deaths_truncate_pct;
+  ckf "deaths_deletion_pct" a.deaths_deletion_pct b.deaths_deletion_pct;
+  ckf "end_surplus_pct" a.end_surplus_pct b.end_surplus_pct;
+  cki "cdf length" (List.length a.lifetime_cdf) (List.length b.lifetime_cdf);
+  List.iter2
+    (fun (e, f) (e', f') ->
+      ckf "cdf edge" e e';
+      ckf "cdf frac" f f')
+    a.lifetime_cdf b.lifetime_cdf
+
+(* --- merge-equivalence properties (the differential oracle) --- *)
+
+let workload_arb = QCheck.(triple (int_range 0 400) (int_range 1 97) (int_range 0 9999))
+
+let prop_pass name pass check =
+  QCheck.Test.make ~count:40 ~name
+    workload_arb
+    (fun (n, shard_len, seed) ->
+      let records = gen_records ~seed ~n in
+      check (run_seq pass records) (run_sharded pass ~shard_len records);
+      true)
+
+let lifetime_cfg = Lifetime.config ~phase1_start:Tw.week_start
+
+let prop_summary = prop_pass "summary: merge of shards == sequential" Passes.summary check_summary_eq
+let prop_hourly = prop_pass "hourly: merge of shards == sequential" Passes.hourly check_hourly_eq
+let prop_io_log = prop_pass "io_log: merge of shards == sequential" Passes.io_log check_io_log_eq
+let prop_names = prop_pass "names: merge of shards == sequential" Passes.names check_names_eq
+
+let prop_lifetime =
+  prop_pass "lifetime: merge of shards == sequential" (Passes.lifetime lifetime_cfg)
+    check_lifetime_eq
+
+let prop_runs =
+  QCheck.Test.make ~count:40 ~name:"runs: chunked over merged log == sequential" workload_arb
+    (fun (n, shard_len, seed) ->
+      let records = gen_records ~seed ~n in
+      let log_seq = run_seq Passes.io_log records in
+      let log_par = run_sharded Passes.io_log ~shard_len records in
+      let rs = Runs.analyze ~window:0.01 ~jump_blocks:10 log_seq in
+      let rp =
+        Pool.with_pool ~jobs:test_jobs (fun pool ->
+            Passes.runs ~chunk:(1 + (seed mod 7)) ~jump_blocks:10 pool log_par)
+      in
+      check_runs_eq rs rp;
+      true)
+
+let prop_seqmetric =
+  QCheck.Test.make ~count:40 ~name:"seqmetric: chunked over merged log == sequential" workload_arb
+    (fun (n, shard_len, seed) ->
+      let records = gen_records ~seed ~n in
+      let log_seq = run_seq Passes.io_log records in
+      let log_par = run_sharded Passes.io_log ~shard_len records in
+      let cs = Seqmetric.analyze log_seq in
+      let cp =
+        Pool.with_pool ~jobs:test_jobs (fun pool ->
+            Passes.seq_curve ~chunk:(1 + (seed mod 5)) pool log_par)
+      in
+      check_curve_eq cs cp;
+      true)
+
+(* --- shard-boundary unit tests --- *)
+
+let fh_a = Fh.make ~fsid:9 ~fileid:201
+let dir0 = Fh.make ~fsid:9 ~fileid:1
+
+let check_unit f = fun () -> f ()
+
+(* A sequential run straddling the cut must not be split: the log merge
+   carries the open run across the boundary. *)
+let test_run_straddles_boundary () =
+  let records =
+    Array.init 10 (fun i ->
+        read_rec ~fh:fh_a ~time:(Tw.week_start +. float_of_int i) ~offset:(i * 8192) ~count:8192
+          ~size:(1 lsl 20) ~eof:false ())
+  in
+  let log_par = run_sharded Passes.io_log ~shard_len:5 records in
+  let rp = Runs.analyze ~window:0.01 ~jump_blocks:10 log_par in
+  Alcotest.(check int) "one run despite the cut" 1 (List.length rp);
+  let r = List.hd rp in
+  Alcotest.(check int) "all accesses in it" 10 r.Runs.accesses;
+  check_runs_eq (Runs.analyze ~window:0.01 ~jump_blocks:10 (run_seq Passes.io_log records)) rp
+
+(* A reorder-window inversion exactly at the cut: the merged per-file
+   list must equal the sequential one, so the window sort fixes it. *)
+let test_reorder_window_straddles_boundary () =
+  let t0 = Tw.week_start in
+  let records =
+    [|
+      read_rec ~fh:fh_a ~time:t0 ~offset:0 ~count:8192 ~size:(1 lsl 20) ~eof:false ();
+      read_rec ~fh:fh_a ~time:(t0 +. 0.001) ~offset:16384 ~count:8192 ~size:(1 lsl 20) ~eof:false ();
+      read_rec ~fh:fh_a ~time:(t0 +. 0.002) ~offset:8192 ~count:8192 ~size:(1 lsl 20) ~eof:false ();
+      read_rec ~fh:fh_a ~time:(t0 +. 0.003) ~offset:24576 ~count:8192 ~size:(1 lsl 20) ~eof:false ();
+    |]
+  in
+  let log_par = run_sharded Passes.io_log ~shard_len:2 records in
+  check_io_log_eq (run_seq Passes.io_log records) log_par;
+  let _, accesses = (Io_log.sorted_files log_par).(0) in
+  let sorted, swaps = Io_log.sort_window 0.01 accesses in
+  Alcotest.(check int) "window sort sees the straddling swap" 1 swaps;
+  Alcotest.(check (list int)) "offsets ascend after the sort" [ 0; 8192; 16384; 24576 ]
+    (Array.to_list (Array.map (fun (a : Io_log.access) -> a.Io_log.offset) sorted))
+
+(* A file created in one shard, written in the next, removed two shards
+   later: the carried state must yield the same births and deaths. *)
+let test_lifetime_straddles_boundary () =
+  let t0 = Tw.week_start in
+  let records =
+    [|
+      create_rec ~time:(t0 +. 1.) ~dir:dir0 ~name:"straddle" ~fh:fh_a ();
+      write_rec ~fh:fh_a ~time:(t0 +. 2.) ~offset:0 ~count:8192 ~size:8192 ();
+      (* --- shard cut (len 2) --- *)
+      write_rec ~fh:fh_a ~time:(t0 +. 3.) ~offset:8192 ~count:8192 ~size:16384 ();
+      getattr_rec ~time:(t0 +. 4.) ~fh:fh_a ~size:16384 ();
+      (* --- shard cut --- *)
+      remove_rec ~time:(t0 +. 5.) ~dir:dir0 ~name:"straddle" ();
+    |]
+  in
+  let pass = Passes.lifetime lifetime_cfg in
+  let s = run_seq pass records and p = run_sharded pass ~shard_len:2 records in
+  check_lifetime_eq s p;
+  let r = Lifetime.result p in
+  Alcotest.(check int) "two tracked births" 2 r.births;
+  Alcotest.(check int) "both die by deletion" 2 r.deaths;
+  Alcotest.(check (float 1e-9)) "all deletion" 100. r.deaths_deletion_pct
+
+(* An open lifetime: created in shard 0, still live at the end. *)
+let test_lifetime_open_across_boundary () =
+  let t0 = Tw.week_start in
+  let records =
+    [|
+      create_rec ~time:(t0 +. 1.) ~dir:dir0 ~name:"live" ~fh:fh_a ();
+      write_rec ~fh:fh_a ~time:(t0 +. 2.) ~offset:0 ~count:8192 ~size:8192 ();
+      getattr_rec ~time:(t0 +. 40.) ~fh:fh_a ~size:8192 ();
+      getattr_rec ~time:(t0 +. 41.) ~fh:fh_a ~size:8192 ();
+    |]
+  in
+  let pass = Passes.lifetime lifetime_cfg in
+  let s = run_seq pass records and p = run_sharded pass ~shard_len:1 records in
+  check_lifetime_eq s p;
+  let r = Lifetime.result p in
+  Alcotest.(check int) "one tracked birth" 1 r.births;
+  Alcotest.(check int) "no deaths" 0 r.deaths;
+  Alcotest.(check int) "survives as end surplus" 1 r.end_surplus
+
+(* A remove whose binding was learned a shard earlier must defer and
+   then kill the right file at merge. *)
+let test_names_remove_across_boundary () =
+  let t0 = Tw.week_start in
+  let records =
+    [|
+      create_rec ~time:(t0 +. 0.1) ~dir:dir0 ~name:"x.lock" ~fh:fh_a ();
+      write_rec ~fh:fh_a ~time:(t0 +. 0.2) ~offset:0 ~count:100 ~size:100 ();
+      remove_rec ~time:(t0 +. 0.3) ~dir:dir0 ~name:"x.lock" ();
+    |]
+  in
+  let s = run_seq Passes.names records and p = run_sharded Passes.names ~shard_len:1 records in
+  check_names_eq s p;
+  Alcotest.(check int) "created+deleted seen through the cut" 1 (Names.created_deleted_total p)
+
+(* Regression: qcheck counterexample (67, 29, 9417). A file removed
+   both by a shard-local REMOVE and by a deferred one replayed at
+   merge must keep the earliest deletion time, like the sequential
+   pass does (first successful remove wins). *)
+let test_names_earliest_delete_wins () =
+  let records = gen_records ~seed:9417 ~n:67 in
+  check_names_eq (run_seq Passes.names records)
+    (run_sharded Passes.names ~shard_len:29 records)
+
+(* --- Summary.days regression: empty shards must be merge-neutral --- *)
+
+let test_days_empty_shard_neutral () =
+  let t0 = Tw.week_start in
+  let root = Summary.create () in
+  Summary.observe root (getattr_rec ~time:t0 ~fh:fh_a ~size:0 ());
+  Summary.observe root (getattr_rec ~time:(t0 +. 10.) ~fh:fh_a ~size:0 ());
+  let merged = Summary.merge root (Summary.create ()) in
+  (* the empty shard's >= 1 microsecond clamp must not inflate the span *)
+  Alcotest.(check (float 1e-12)) "span unchanged by empty shard" (10. /. 86400.)
+    (Summary.days merged);
+  let both_empty = Summary.merge (Summary.create ()) (Summary.create ()) in
+  Alcotest.(check (float 1e-12)) "empty merge == empty sequential" (Summary.days (Summary.create ()))
+    (Summary.days both_empty)
+
+let test_zero_length_slice_is_neutral () =
+  let records = gen_records ~seed:3 ~n:40 in
+  let n = Array.length records in
+  let slices = [| { Shard.off = 0; len = 17 }; { Shard.off = 17; len = 0 }; { Shard.off = 17; len = n - 17 } |] in
+  let p =
+    Pool.with_pool ~jobs:test_jobs (fun pool ->
+        Driver.run_pass pool ~records ~slices Passes.summary)
+  in
+  check_summary_eq (run_seq Passes.summary records) p
+
+(* --- determinism and the golden report --- *)
+
+let golden_records () = gen_records ~seed:7 ~n:400
+
+let render_report ~jobs records =
+  let sections = [ `Summary; `Runs; `Names; `Hourly ] in
+  Report.run ~jobs ~records_per_shard:64 ~sections records
+  |> List.map (fun (s, text) -> Printf.sprintf "== %s ==\n%s" (Report.section_name s) text)
+  |> String.concat "\n"
+
+let test_report_deterministic () =
+  let records = golden_records () in
+  let a = render_report ~jobs:1 records in
+  let b = render_report ~jobs:4 records in
+  let c = render_report ~jobs:4 records in
+  Alcotest.(check string) "--jobs 1 == --jobs 4" a b;
+  Alcotest.(check string) "repeated --jobs 4 identical" b c
+
+let golden_path = "golden/nfsstats_report.golden"
+
+let test_report_matches_golden () =
+  let got = render_report ~jobs:test_jobs (golden_records ()) in
+  (* NT_PAR_GOLDEN_UPDATE=<abs path> rewrites the source-tree golden. *)
+  (match Sys.getenv_opt "NT_PAR_GOLDEN_UPDATE" with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc got;
+      close_out oc
+  | None -> ());
+  let ic = open_in_bin golden_path in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "report matches golden file" want got
+
+(* --- pool --- *)
+
+let test_pool_runs_in_order () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let results = Pool.run_all pool (Array.init 50 (fun i () -> i * i)) in
+      Alcotest.(check (list int)) "results in submission order"
+        (List.init 50 (fun i -> i * i))
+        (Array.to_list results))
+
+let test_pool_inline_when_single () =
+  let pool = Pool.create () in
+  Alcotest.(check int) "default size 1" 1 (Pool.size pool);
+  let r = Pool.run_all pool [| (fun () -> Domain.self ()) |] in
+  Alcotest.(check bool) "ran on the caller's domain" true (r.(0) = Domain.self ());
+  Pool.shutdown pool
+
+let test_pool_propagates_exception () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match Pool.run_all pool [| (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) |] with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure m -> Alcotest.(check string) "exception carried" "boom" m)
+
+let test_pool_counters () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      ignore (Pool.run_all pool (Array.init 8 (fun i () -> i)));
+      Alcotest.(check int) "tasks counted" 8 (Pool.tasks pool);
+      Alcotest.(check bool) "queue depth observed" true (Pool.peak_queue pool >= 1))
+
+let test_pool_shutdown_rejects_work () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  match Pool.run_all pool [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_normalizes_jobs () =
+  let pool = Pool.create ~jobs:0 () in
+  Alcotest.(check bool) "0 becomes the recommended count" true (Pool.size pool >= 1);
+  Alcotest.(check int) "matches Domain.recommended_domain_count" (Pool.recommended ())
+    (Pool.size pool);
+  Pool.shutdown pool
+
+(* --- shard plans --- *)
+
+let test_plan_tiles () =
+  let slices = Shard.plan ~records_per_shard:3 10 in
+  Shard.check ~total:10 slices;
+  Alcotest.(check int) "shard count" 4 (Array.length slices);
+  Alcotest.(check int) "last is short" 1 slices.(3).Shard.len
+
+let test_plan_empty () =
+  Alcotest.(check int) "no shards for no records" 0 (Array.length (Shard.plan ~records_per_shard:5 0))
+
+let test_plan_by_time () =
+  let t0 = Tw.week_start in
+  let records =
+    Array.map
+      (fun dt -> getattr_rec ~time:(t0 +. dt) ~fh:fh_a ~size:0 ())
+      [| 0.; 1.; 2.; 65.; 66.; 300. |]
+  in
+  let slices = Shard.plan_by_time ~window:60. records in
+  Shard.check ~total:6 slices;
+  Alcotest.(check int) "three populated windows" 3 (Array.length slices);
+  Alcotest.(check (list int)) "cut at the minute marks" [ 3; 2; 1 ]
+    (Array.to_list (Array.map (fun s -> s.Shard.len) slices))
+
+let test_check_rejects_gaps () =
+  (match Shard.check ~total:4 [| { Shard.off = 0; len = 2 }; { Shard.off = 3; len = 1 } |] with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match Shard.check ~total:4 [| { Shard.off = 0; len = 2 } |] with
+  | () -> Alcotest.fail "expected Invalid_argument (short cover)"
+  | exception Invalid_argument _ -> ()
+
+(* --- driver observability --- *)
+
+let test_driver_instruments_obs () =
+  let records = gen_records ~seed:11 ~n:120 in
+  let obs = Obs.create () in
+  let shard_len = 25 in
+  let expected_shards = (Array.length records + shard_len - 1) / shard_len in
+  let _ =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Driver.run_pass ~obs pool ~records
+          ~slices:(Shard.plan ~records_per_shard:shard_len (Array.length records))
+          Passes.summary)
+  in
+  let snap = Obs.snapshot obs in
+  Alcotest.(check int) "par.shards counter" expected_shards (Obs.sum_counter snap "par.shards");
+  Alcotest.(check int) "par.tasks counter" expected_shards (Obs.sum_counter snap "par.tasks");
+  Alcotest.(check (option (float 1e-9))) "par.jobs gauge" (Some 2.)
+    (Obs.get_gauge snap "par.jobs");
+  (match Obs.get_span snap "par.pass.summary" with
+  | None -> Alcotest.fail "missing par.pass.summary span"
+  | Some sp -> Alcotest.(check int) "one span per shard" expected_shards sp.Obs.count);
+  match Obs.get_span snap "par.merge" with
+  | None -> Alcotest.fail "missing par.merge span"
+  | Some sp -> Alcotest.(check int) "one merge span" 1 sp.Obs.count
+
+let () =
+  Alcotest.run "nt_par"
+    [
+      ( "merge-equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_summary;
+          QCheck_alcotest.to_alcotest prop_hourly;
+          QCheck_alcotest.to_alcotest prop_io_log;
+          QCheck_alcotest.to_alcotest prop_names;
+          QCheck_alcotest.to_alcotest prop_lifetime;
+          QCheck_alcotest.to_alcotest prop_runs;
+          QCheck_alcotest.to_alcotest prop_seqmetric;
+        ] );
+      ( "shard-boundary",
+        [
+          Alcotest.test_case "run straddles a cut" `Quick (check_unit test_run_straddles_boundary);
+          Alcotest.test_case "reorder window straddles a cut" `Quick
+            (check_unit test_reorder_window_straddles_boundary);
+          Alcotest.test_case "lifetime straddles two cuts" `Quick
+            (check_unit test_lifetime_straddles_boundary);
+          Alcotest.test_case "open lifetime carries to the end" `Quick
+            (check_unit test_lifetime_open_across_boundary);
+          Alcotest.test_case "deferred remove resolves at merge" `Quick
+            (check_unit test_names_remove_across_boundary);
+          Alcotest.test_case "earliest delete wins at merge" `Quick
+            (check_unit test_names_earliest_delete_wins);
+        ] );
+      ( "days-regression",
+        [
+          Alcotest.test_case "empty shard is merge-neutral" `Quick
+            (check_unit test_days_empty_shard_neutral);
+          Alcotest.test_case "zero-length slice is neutral" `Quick
+            (check_unit test_zero_length_slice_is_neutral);
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 == jobs=4, byte for byte" `Quick
+            (check_unit test_report_deterministic);
+          Alcotest.test_case "report matches golden file" `Quick
+            (check_unit test_report_matches_golden);
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "results in order" `Quick (check_unit test_pool_runs_in_order);
+          Alcotest.test_case "size 1 runs inline" `Quick (check_unit test_pool_inline_when_single);
+          Alcotest.test_case "exceptions propagate" `Quick
+            (check_unit test_pool_propagates_exception);
+          Alcotest.test_case "task and queue counters" `Quick (check_unit test_pool_counters);
+          Alcotest.test_case "shutdown rejects work" `Quick
+            (check_unit test_pool_shutdown_rejects_work);
+          Alcotest.test_case "jobs 0 means recommended" `Quick
+            (check_unit test_pool_normalizes_jobs);
+        ] );
+      ( "shard-plan",
+        [
+          Alcotest.test_case "plan tiles the input" `Quick (check_unit test_plan_tiles);
+          Alcotest.test_case "empty input, empty plan" `Quick (check_unit test_plan_empty);
+          Alcotest.test_case "time windows cut on the clock" `Quick (check_unit test_plan_by_time);
+          Alcotest.test_case "check rejects bad plans" `Quick (check_unit test_check_rejects_gaps);
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "driver exports spans and gauges" `Quick
+            (check_unit test_driver_instruments_obs);
+        ] );
+    ]
