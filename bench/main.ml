@@ -12,7 +12,13 @@
    degraded lint obs micro *)
 
 module Tw = Nt_util.Trace_week
-module Tables = Nt_util.Tables
+
+module Tables = struct
+  include Nt_util.Tables
+
+  (* Rendering stays in the library; only the harness owns stdout. *)
+  let print ?title ~header rows = print_string (render ?title ~header rows)
+end
 module Summary = Nt_analysis.Summary
 module Hourly = Nt_analysis.Hourly
 module Io_log = Nt_analysis.Io_log

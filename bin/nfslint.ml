@@ -11,13 +11,16 @@ open Cmdliner
 module Lint = Nt_lint.Engine
 
 let list_rules () =
-  List.iter
-    (fun (r : Nt_lint.Rule.t) ->
-      Printf.printf "%-22s %-13s %-5s %s\n" r.id
-        (Nt_lint.Rule.family_to_string r.family)
-        (Nt_lint.Rule.severity_to_string r.severity)
-        r.doc)
-    Nt_lint.Rule.all;
+  Rules_cli.print
+    (List.map
+       (fun (r : Nt_lint.Rule.t) ->
+         {
+           Rules_cli.id = r.id;
+           family = Nt_lint.Rule.family_to_string r.family;
+           severity = Nt_lint.Rule.severity_to_string r.severity;
+           doc = r.doc;
+         })
+       Nt_lint.Rule.all);
   0
 
 let run input json fail_on anonymized enabled_only disabled reorder_window xid_window
@@ -135,13 +138,11 @@ let max_tracked =
         ~doc:"State cap per table (handles, XIDs, bindings); memory stays bounded on \
               arbitrarily long traces.")
 
-let list = Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
-
 let cmd =
   Cmd.v
     (Cmd.info "nfslint" ~doc:"Statically check a saved NFS trace for invariant violations")
     Term.(
       const run $ input $ json $ fail_on $ anonymized $ enabled_only $ disabled
-      $ reorder_window $ xid_window $ max_tracked $ list $ Obs_cli.term)
+      $ reorder_window $ xid_window $ max_tracked $ Rules_cli.term $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

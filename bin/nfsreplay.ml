@@ -133,19 +133,21 @@ let run input obs_opts =
   let baseline =
     match List.assoc_opt Fragile results with Some (_, t) -> t | None -> 0.
   in
-  Nt_util.Tables.print
-    ~title:"Disk service time for the trace's READ stream, per read-ahead policy"
-    ~header:[ "policy"; "read requests"; "disk time"; "vs fragile" ]
-    (List.map
-       (fun (p, (reqs, t)) ->
-         [
-           policy_name p;
-           string_of_int reqs;
-           Printf.sprintf "%.3f s" t;
-           (if baseline > 0. then Printf.sprintf "%+.1f%%" (100. *. (baseline -. t) /. baseline)
-            else "-");
-         ])
-       results);
+  print_string
+    (Nt_util.Tables.render
+       ~title:"Disk service time for the trace's READ stream, per read-ahead policy"
+       ~header:[ "policy"; "read requests"; "disk time"; "vs fragile" ]
+       (List.map
+          (fun (p, (reqs, t)) ->
+            [
+              policy_name p;
+              string_of_int reqs;
+              Printf.sprintf "%.3f s" t;
+              (if baseline > 0. then
+                 Printf.sprintf "%+.1f%%" (100. *. (baseline -. t) /. baseline)
+               else "-");
+            ])
+          results));
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
   0

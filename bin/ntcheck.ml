@@ -1,0 +1,177 @@
+(* ntcheck: typedtree-level static analyzer for domain-safety, merge
+   laws and decode-path purity.  Points at a dune build directory,
+   loads every .cmt/.cmti via compiler-libs and runs the nt_check rule
+   registry.
+
+   Examples:
+     ntcheck _build/default
+     ntcheck --json --fail-on warn _build/default
+     ntcheck --rules *)
+
+open Cmdliner
+module Engine = Nt_check.Engine
+module Rule = Nt_check.Rule
+module Finding = Nt_check.Finding
+
+let rule_rows () =
+  List.map
+    (fun (r : Rule.t) ->
+      {
+        Rules_cli.id = r.id;
+        family = Rule.family_to_string r.family;
+        severity = Rule.severity_to_string r.severity;
+        doc = r.doc;
+      })
+    Rule.all
+
+let run build_dir json json_out fail_on enabled_only disabled roots excludes max_per_rule
+    verbose list =
+  if list then begin
+    Rules_cli.print (rule_rows ());
+    0
+  end
+  else
+    let unknown =
+      List.filter
+        (fun id -> Rule.find id = None)
+        (disabled @ Option.value enabled_only ~default:[])
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "ntcheck: unknown rule(s): %s (try --rules)\n%!"
+        (String.concat ", " unknown);
+      2
+    end
+    else if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then begin
+      Printf.eprintf "ntcheck: %s is not a directory (point it at _build/default)\n%!"
+        build_dir;
+      2
+    end
+    else begin
+      let config =
+        {
+          Engine.default_config with
+          enabled_only;
+          disabled;
+          excludes = Engine.default_config.Engine.excludes @ excludes;
+          max_per_rule;
+        }
+      in
+      let config =
+        match roots with [] -> config | roots -> { config with Engine.roots = roots }
+      in
+      let t = Engine.run config build_dir in
+      if Engine.units_scanned t = 0 then begin
+        Printf.eprintf
+          "ntcheck: no .cmt/.cmti files under %s (build first: dune build)\n%!" build_dir;
+        2
+      end
+      else begin
+        let findings = Engine.findings t in
+        (match json_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Finding.list_to_json findings);
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        if json then print_endline (Finding.list_to_json findings)
+        else List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+        if verbose then begin
+          Printf.eprintf "ntcheck: reachable from roots: %s\n%!"
+            (String.concat ", " (Engine.reachable t));
+          Printf.eprintf "ntcheck: merge coverage required for: %s\n%!"
+            (String.concat ", " (Engine.merge_required t));
+          Printf.eprintf "ntcheck: merge coverage registered for: %s\n%!"
+            (String.concat ", " (Engine.merge_covered t))
+        end;
+        List.iter
+          (fun (path, err) -> Printf.eprintf "ntcheck: unreadable %s: %s\n%!" path err)
+          (Engine.load_errors t);
+        Printf.eprintf
+          "ntcheck: %d units, %d error(s), %d warning(s), %d info, %d allowed by attribute%s\n%!"
+          (Engine.units_scanned t)
+          (Engine.severity_count t Rule.Error)
+          (Engine.severity_count t Rule.Warn)
+          (Engine.severity_count t Rule.Info)
+          (Engine.allowed t)
+          (if Engine.overflow t > 0 then
+             Printf.sprintf " (%d findings dropped past per-rule cap)" (Engine.overflow t)
+           else "");
+        let failed =
+          match fail_on with
+          | `Never -> false
+          | `Error -> Engine.severity_count t Rule.Error > 0
+          | `Warn ->
+              Engine.severity_count t Rule.Error > 0 || Engine.severity_count t Rule.Warn > 0
+        in
+        if failed then 1 else 0
+      end
+    end
+
+let build_dir =
+  Arg.(
+    value & pos 0 string "_build/default"
+    & info [] ~docv:"BUILD_DIR" ~doc:"Dune build directory holding the .cmt files.")
+
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array on stdout.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"PATH"
+        ~doc:"Also write the JSON findings array to $(docv) (CI artifact).")
+
+let fail_on =
+  Arg.(
+    value
+    & opt (enum [ ("never", `Never); ("warn", `Warn); ("error", `Error) ]) `Error
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:"Exit non-zero when findings reach $(docv): never, warn, or error.")
+
+let enabled_only =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "enable" ] ~docv:"RULES" ~doc:"Run only these comma-separated rule ids.")
+
+let disabled =
+  Arg.(
+    value & opt (list string) []
+    & info [ "disable" ] ~docv:"RULES" ~doc:"Skip these comma-separated rule ids.")
+
+let roots =
+  Arg.(
+    value & opt (list string) []
+    & info [ "root" ] ~docv:"UNITS"
+        ~doc:
+          "Override the domain-safety reachability roots (comma-separated compilation \
+           units; default Nt_par__Passes, Nt_par__Driver).")
+
+let excludes =
+  Arg.(
+    value & opt (list string) []
+    & info [ "exclude" ] ~docv:"SUBSTRINGS"
+        ~doc:"Skip paths containing any of these substrings (check_fixtures is always skipped).")
+
+let max_per_rule =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.max_per_rule
+    & info [ "max-per-rule" ] ~docv:"N" ~doc:"Cap findings per rule; excess is counted, not listed.")
+
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:"Print the reachable-module set and merge-coverage requirements to stderr.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ntcheck"
+       ~doc:"Statically check compiled typedtrees for domain-safety, merge-law and purity invariants")
+    Term.(
+      const run $ build_dir $ json $ json_out $ fail_on $ enabled_only $ disabled $ roots
+      $ excludes $ max_per_rule $ verbose $ Rules_cli.term)
+
+let () = exit (Cmd.eval' cmd)

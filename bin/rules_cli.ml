@@ -1,0 +1,25 @@
+(* Shared rule-catalog listing for the static checkers (nfslint over
+   traces, ntcheck over typedtrees).  Both binaries expose the same
+   --rules flag and print the same four-column table. *)
+
+open Cmdliner
+
+type row = { id : string; family : string; severity : string; doc : string }
+
+let render rows =
+  let id_w = List.fold_left (fun w r -> max w (String.length r.id)) 4 rows in
+  let fam_w = List.fold_left (fun w r -> max w (String.length r.family)) 6 rows in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %-*s %-5s %s\n" id_w r.id fam_w r.family r.severity r.doc))
+    rows;
+  Buffer.contents buf
+
+let print rows = print_string (render rows)
+
+let term =
+  Arg.(
+    value & flag
+    & info [ "rules"; "list-rules" ] ~doc:"Print the rule catalog (id, family, severity, doc) and exit.")

@@ -10,7 +10,11 @@
    Run with: dune exec examples/research_workload.exe *)
 
 module Tw = Nt_util.Trace_week
-module Tables = Nt_util.Tables
+module Tables = struct
+  include Nt_util.Tables
+
+  let print ?title ~header rows = print_string (render ?title ~header rows)
+end
 module Summary = Nt_analysis.Summary
 module Names = Nt_analysis.Names
 module Proc = Nt_nfs.Proc

@@ -1,0 +1,111 @@
+(* Domain-safety: top-level bindings in modules reachable from the
+   parallel driver must not create shared mutable state.  Two rules:
+
+   - dom-top-mutable: the bound value's type mentions a known mutable
+     container (ref, Hashtbl.t, Buffer.t, Queue.t, Stack.t) outside any
+     arrow (state a function creates per call is per-shard and fine).
+   - dom-mutable-record: the binding's right-hand side builds a record
+     literal with mutable fields outside any function body.  This is
+     syntactic: a top-level [M.create ()] whose abstract result hides
+     mutable fields is not seen, which is why the merge-equivalence
+     oracle stays the last line of defense.
+
+   Atomic.t / Mutex.t / Condition.t / Semaphore wrappers are considered
+   safe, as is anything under [@@nt.domain_safe "reason"]. *)
+
+let mutable_heads =
+  [ "ref"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Ephemeron.K1.t" ]
+
+let safe_heads =
+  [
+    "Atomic.t";
+    "Mutex.t";
+    "Condition.t";
+    "Semaphore.Counting.t";
+    "Semaphore.Binary.t";
+    "Domain.DLS.key";
+  ]
+
+let rec type_mutable_head ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> None
+  | Types.Tconstr (p, args, _) ->
+      let n = Syntax.norm_path p in
+      if List.mem n safe_heads then None
+      else if List.mem n mutable_heads then Some n
+      else List.find_map type_mutable_head args
+  | Types.Ttuple ts -> List.find_map type_mutable_head ts
+  | _ -> None
+
+(* Scan an expression for record literals with mutable fields, without
+   entering function bodies (those allocate per call). *)
+let mutable_record_literal (root : Typedtree.expression) =
+  let found = ref None in
+  let expr sub (e : Typedtree.expression) =
+    if !found = None then
+      match e.exp_desc with
+      | Texp_function _ -> ()
+      | Texp_record { fields; _ } -> (
+          let mut =
+            Array.to_list fields
+            |> List.find_map (fun ((ld : Types.label_description), _) ->
+                   match ld.lbl_mut with
+                   | Asttypes.Mutable -> Some ld.lbl_name
+                   | Asttypes.Immutable -> None)
+          in
+          match mut with
+          | Some field -> found := Some (e.exp_loc, field)
+          | None -> Tast_iterator.default_iterator.expr sub e)
+      | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it root;
+  !found
+
+let binding_name (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, _) -> Ident.name id
+  | Tpat_any -> "_"
+  | _ -> "<pattern>"
+
+let check_binding (sink : Finding.sink) (vb : Typedtree.value_binding) =
+  let allows = Syntax.allows vb.vb_attributes in
+  let name = binding_name vb in
+  match type_mutable_head vb.vb_expr.exp_type with
+  | Some head ->
+      if Syntax.allowed allows Rule.dom_top_mutable then sink.allow Rule.dom_top_mutable
+      else
+        sink.emit Rule.dom_top_mutable vb.vb_loc
+          (Printf.sprintf "let %s : shared mutable %s at module top level" name head)
+  | None -> (
+      match mutable_record_literal vb.vb_expr with
+      | Some (loc, field) ->
+          if Syntax.allowed allows Rule.dom_mutable_record then
+            sink.allow Rule.dom_mutable_record
+          else
+            sink.emit Rule.dom_mutable_record loc
+              (Printf.sprintf "let %s : record literal with mutable field '%s' at module \
+                               top level"
+                 name field)
+      | None -> ())
+
+let rec check_structure sink (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (check_binding sink) vbs
+      | Tstr_module mb -> check_module_expr sink mb.mb_expr
+      | Tstr_recmodule mbs ->
+          List.iter (fun (mb : Typedtree.module_binding) -> check_module_expr sink mb.mb_expr) mbs
+      | Tstr_include incl -> check_module_expr sink incl.incl_mod
+      | _ -> ())
+    str.str_items
+
+and check_module_expr sink (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure str -> check_structure sink str
+  | Tmod_constraint (me, _, _, _) -> check_module_expr sink me
+  | _ -> ()
+
+let check sink (u : Loader.unit_info) =
+  match u.payload with Loader.Impl str -> check_structure sink str | Loader.Intf _ -> ()

@@ -1,0 +1,5 @@
+(** Domain-safety rules: no shared mutable state at module top level in
+    units reachable from the parallel driver's task closures.  The
+    caller decides reachability; [check] only inspects one unit. *)
+
+val check : Finding.sink -> Loader.unit_info -> unit

@@ -1,0 +1,140 @@
+type config = {
+  roots : string list;
+  lib_prefixes : string list;
+  decode_prefixes : string list;
+  test_units : string list;
+  merge_prop_fn : string;
+  excludes : string list;
+  enabled_only : string list option;
+  disabled : string list;
+  max_per_rule : int;
+}
+
+let default_config =
+  {
+    roots = [ "Nt_par__Passes"; "Nt_par__Driver" ];
+    lib_prefixes = [ "Nt_" ];
+    decode_prefixes = [ "Nt_xdr"; "Nt_rpc"; "Nt_nfs"; "Nt_net" ];
+    test_units = [ "Test_par" ];
+    merge_prop_fn = "prop_merge_laws";
+    excludes = [ "check_fixtures" ];
+    enabled_only = None;
+    disabled = [];
+    max_per_rule = 100;
+  }
+
+type t = {
+  findings : Finding.t list;
+  allowed : int;
+  overflow : int;
+  units_scanned : int;
+  reachable : string list;
+  merge_required : string list;
+  merge_covered : string list;
+  load_errors : (string * string) list;
+}
+
+let findings t = t.findings
+let allowed t = t.allowed
+let overflow t = t.overflow
+let units_scanned t = t.units_scanned
+let reachable t = t.reachable
+let merge_required t = t.merge_required
+let merge_covered t = t.merge_covered
+let load_errors t = t.load_errors
+
+let severity_count t sev =
+  List.length (List.filter (fun (f : Finding.t) -> f.rule.Rule.severity = sev) t.findings)
+
+let rule_count t id =
+  List.length (List.filter (fun (f : Finding.t) -> f.rule.Rule.id = id) t.findings)
+
+let enabled config (rule : Rule.t) =
+  (match config.enabled_only with
+  | Some ids -> List.mem rule.Rule.id ids
+  | None -> true)
+  && not (List.mem rule.Rule.id config.disabled)
+
+(* Scope prefixes are raw prefixes of the dotted unit name: "Nt_"
+   covers every project library, "Nt_xdr" covers Nt_xdr and
+   Nt_xdr.Decode. *)
+let prefix_scope prefixes dotted =
+  List.exists (fun p -> p <> "" && Syntax.starts_with ~prefix:p dotted) prefixes
+
+let lib_scope config dotted = prefix_scope config.lib_prefixes dotted
+
+let run config root =
+  let units, load_errors = Loader.load_dir ~excludes:config.excludes root in
+  let reach = Reach.compute ~roots:config.roots units in
+  let findings = ref [] in
+  let allowed = ref 0 in
+  let overflow = ref 0 in
+  let per_rule = Hashtbl.create 16 in
+  let sink =
+    {
+      Finding.emit =
+        (fun rule loc detail ->
+          if enabled config rule then begin
+            let n = match Hashtbl.find_opt per_rule rule.Rule.id with Some n -> n | None -> 0 in
+            if n >= config.max_per_rule then incr overflow
+            else begin
+              Hashtbl.replace per_rule rule.Rule.id (n + 1);
+              findings := Finding.of_loc rule loc detail :: !findings
+            end
+          end);
+      allow = (fun rule -> if enabled config rule then incr allowed);
+    }
+  in
+  let config_finding detail =
+    sink.Finding.emit Rule.config_drift
+      { Location.none with loc_start = { Lexing.dummy_pos with pos_fname = "<config>" } }
+      detail
+  in
+  (* --- configuration drift: every configured scope must bite --- *)
+  List.iter
+    (fun root -> config_finding (Printf.sprintf "reachability root %s matched no compiled module" root))
+    (Reach.missing_roots reach);
+  let impls = List.filter Loader.is_impl units in
+  let any_scope prefixes =
+    List.filter
+      (fun p ->
+        not
+          (List.exists
+             (fun (u : Loader.unit_info) -> prefix_scope [ p ] u.Loader.dotted)
+             units))
+      prefixes
+  in
+  List.iter
+    (fun p -> config_finding (Printf.sprintf "lib scope prefix %s matched no compiled module" p))
+    (any_scope config.lib_prefixes);
+  List.iter
+    (fun p ->
+      config_finding (Printf.sprintf "decode scope prefix %s matched no compiled module" p))
+    (any_scope config.decode_prefixes);
+  (* --- per-unit rule families --- *)
+  List.iter
+    (fun (u : Loader.unit_info) ->
+      if Reach.mem reach u.Loader.name then Domain_check.check sink u;
+      if prefix_scope config.decode_prefixes u.Loader.dotted then Purity_check.check sink u;
+      if lib_scope config u.Loader.dotted then Hygiene_check.check sink u)
+    impls;
+  (* --- merge-law coverage (cross-unit) --- *)
+  let merge_required, merge_covered, test_units_found =
+    Merge_check.check sink
+      ~in_scope:(fun dotted -> lib_scope config dotted)
+      ~test_units:config.test_units ~prop_fn:config.merge_prop_fn units
+  in
+  if test_units_found = 0 then
+    config_finding
+      (Printf.sprintf "no test unit matched [%s]; merge-law coverage never ran"
+         (String.concat "; " config.test_units));
+  {
+    findings = List.sort Finding.compare !findings;
+    allowed = !allowed;
+    overflow = !overflow;
+    units_scanned = List.length units;
+    reachable = Reach.to_list reach;
+    merge_required;
+    merge_covered;
+    load_errors;
+  }

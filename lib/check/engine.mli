@@ -1,0 +1,46 @@
+(** The ntcheck engine: load a build tree's typedtrees, run every
+    enabled rule family, return sorted findings plus the bookkeeping the
+    CLI and tests assert on. *)
+
+type config = {
+  roots : string list;
+      (** compilation units whose task closures define domain-safety
+          reachability (suffix-matched, e.g. Nt_par__Passes) *)
+  lib_prefixes : string list;
+      (** dotted-name prefixes of units under hygiene + merge-law scope *)
+  decode_prefixes : string list;
+      (** dotted-name prefixes of units under decode-purity scope *)
+  test_units : string list;
+      (** units scanned for merge-law property registrations *)
+  merge_prop_fn : string;
+      (** name of the registration function the merge-law rule looks for *)
+  excludes : string list;  (** path substrings to skip while walking *)
+  enabled_only : string list option;
+  disabled : string list;
+  max_per_rule : int;  (** finding cap per rule; excess counts as overflow *)
+}
+
+val default_config : config
+(** The shipped tree's configuration: roots in nt_par, Nt_ scopes,
+    decode scope over xdr/rpc/nfs/net, Test_par registrations, and
+    check_fixtures excluded. *)
+
+type t
+
+val run : config -> string -> t
+(** [run config build_dir] scans every .cmt/.cmti under [build_dir]. *)
+
+val findings : t -> Finding.t list
+val allowed : t -> int
+(** Violations suppressed by allowlist attributes. *)
+
+val overflow : t -> int
+(** Findings dropped past the per-rule cap. *)
+
+val units_scanned : t -> int
+val reachable : t -> string list
+val merge_required : t -> string list
+val merge_covered : t -> string list
+val load_errors : t -> (string * string) list
+val severity_count : t -> Rule.severity -> int
+val rule_count : t -> string -> int

@@ -1,0 +1,58 @@
+type t = { rule : Rule.t; file : string; line : int; col : int; detail : string }
+
+let v rule ~file ~line ~col detail = { rule; file; line; col; detail }
+
+let of_loc rule (loc : Location.t) detail =
+  {
+    rule;
+    file = loc.loc_start.pos_fname;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    detail;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule.Rule.id b.rule.Rule.id in
+        if c <> 0 then c else String.compare a.detail b.detail
+
+let to_string f =
+  let where = if f.line <= 0 then f.file else Printf.sprintf "%s:%d:%d" f.file f.line f.col in
+  Printf.sprintf "%s %s %s: %s"
+    (Rule.severity_to_string f.rule.Rule.severity)
+    f.rule.Rule.id where f.detail
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","family":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"detail":"%s"}|}
+    (json_escape f.rule.Rule.id)
+    (Rule.family_to_string f.rule.Rule.family)
+    (Rule.severity_to_string f.rule.Rule.severity)
+    (json_escape f.file) f.line f.col (json_escape f.detail)
+
+let list_to_json fs = "[" ^ String.concat "," (List.map to_json fs) ^ "]"
+
+type sink = { emit : Rule.t -> Location.t -> string -> unit; allow : Rule.t -> unit }

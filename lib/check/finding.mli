@@ -1,0 +1,22 @@
+(** One rule violation anchored to a source location. *)
+
+type t = { rule : Rule.t; file : string; line : int; col : int; detail : string }
+
+val v : Rule.t -> file:string -> line:int -> col:int -> string -> t
+
+val of_loc : Rule.t -> Location.t -> string -> t
+(** Anchor at the start of a typedtree location; [pos_fname] is the
+    build-relative source path the compiler recorded. *)
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule id, detail) so reports are
+    deterministic regardless of cmt traversal order. *)
+
+val to_string : t -> string
+val to_json : t -> string
+val list_to_json : t list -> string
+
+type sink = { emit : Rule.t -> Location.t -> string -> unit; allow : Rule.t -> unit }
+(** How rule passes report: [emit] records a finding (subject to the
+    engine's enable set and per-rule cap), [allow] counts a violation
+    suppressed by an allowlist attribute. *)

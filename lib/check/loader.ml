@@ -1,0 +1,97 @@
+type payload = Impl of Typedtree.structure | Intf of Typedtree.signature
+
+type unit_info = {
+  name : string;
+  dotted : string;
+  source : string;
+  cmt_path : string;
+  imports : string list;
+  payload : payload;
+}
+
+let is_impl u = match u.payload with Impl _ -> true | Intf _ -> false
+
+let has_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+let excluded ~excludes path =
+  List.exists
+    (fun needle ->
+      let nl = String.length needle and pl = String.length path in
+      nl > 0
+      && nl <= pl
+      &&
+      let found = ref false in
+      for i = 0 to pl - nl do
+        if (not !found) && String.sub path i nl = needle then found := true
+      done;
+      !found)
+    excludes
+
+(* Depth-first walk collecting .cmt/.cmti paths, sorted for stable
+   traversal order (findings are re-sorted later, but counters and
+   first-wins dedup should not depend on readdir order). *)
+let rec walk ~excludes acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if excluded ~excludes path then acc
+          else if (not (has_suffix ~suffix:".cmt" entry || has_suffix ~suffix:".cmti" entry))
+                  && Sys.is_directory path
+          then walk ~excludes acc path
+          else if has_suffix ~suffix:".cmt" entry || has_suffix ~suffix:".cmti" entry then
+            path :: acc
+          else acc)
+        acc entries
+
+let read_one path =
+  match Cmt_format.read_cmt path with
+  | exception exn -> Error (path, Printexc.to_string exn)
+  | infos -> (
+      let payload =
+        match infos.Cmt_format.cmt_annots with
+        | Cmt_format.Implementation s -> Some (Impl s)
+        | Cmt_format.Interface s -> Some (Intf s)
+        | _ -> None
+      in
+      match payload with
+      | None -> Ok None
+      | Some payload ->
+          let name = infos.Cmt_format.cmt_modname in
+          Ok
+            (Some
+               {
+                 name;
+                 dotted = Syntax.dotted_of_unit name;
+                 source =
+                   (match infos.Cmt_format.cmt_sourcefile with Some s -> s | None -> path);
+                 cmt_path = path;
+                 imports = List.map fst infos.Cmt_format.cmt_imports;
+                 payload;
+               }))
+
+let load_dir ~excludes root =
+  let paths = List.sort String.compare (walk ~excludes [] root) in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun path ->
+      match read_one path with
+      | Error e -> errors := e :: !errors
+      | Ok None -> ()
+      | Ok (Some u) ->
+          (* dune emits the same unit under .objs/byte and sometimes
+             native dirs; first (sorted) occurrence wins. *)
+          let key = (u.name, is_impl u) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            units := u :: !units
+          end)
+    paths;
+  (List.rev !units, List.rev !errors)

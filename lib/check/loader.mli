@@ -1,0 +1,25 @@
+(** Discovery and loading of [.cmt]/[.cmti] typedtree files.
+
+    [load_dir] walks a build tree (normally [_build/default]), reads
+    every binary-annotation file the current compiler can parse and
+    returns one [unit_info] per (compilation unit, impl-or-intf) pair,
+    first occurrence winning when dune duplicates a unit across object
+    directories. *)
+
+type payload = Impl of Typedtree.structure | Intf of Typedtree.signature
+
+type unit_info = {
+  name : string;  (** compilation unit, e.g. Nt_analysis__Summary *)
+  dotted : string;  (** surface name, e.g. Nt_analysis.Summary *)
+  source : string;  (** build-relative source path when recorded *)
+  cmt_path : string;
+  imports : string list;  (** direct compilation-unit imports *)
+  payload : payload;
+}
+
+val is_impl : unit_info -> bool
+
+val load_dir : excludes:string list -> string -> unit_info list * (string * string) list
+(** [load_dir ~excludes root] returns loaded units and (path, error)
+    pairs for unreadable files.  Paths containing any substring in
+    [excludes] are skipped entirely. *)

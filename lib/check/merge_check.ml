@@ -1,0 +1,140 @@
+(* Merge-law coverage: every interface exposing an accumulator merge
+   (merge : t -> t -> t) must have a merge-law property registered in
+   the test suite, so the byte-identical --jobs N guarantee never rests
+   on an untested merge.
+
+   Requirement side: scan each in-scope .cmti for a value named [merge]
+   whose type is t -> t -> t over one local constructor.
+
+   Coverage side: scan the configured test units' .cmt for applications
+   of the registration function (default [prop_merge_laws]) and collect
+   every [<Module>.merge] identifier mentioned in the arguments.  Local
+   module aliases (module Summary = Nt_analysis.Summary) are expanded
+   one level, which is exactly the idiom the test files use. *)
+
+type requirement = { req_dotted : string; req_loc : Location.t }
+
+let same_head a b c =
+  match (Types.get_desc a, Types.get_desc b, Types.get_desc c) with
+  | Types.Tconstr (pa, _, _), Types.Tconstr (pb, _, _), Types.Tconstr (pc, _, _) ->
+      let na = Path.name pa in
+      na = Path.name pb && na = Path.name pc && Path.last pa = "t"
+  | _ -> false
+
+let merge_requirement (u : Loader.unit_info) =
+  match u.payload with
+  | Loader.Impl _ -> None
+  | Loader.Intf sg ->
+      List.find_map
+        (fun (item : Typedtree.signature_item) ->
+          match item.sig_desc with
+          | Tsig_value vd when Ident.name vd.val_id = "merge" -> (
+              match Types.get_desc vd.val_val.Types.val_type with
+              | Types.Tarrow (_, a, rest, _) -> (
+                  match Types.get_desc rest with
+                  | Types.Tarrow (_, b, c, _) when same_head a b c ->
+                      Some { req_dotted = u.dotted; req_loc = vd.val_loc }
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+        sg.sig_items
+
+(* --- coverage extraction from a test unit --- *)
+
+let module_aliases (str : Typedtree.structure) =
+  let tbl = Hashtbl.create 16 in
+  let rec of_expr (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_ident (p, _) -> Some (Path.name p)
+    | Tmod_constraint (me, _, _, _) -> of_expr me
+    | _ -> None
+  in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_module mb -> (
+          match (mb.mb_id, of_expr mb.mb_expr) with
+          | Some id, Some target -> Hashtbl.replace tbl (Ident.name id) target
+          | _ -> ())
+      | _ -> ())
+    str.str_items;
+  tbl
+
+let expand_alias aliases dotted =
+  match String.index_opt dotted '.' with
+  | None -> ( match Hashtbl.find_opt aliases dotted with Some t -> t | None -> dotted)
+  | Some i -> (
+      let head = String.sub dotted 0 i in
+      let rest = String.sub dotted i (String.length dotted - i) in
+      match Hashtbl.find_opt aliases head with Some t -> t ^ rest | None -> dotted)
+
+let merge_idents_in (e : Typedtree.expression) =
+  let acc = ref [] in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) when Path.last p = "merge" -> (
+        match p with
+        | Path.Pdot (prefix, _) -> acc := Path.name prefix :: !acc
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !acc
+
+let registrations ~prop_fn (str : Typedtree.structure) =
+  let aliases = module_aliases str in
+  let acc = ref [] in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when Syntax.path_last p = prop_fn ->
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some a ->
+                List.iter
+                  (fun prefix -> acc := expand_alias aliases prefix :: !acc)
+                  (merge_idents_in a)
+            | None -> ())
+          args
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str;
+  !acc
+
+let check (sink : Finding.sink) ~in_scope ~test_units ~prop_fn (units : Loader.unit_info list)
+    =
+  let requirements =
+    List.filter_map
+      (fun u -> if in_scope u.Loader.dotted then merge_requirement u else None)
+      units
+  in
+  let test_impls =
+    List.filter
+      (fun (u : Loader.unit_info) ->
+        Loader.is_impl u
+        && List.exists (fun t -> Syntax.unit_matches ~unit:u.name t) test_units)
+      units
+  in
+  let covered =
+    List.concat_map
+      (fun (u : Loader.unit_info) ->
+        match u.payload with
+        | Loader.Impl str -> registrations ~prop_fn str
+        | Loader.Intf _ -> [])
+      test_impls
+  in
+  List.iter
+    (fun req ->
+      if not (List.mem req.req_dotted covered) then
+        sink.emit Rule.merge_law_missing req.req_loc
+          (Printf.sprintf
+             "%s.merge has no %s registration in the test suite (add associativity and \
+              neutral-element properties)"
+             req.req_dotted prop_fn))
+    requirements;
+  (List.map (fun r -> r.req_dotted) requirements, covered, List.length test_impls)

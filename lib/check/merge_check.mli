@@ -1,0 +1,17 @@
+(** Merge-law coverage: interfaces exposing [merge : t -> t -> t] must
+    have a merge-law property registration in the test suite. *)
+
+val check :
+  Finding.sink ->
+  in_scope:(string -> bool) ->
+  test_units:string list ->
+  prop_fn:string ->
+  Loader.unit_info list ->
+  string list * string list * int
+(** [check sink ~in_scope ~test_units ~prop_fn units] emits a
+    [merge-law-missing] finding per uncovered requirement and returns
+    [(required, covered, test_units_found)] for the engine's stats:
+    dotted names of modules that must be covered, dotted names the test
+    registrations actually mention, and how many test units were
+    scanned (0 means the coverage side never ran — the engine turns
+    that into a config-drift finding). *)

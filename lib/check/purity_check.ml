@@ -1,0 +1,126 @@
+(* Decode-path purity: inside the wire-decoding libraries every failure
+   must travel a typed channel the capture boundary counts (PR 1's
+   invariant), never an untyped stdlib exception that would escape the
+   accounting and kill the binary.
+
+   A function is exempt when its final return type is result or option:
+   there the type system already forces callers to face failure.
+   Raising a *project-declared* exception (Decode.Error, Pcap.Bad_format,
+   ...) is the typed channel and is allowed; what gets flagged is
+   failwith / invalid_arg / assert false / raise of a stdlib exception,
+   plus partial matches.  A raise lexically inside [try ... with] in the
+   same function is treated as local control flow and allowed. *)
+
+let stdlib_exceptions =
+  [
+    "Failure";
+    "Invalid_argument";
+    "Not_found";
+    "Exit";
+    "End_of_file";
+    "Division_by_zero";
+    "Assert_failure";
+    "Match_failure";
+    "Stack_overflow";
+    "Out_of_memory";
+  ]
+
+let rec final_return ty =
+  match Types.get_desc ty with Types.Tarrow (_, _, r, _) -> final_return r | _ -> ty
+
+let returns_result_or_option ty =
+  match Types.get_desc (final_return ty) with
+  | Types.Tconstr (p, _, _) ->
+      let n = Syntax.norm_path p in
+      n = "result" || n = "option" || n = "Result.t" || n = "Either.t"
+  | _ -> false
+
+let untyped_raise (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+      match Syntax.norm_path p with
+      | "failwith" -> Some "failwith"
+      | "invalid_arg" -> Some "invalid_arg"
+      | "raise" | "raise_notrace" -> (
+          match args with
+          | (_, Some { exp_desc = Texp_construct (_, cd, _); _ }) :: _ ->
+              let n = Syntax.norm_name cd.cstr_name in
+              if List.mem n stdlib_exceptions then Some ("raise " ^ n) else None
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let is_assert_false (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_assert ({ exp_desc = Texp_construct (_, { cstr_name = "false"; _ }, []); _ }, _) ->
+      true
+  | _ -> false
+
+let check_body (sink : Finding.sink) ~allows ~fn_name (body : Typedtree.expression) =
+  let report rule loc detail =
+    if Syntax.allowed allows rule then sink.allow rule else sink.emit rule loc detail
+  in
+  let try_depth = ref 0 in
+  let expr sub (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_try (inner, handlers) ->
+        incr try_depth;
+        sub.Tast_iterator.expr sub inner;
+        decr try_depth;
+        List.iter (sub.Tast_iterator.case sub) handlers
+    | Texp_match (_, _, Typedtree.Partial) ->
+        report Rule.decode_partial_match e.exp_loc
+          (Printf.sprintf "partial match in %s (add the missing cases or return a result)"
+             fn_name);
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_function { partial = Typedtree.Partial; _ } ->
+        report Rule.decode_partial_match e.exp_loc
+          (Printf.sprintf "partial function in %s (add the missing cases or return a result)"
+             fn_name);
+        Tast_iterator.default_iterator.expr sub e
+    | _ ->
+        (if is_assert_false e then
+           (if !try_depth = 0 then
+              report Rule.decode_raise e.exp_loc
+                (Printf.sprintf "assert false in %s (count the failure instead)" fn_name))
+         else
+           match untyped_raise e with
+           | Some what when !try_depth = 0 ->
+               report Rule.decode_raise e.exp_loc
+                 (Printf.sprintf "%s in %s (use the typed failure channel or return a \
+                                  result)"
+                    what fn_name)
+           | _ -> ());
+        Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body
+
+let check_binding sink (vb : Typedtree.value_binding) =
+  if not (returns_result_or_option vb.vb_expr.exp_type) then
+    let allows = Syntax.allows vb.vb_attributes in
+    let fn_name =
+      match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "<binding>"
+    in
+    check_body sink ~allows ~fn_name vb.vb_expr
+
+let rec check_structure sink (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (check_binding sink) vbs
+      | Tstr_module mb -> check_module_expr sink mb.mb_expr
+      | Tstr_recmodule mbs ->
+          List.iter (fun (mb : Typedtree.module_binding) -> check_module_expr sink mb.mb_expr) mbs
+      | Tstr_include incl -> check_module_expr sink incl.incl_mod
+      | _ -> ())
+    str.str_items
+
+and check_module_expr sink (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure str -> check_structure sink str
+  | Tmod_constraint (me, _, _, _) -> check_module_expr sink me
+  | _ -> ()
+
+let check sink (u : Loader.unit_info) =
+  match u.payload with Loader.Impl str -> check_structure sink str | Loader.Intf _ -> ()

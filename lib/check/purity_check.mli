@@ -1,0 +1,6 @@
+(** Decode-path purity rules: untyped failures and partial matches are
+    forbidden in wire-decoding units unless the enclosing top-level
+    function returns result or option.  The caller decides which units
+    are in decode scope. *)
+
+val check : Finding.sink -> Loader.unit_info -> unit

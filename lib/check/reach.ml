@@ -1,0 +1,42 @@
+type t = { reachable : (string, unit) Hashtbl.t; missing_roots : string list }
+
+let compute ~roots (units : Loader.unit_info list) =
+  let imports = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Loader.unit_info) ->
+      if Loader.is_impl u then
+        match Hashtbl.find_opt imports u.name with
+        | Some prev -> Hashtbl.replace imports u.name (u.imports @ prev)
+        | None -> Hashtbl.add imports u.name u.imports)
+    units;
+  let known = Hashtbl.create 64 in
+  List.iter (fun (u : Loader.unit_info) -> Hashtbl.replace known u.name ()) units;
+  let reachable = Hashtbl.create 64 in
+  let rec visit name =
+    if Hashtbl.mem known name && not (Hashtbl.mem reachable name) then begin
+      Hashtbl.add reachable name ();
+      match Hashtbl.find_opt imports name with
+      | Some deps -> List.iter visit deps
+      | None -> ()
+    end
+  in
+  let missing_roots =
+    List.filter
+      (fun root ->
+        let matches =
+          List.filter
+            (fun (u : Loader.unit_info) -> Syntax.unit_matches ~unit:u.name root)
+            units
+        in
+        List.iter (fun (u : Loader.unit_info) -> visit u.name) matches;
+        matches = [])
+      roots
+  in
+  { reachable; missing_roots }
+
+let missing_roots t = t.missing_roots
+let mem t name = Hashtbl.mem t.reachable name
+let size t = Hashtbl.length t.reachable
+
+let to_list t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.reachable [])

@@ -1,0 +1,85 @@
+type severity = Info | Warn | Error
+
+let severity_to_string = function Info -> "info" | Warn -> "warn" | Error -> "error"
+let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
+
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Config
+
+let family_to_string = function
+  | Domain_safety -> "domain-safety"
+  | Merge_law -> "merge-law"
+  | Decode_purity -> "decode-purity"
+  | Hygiene -> "hygiene"
+  | Config -> "config"
+
+type t = { id : string; family : family; severity : severity; doc : string }
+
+let rule id family severity doc = { id; family; severity; doc }
+
+(* --- domain safety --- *)
+
+let dom_top_mutable =
+  rule "dom-top-mutable" Domain_safety Error
+    "top-level mutable container (ref, Hashtbl.t, Buffer.t, Queue.t, Stack.t) in a module \
+     reachable from the parallel driver's task closures"
+
+let dom_mutable_record =
+  rule "dom-mutable-record" Domain_safety Error
+    "top-level record literal with mutable fields in a module reachable from the parallel \
+     driver's task closures"
+
+(* --- merge laws --- *)
+
+let merge_law_missing =
+  rule "merge-law-missing" Merge_law Error
+    "interface exposes merge : t -> t -> t with no registered merge-law property in the \
+     test suite"
+
+(* --- decode purity --- *)
+
+let decode_raise =
+  rule "decode-raise" Decode_purity Error
+    "untyped failure (failwith, invalid_arg, assert false, raise of a stdlib exception) in \
+     a decode-path function that does not return result or option"
+
+let decode_partial_match =
+  rule "decode-partial-match" Decode_purity Error
+    "partial pattern match in a decode-path function that does not return result or option"
+
+(* --- hygiene --- *)
+
+let lib_stdout =
+  rule "lib-stdout" Hygiene Error
+    "stdout printing inside lib/ (results must go through nt_obs or be returned as data)"
+
+let obj_magic = rule "obj-magic" Hygiene Error "Obj.magic defeats the type system"
+
+let marshal_untrusted =
+  rule "marshal-untrusted" Hygiene Error "Marshal.from_* deserialization of untrusted bytes"
+
+let marshal_output =
+  rule "marshal-output" Hygiene Warn
+    "Marshal serialization (fragile, version-locked wire format)"
+
+(* --- configuration drift --- *)
+
+let config_drift =
+  rule "config-drift" Config Error
+    "a configured reachability root, scope prefix or test unit matched no compiled module; \
+     the corresponding rule family would be silently weaker"
+
+let all =
+  [
+    dom_top_mutable;
+    dom_mutable_record;
+    merge_law_missing;
+    decode_raise;
+    decode_partial_match;
+    lib_stdout;
+    obj_magic;
+    marshal_untrusted;
+    marshal_output;
+    config_drift;
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

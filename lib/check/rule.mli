@@ -1,0 +1,33 @@
+(** Declarative registry of ntcheck's typedtree rules.
+
+    Mirrors [Nt_lint.Rule]: every rule has a stable id, a family, a
+    fixed severity and a one-line doc string; the engine consults the
+    registry for enable/disable filtering and the CLI prints it for
+    [--rules]. *)
+
+type severity = Info | Warn | Error
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Config
+
+val family_to_string : family -> string
+
+type t = { id : string; family : family; severity : severity; doc : string }
+
+val dom_top_mutable : t
+val dom_mutable_record : t
+val merge_law_missing : t
+val decode_raise : t
+val decode_partial_match : t
+val lib_stdout : t
+val obj_magic : t
+val marshal_untrusted : t
+val marshal_output : t
+val config_drift : t
+
+val all : t list
+(** Registry order is the [--rules] listing order. *)
+
+val find : string -> t option

@@ -1,0 +1,27 @@
+(** Path, unit-name and allowlist-attribute helpers shared by the rule
+    passes. *)
+
+val starts_with : prefix:string -> string -> bool
+
+val norm_name : string -> string
+(** Strip the [Stdlib.] / [Stdlib__] alias prefixes from a dotted name
+    so "Stdlib.Hashtbl.t" and "Hashtbl.t" compare equal. *)
+
+val norm_path : Path.t -> string
+val path_last : Path.t -> string
+
+val dotted_of_unit : string -> string
+(** "Nt_analysis__Io_log" -> "Nt_analysis.Io_log". *)
+
+val unit_matches : unit:string -> string -> bool
+(** Does compilation unit [unit] denote module [target]?  Accepts exact
+    matches and wrapped suffixes (Dune__exe__Test_par matches
+    Test_par). *)
+
+val allows : Typedtree.attributes -> string list
+(** Rule ids allowlisted by [@@nt.domain_safe "reason"] or
+    [@@nt.allow "<rule-id>: reason"] attributes.  Attributes with no
+    reason string suppress nothing. *)
+
+val allowed : string list -> Rule.t -> bool
+(** Is [rule] in the allowlist (or is the list a "*" wildcard)? *)

@@ -61,6 +61,7 @@ let create ?(enabled = true) ?clock () =
   }
 
 let null = { (create ~enabled:false ()) with frozen = true }
+[@@nt.domain_safe "disabled and frozen: every mutating entry point checks [on]/[frozen] first, so cross-domain sharing never writes"]
 let enabled t = t.on
 let set_enabled t v = if not t.frozen then t.on <- v
 

@@ -32,8 +32,6 @@ let render ?title ~header rows =
   List.iter emit_row rows;
   Buffer.contents buf
 
-let print ?title ~header rows = print_string (render ?title ~header rows)
-
 let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 let fmt_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals x
 let fmt_millions x = Printf.sprintf "%.2fM" (x /. 1e6)

@@ -7,8 +7,6 @@ val render : ?title:string -> header:string list -> string list list -> string
 (** [render ~header rows] returns an aligned ASCII table. All rows must
     have the same arity as [header]. *)
 
-val print : ?title:string -> header:string list -> string list list -> unit
-
 val fmt_float : ?decimals:int -> float -> string
 (** Fixed-point with [decimals] (default 2). *)
 

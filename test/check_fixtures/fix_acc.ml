@@ -1,0 +1,5 @@
+type t = int list
+
+let empty = []
+let add t x = x :: t
+let merge a b = a @ b

@@ -1,0 +1,8 @@
+(* An accumulator exposing merge : t -> t -> t with NO registered
+   merge-law property: merge-law-missing must fire here. *)
+
+type t
+
+val empty : t
+val add : t -> int -> t
+val merge : t -> t -> t

@@ -1,0 +1,9 @@
+(* Clean twin of Fix_acc: same shape, but Fix_testreg registers its
+   merge through prop_merge_laws, so merge-law-missing must stay
+   silent. *)
+
+type t
+
+val empty : t
+val add : t -> int -> t
+val merge : t -> t -> t

@@ -1,0 +1,4 @@
+(* The reachability root of the fixture project: anything it imports is
+   treated as running inside task closures. Deliberately clean itself. *)
+
+let use () = Hashtbl.length Fix_mutable.table

@@ -1,0 +1,17 @@
+(* Hygiene fixtures: one seeded violation per rule, each next to its
+   clean twin. *)
+
+(* violation: lib-stdout *)
+let greet () = Printf.printf "hello\n"
+
+(* clean twin: stderr is fine in lib code *)
+let warn () = Printf.eprintf "careful\n"
+
+(* violation: obj-magic *)
+let cast (x : int) : float = Obj.magic x
+
+(* violation: marshal-untrusted *)
+let parse (s : string) : int = Marshal.from_string s 0
+
+(* violation: marshal-output (warn severity) *)
+let dump (x : int) = Marshal.to_string x []

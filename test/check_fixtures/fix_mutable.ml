@@ -1,0 +1,22 @@
+(* Domain-safety fixtures. This module is imported by Fix_driver, so it
+   is reachable from the configured task-closure roots and every
+   top-level mutable cell here is shared state. *)
+
+(* violation: dom-top-mutable (shared Hashtbl at module top level) *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+type cell = { mutable hits : int }
+
+(* violation: dom-mutable-record (record literal with a mutable field) *)
+let counter = { hits = 0 }
+
+(* clean twin: Atomic wrapping is the sanctioned form of shared state *)
+let safe = Atomic.make 0
+
+(* suppressed: the allowlist attribute must silence the rule and be
+   counted as an allowed finding *)
+let suppressed = ref 0 [@@nt.domain_safe "fixture: suppression must count, not fire"]
+
+let bump () =
+  Hashtbl.replace table 0 (counter.hits + Atomic.get safe + !suppressed);
+  counter.hits <- counter.hits + 1

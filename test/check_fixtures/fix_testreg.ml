@@ -1,0 +1,6 @@
+(* The fixture project's test unit: the merge-law scanner reads
+   prop_merge_laws applications out of this typedtree and credits the
+   modules whose merge they name. *)
+
+let prop_merge_laws _name merge = ignore merge
+let () = prop_merge_laws "acc_covered" Fix_acc_covered.merge

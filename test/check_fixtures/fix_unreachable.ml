@@ -1,0 +1,6 @@
+(* Clean twin for reachability: this module holds top-level mutable
+   state but is NOT imported by Fix_driver, so the domain-safety rules
+   must stay silent about it. *)
+
+let scratch = Buffer.create 64
+let note s = Buffer.add_string scratch s

@@ -1,0 +1,137 @@
+(* ntcheck engine tests over the check_fixtures mini-project: every
+   rule fires exactly once on its seeded violation, stays silent on the
+   clean twin next to it, and the allowlist attribute suppresses
+   without hiding. *)
+
+module Engine = Nt_check.Engine
+module Rule = Nt_check.Rule
+module Finding = Nt_check.Finding
+
+let fixture_config =
+  {
+    Engine.default_config with
+    roots = [ "Fix_driver"; "Fix_ghost" ];
+    (* Fix_ghost exists nowhere: config-drift's seeded violation *)
+    lib_prefixes = [ "Fix_" ];
+    decode_prefixes = [ "Fix_decode" ];
+    test_units = [ "Fix_testreg" ];
+    excludes = [];
+  }
+
+(* dune runtest runs with cwd _build/default/test; dune exec from the
+   workspace root does not, so fall back to the build-tree path. *)
+let fixture_dir =
+  List.find Sys.file_exists [ "check_fixtures"; "_build/default/test/check_fixtures" ]
+
+let run ?(config = fixture_config) () = Engine.run config fixture_dir
+
+let test_loads_cleanly () =
+  let t = run () in
+  Alcotest.(check (list (pair string string))) "no unreadable cmts" [] (Engine.load_errors t);
+  Alcotest.(check int) "all fixture units scanned" 10 (Engine.units_scanned t)
+
+let test_each_rule_fires_exactly_once () =
+  let t = run () in
+  List.iter
+    (fun (r : Rule.t) ->
+      Alcotest.(check int) (r.Rule.id ^ " fires exactly once") 1 (Engine.rule_count t r.Rule.id))
+    Rule.all;
+  Alcotest.(check int) "one finding per rule, nothing else"
+    (List.length Rule.all)
+    (List.length (Engine.findings t))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_clean_twins_stay_silent () =
+  let t = run () in
+  List.iter
+    (fun (f : Finding.t) ->
+      List.iter
+        (fun twin ->
+          if contains f.Finding.file twin then
+            Alcotest.failf "finding %s in clean twin %s" f.Finding.rule.Rule.id f.Finding.file)
+        [ "fix_unreachable"; "fix_acc_covered"; "fix_driver"; "fix_testreg" ])
+    (Engine.findings t)
+
+let test_suppression_counts () =
+  let t = run () in
+  Alcotest.(check int) "allowlisted ref counted, not reported" 1 (Engine.allowed t)
+
+let test_reachability_set () =
+  let t = run () in
+  Alcotest.(check (list string)) "driver plus its import, nothing more"
+    [ "Fix_driver"; "Fix_mutable" ] (Engine.reachable t)
+
+let test_merge_bookkeeping () =
+  let t = run () in
+  Alcotest.(check (list string)) "both accumulators required"
+    [ "Fix_acc"; "Fix_acc_covered" ]
+    (List.sort compare (Engine.merge_required t));
+  Alcotest.(check (list string)) "registration credited" [ "Fix_acc_covered" ]
+    (Engine.merge_covered t)
+
+let test_per_rule_cap () =
+  let t = run ~config:{ fixture_config with Engine.max_per_rule = 0 } () in
+  Alcotest.(check int) "no findings under a zero cap" 0 (List.length (Engine.findings t));
+  Alcotest.(check int) "every violation counted as overflow" (List.length Rule.all)
+    (Engine.overflow t);
+  Alcotest.(check int) "suppression is not capped" 1 (Engine.allowed t)
+
+let test_disabled_rule () =
+  let t = run ~config:{ fixture_config with Engine.disabled = [ "lib-stdout" ] } () in
+  Alcotest.(check int) "disabled rule silent" 0 (Engine.rule_count t "lib-stdout");
+  Alcotest.(check int) "everything else unaffected"
+    (List.length Rule.all - 1)
+    (List.length (Engine.findings t))
+
+let test_enabled_only () =
+  let t = run ~config:{ fixture_config with Engine.enabled_only = Some [ "obj-magic" ] } () in
+  Alcotest.(check int) "only the enabled rule" 1 (List.length (Engine.findings t));
+  Alcotest.(check int) "and it is obj-magic" 1 (Engine.rule_count t "obj-magic")
+
+let test_missing_test_unit_fails_loudly () =
+  let t =
+    run
+      ~config:
+        { fixture_config with Engine.roots = [ "Fix_driver" ]; test_units = [ "Fix_nope" ] }
+      ()
+  in
+  Alcotest.(check int) "config-drift for the dead test unit" 1 (Engine.rule_count t "config-drift");
+  Alcotest.(check int) "every merge now uncovered" 2 (Engine.rule_count t "merge-law-missing")
+
+let test_findings_are_sorted_and_json_escapes () =
+  let t = run () in
+  let fs = Engine.findings t in
+  Alcotest.(check bool) "sorted by location" true
+    (List.sort Finding.compare fs = fs);
+  let json = Finding.list_to_json fs in
+  Alcotest.(check bool) "json array" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
+
+let () =
+  Alcotest.run "nt_check"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "fixture cmts load" `Quick test_loads_cleanly;
+          Alcotest.test_case "each rule fires exactly once" `Quick
+            test_each_rule_fires_exactly_once;
+          Alcotest.test_case "clean twins stay silent" `Quick test_clean_twins_stay_silent;
+          Alcotest.test_case "allowlist suppresses and counts" `Quick test_suppression_counts;
+          Alcotest.test_case "reachability is driver + import" `Quick test_reachability_set;
+          Alcotest.test_case "merge requirement and coverage" `Quick test_merge_bookkeeping;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "per-rule cap overflows" `Quick test_per_rule_cap;
+          Alcotest.test_case "--disable silences a rule" `Quick test_disabled_rule;
+          Alcotest.test_case "--enable restricts to a rule" `Quick test_enabled_only;
+          Alcotest.test_case "dead test unit fails loudly" `Quick
+            test_missing_test_unit_fails_loudly;
+          Alcotest.test_case "findings sorted, json well-formed" `Quick
+            test_findings_are_sorted_and_json_escapes;
+        ] );
+    ]

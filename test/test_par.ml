@@ -23,6 +23,8 @@ module Types = Nt_nfs.Types
 module Fh = Nt_nfs.Fh
 module Ip = Nt_net.Ip_addr
 module Tw = Nt_util.Trace_week
+module Histogram = Nt_util.Histogram
+module Stats = Nt_util.Stats
 module Obs = Nt_obs.Obs
 module Pool = Nt_par.Pool
 module Shard = Nt_par.Shard
@@ -404,6 +406,122 @@ let prop_seqmetric =
       check_curve_eq cs cp;
       true)
 
+(* --- merge laws ---
+
+   ntcheck's merge-law-missing rule requires every interface exposing
+   [merge : t -> t -> t] to be registered through [prop_merge_laws];
+   each call below names the module's merge directly so the typedtree
+   scan can attribute the coverage. *)
+
+let slice records a b = Array.sub records a (b - a)
+
+let build_with init observe records =
+  let acc = init () in
+  Array.iter (observe acc) records;
+  acc
+
+(* Associativity and neutral elements over a random 3-way split of a
+   random workload. Accumulators are rebuilt from scratch on each side
+   of every law because merges may mutate their first argument.
+   Root-left merges (Names, Lifetime reject shard<>shard) get the fold
+   form of associativity: folding the same records through two
+   different tail splits must agree. *)
+let prop_merge_laws name ~symmetric ~build ~build_shard ~empty ~empty_shard ~merge ~eq =
+  QCheck.Test.make ~count:40 ~name:(name ^ ": merge laws (assoc + neutral)") workload_arb
+    (fun (n, cut, seed) ->
+      let records = gen_records ~seed ~n in
+      let len = Array.length records in
+      let i = cut mod (len + 1) in
+      let j = i + ((len - i) / 2) in
+      let r1 () = build (slice records 0 i)
+      and s2 () = build_shard (slice records i j)
+      and s3 () = build_shard (slice records j len) in
+      eq (build records) (merge (build records) (empty_shard ()));
+      eq (build records) (merge (empty ()) (build_shard records));
+      (if symmetric then
+         eq
+           (merge (merge (r1 ()) (s2 ())) (s3 ()))
+           (merge (r1 ()) (merge (s2 ()) (s3 ())))
+       else
+         let j' = i + ((len - i) / 3) in
+         let s2' () = build_shard (slice records i j')
+         and s3' () = build_shard (slice records j' len) in
+         eq
+           (merge (merge (r1 ()) (s2 ())) (s3 ()))
+           (merge (merge (r1 ()) (s2' ())) (s3' ())));
+      true)
+
+let law_summary =
+  prop_merge_laws "summary" ~symmetric:true
+    ~build:(build_with Summary.create Summary.observe)
+    ~build_shard:(build_with Summary.create Summary.observe)
+    ~empty:Summary.create ~empty_shard:Summary.create ~merge:Summary.merge
+    ~eq:check_summary_eq
+
+let law_hourly =
+  prop_merge_laws "hourly" ~symmetric:true
+    ~build:(build_with Hourly.create Hourly.observe)
+    ~build_shard:(build_with Hourly.create Hourly.observe)
+    ~empty:Hourly.create ~empty_shard:Hourly.create ~merge:Hourly.merge ~eq:check_hourly_eq
+
+let law_io_log =
+  prop_merge_laws "io_log" ~symmetric:true
+    ~build:(build_with Io_log.create Io_log.observe)
+    ~build_shard:(build_with Io_log.create Io_log.observe)
+    ~empty:Io_log.create ~empty_shard:Io_log.create ~merge:Io_log.merge ~eq:check_io_log_eq
+
+let law_names =
+  prop_merge_laws "names" ~symmetric:false
+    ~build:(build_with Names.create Names.observe)
+    ~build_shard:(build_with Names.create_shard Names.observe)
+    ~empty:Names.create ~empty_shard:Names.create_shard ~merge:Names.merge
+    ~eq:check_names_eq
+
+let law_lifetime =
+  prop_merge_laws "lifetime" ~symmetric:false
+    ~build:(build_with (fun () -> Lifetime.create lifetime_cfg) Lifetime.observe)
+    ~build_shard:(build_with (fun () -> Lifetime.create_shard lifetime_cfg) Lifetime.observe)
+    ~empty:(fun () -> Lifetime.create lifetime_cfg)
+    ~empty_shard:(fun () -> Lifetime.create_shard lifetime_cfg)
+    ~merge:Lifetime.merge ~eq:check_lifetime_eq
+
+let check_histogram_eq a b =
+  ckfa "edges" (Histogram.edges a) (Histogram.edges b);
+  cki "bucket_count" (Histogram.bucket_count a) (Histogram.bucket_count b);
+  ckfa "weights"
+    (Array.init (Histogram.bucket_count a) (Histogram.weight a))
+    (Array.init (Histogram.bucket_count b) (Histogram.weight b));
+  ckf "total_weight" (Histogram.total_weight a) (Histogram.total_weight b)
+
+let law_histogram =
+  let build records =
+    let h = Histogram.log2_buckets ~lo:1. ~hi:(2. ** 24.) in
+    Array.iter
+      (fun (r : Record.t) -> Histogram.add h (r.Record.time -. Tw.week_start +. 1.))
+      records;
+    h
+  in
+  let empty () = Histogram.log2_buckets ~lo:1. ~hi:(2. ** 24.) in
+  prop_merge_laws "histogram" ~symmetric:true ~build ~build_shard:build ~empty
+    ~empty_shard:empty ~merge:Histogram.merge ~eq:check_histogram_eq
+
+let check_stats_eq a b =
+  cki "count" (Stats.count a) (Stats.count b);
+  ckf "total" (Stats.total a) (Stats.total b);
+  ckf "mean" (Stats.mean a) (Stats.mean b);
+  ckf "variance" (Stats.variance a) (Stats.variance b);
+  ckf "min" (Stats.min a) (Stats.min b);
+  ckf "max" (Stats.max a) (Stats.max b)
+
+let law_stats =
+  let build records =
+    let t = Stats.create () in
+    Array.iter (fun (r : Record.t) -> Stats.add t (r.Record.time -. Tw.week_start)) records;
+    t
+  in
+  prop_merge_laws "stats" ~symmetric:true ~build ~build_shard:build ~empty:Stats.create
+    ~empty_shard:Stats.create ~merge:Stats.merge ~eq:check_stats_eq
+
 (* --- shard-boundary unit tests --- *)
 
 let fh_a = Fh.make ~fsid:9 ~fileid:201
@@ -683,6 +801,16 @@ let () =
           QCheck_alcotest.to_alcotest prop_lifetime;
           QCheck_alcotest.to_alcotest prop_runs;
           QCheck_alcotest.to_alcotest prop_seqmetric;
+        ] );
+      ( "merge-laws",
+        [
+          QCheck_alcotest.to_alcotest law_summary;
+          QCheck_alcotest.to_alcotest law_hourly;
+          QCheck_alcotest.to_alcotest law_io_log;
+          QCheck_alcotest.to_alcotest law_names;
+          QCheck_alcotest.to_alcotest law_lifetime;
+          QCheck_alcotest.to_alcotest law_histogram;
+          QCheck_alcotest.to_alcotest law_stats;
         ] );
       ( "shard-boundary",
         [
