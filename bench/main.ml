@@ -1031,6 +1031,131 @@ let par_speedup () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* nfsmon endurance soak: bounded memory over a multi-day feed         *)
+(* ------------------------------------------------------------------ *)
+
+let mon_soak () =
+  banner "nfsmon soak: bounded windows, eviction, and conservation over days of feed";
+  let module Obs = Nt_obs.Obs in
+  let module Service = Nt_mon.Service in
+  let module Feed = Nt_mon.Feed in
+  let module Ring = Nt_mon.Ring in
+  let module Win = Nt_mon.Win in
+  let n =
+    (* Smoke mode for CI: NT_MON_BENCH_RECORDS shrinks the stream. *)
+    match Sys.getenv_opt "NT_MON_BENCH_RECORDS" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  (* Re-time the shared lint workload across three simulated days and
+     fan it out over far more clients and uids than the per-window caps
+     admit, so the soak proves eviction instead of merely not needing
+     it. *)
+  let span = 3. *. 86400. in
+  let records =
+    lint_stream n
+    |> Seq.mapi (fun i (r : Nt_trace.Record.t) ->
+           let time = 1000. +. (span *. float_of_int i /. float_of_int n) in
+           {
+             r with
+             time;
+             reply_time = Some (time +. 0.0005);
+             client = Nt_net.Ip_addr.v 10 (i land 3) (i / 4 mod 256) (1 + (i mod 251));
+             uid = i mod 1000;
+           })
+  in
+  let caps = { Win.client_cap = 64; uid_cap = 64; fs_cap = 16; proc_cap = 32 } in
+  let config =
+    {
+      Service.default_config with
+      ring = { Ring.window_s = 600.; windows = 6; caps; summary_cap = caps };
+      report_every = 12;
+      json = true;
+      checkpoint_path = None;
+    }
+  in
+  let obs = Obs.create () in
+  let reports = ref 0 in
+  let svc =
+    Service.create ~obs
+      ~sleep:(fun _ -> ())
+      ~emit:(fun _ -> incr reports)
+      config
+      (Feed.of_records records)
+  in
+  let t0 = Unix.gettimeofday () in
+  let quarter_peak = ref 0 in
+  let rec loop () =
+    match Service.step svc with
+    | `Continue ->
+        if !quarter_peak = 0 && Service.observed svc >= n / 4 then
+          quarter_peak := (Gc.quick_stat ()).Gc.top_heap_words;
+        loop ()
+    | `Stopped -> ()
+  in
+  loop ();
+  Service.shutdown svc;
+  let dt = Unix.gettimeofday () -. t0 in
+  let end_peak = (Gc.quick_stat ()).Gc.top_heap_words in
+  let quarter_peak = if !quarter_peak = 0 then end_peak else !quarter_peak in
+  let evictions =
+    List.fold_left (fun acc (_, e) -> acc + e) 0 (Ring.evictions (Service.ring svc))
+  in
+  let conserved =
+    match Service.conservation svc with Ok () -> true | Error _ -> false
+  in
+  (* "Flat peak RSS": the major heap must stop growing once the ring,
+     caps, and queue are warm — a quarter of the way in is generously
+     past warm-up, so the end-of-run peak may exceed it only slightly. *)
+  let growth_budget = 1.20 in
+  let heap_flat = float_of_int end_peak <= growth_budget *. float_of_int quarter_peak in
+  let pass = heap_flat && evictions > 0 && conserved && !reports > 0 in
+  Tables.print
+    ~header:[ "statistic"; "value" ]
+    [
+      [ "records"; string_of_int (Service.observed svc) ];
+      [ "wall time"; Printf.sprintf "%.2f s" dt ];
+      [ "throughput"; Printf.sprintf "%.0f records/s" (float_of_int n /. dt) ];
+      [ "reports emitted"; string_of_int !reports ];
+      [ "rotations"; string_of_int (Ring.rotations (Service.ring svc)) ];
+      [ "table evictions"; string_of_int evictions ];
+      [ "shed"; string_of_int (Service.shed svc) ];
+      [ "peak heap at 25% (words)"; string_of_int quarter_peak ];
+      [ "peak heap at end (words)"; string_of_int end_peak ];
+    ];
+  Printf.printf
+    "\nheap flat (end <= %.2fx quarter): %s; evictions > 0: %s; conservation: %s\n"
+    growth_budget
+    (if heap_flat then "PASS" else "FAIL")
+    (if evictions > 0 then "PASS" else "FAIL")
+    (if conserved then "PASS" else "FAIL");
+  let snapshot_json = Obs.to_json (Obs.snapshot obs) in
+  let oc = open_out "BENCH_mon.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"nt_bench_mon/1\",\n\
+    \  \"workload\": \"lint_stream/3days\",\n\
+    \  \"records\": %d,\n\
+    \  \"seconds\": %.6f,\n\
+    \  \"records_per_second\": %.0f,\n\
+    \  \"reports\": %d,\n\
+    \  \"rotations\": %d,\n\
+    \  \"evictions\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"heap_words\": {\"quarter\": %d, \"end\": %d},\n\
+    \  \"growth_budget\": %.2f,\n\
+    \  \"pass\": %b,\n\
+    \  \"snapshot\": %s}\n"
+    n dt
+    (float_of_int n /. dt)
+    !reports
+    (Ring.rotations (Service.ring svc))
+    evictions (Service.shed svc) quarter_peak end_peak growth_budget pass snapshot_json;
+  close_out oc;
+  print_endline "wrote BENCH_mon.json";
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the tracer's hot paths                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1256,6 +1381,7 @@ let experiments =
     ("lint", lint);
     ("obs", obs_overhead);
     ("par", par_speedup);
+    ("mon", mon_soak);
     ("micro", micro);
   ]
 

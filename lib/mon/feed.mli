@@ -1,0 +1,61 @@
+(** Record feeds: where the live monitor's input comes from.
+
+    A feed is a pull interface that never blocks and never raises from
+    [pull]: it yields a record, reports that nothing is available right
+    now ([`Idle] — the service applies backoff), or reports that the
+    source is finished ([`Closed]). File feeds {e tail}: at end of file
+    they return [`Idle] and pick up new bytes on the next pull, they
+    survive the file not existing yet, and they detect truncation
+    (log rotation) and reopen from the start. Every anomaly lands in a
+    counter on the feed's registry, never in an exception:
+
+    - [mon.feed.parse_errors] — malformed trace lines / pcap frames
+    - [mon.feed.reopens] — truncation-triggered reopens
+    - [mon.feed.open_failures] — the path could not be opened (yet)
+
+    File feeds expose a {e position}: the byte offset such that
+    re-reading from it replays exactly the unconsumed suffix. The
+    checkpoint stores it, so a kill-9 loses nothing — restore seeks and
+    the records since the last checkpoint are simply read again. *)
+
+type pull_result = [ `Record of Nt_trace.Record.t | `Idle | `Closed ]
+
+type t
+
+val pull : t -> pull_result
+
+val pos : t -> int64 option
+(** Checkpointable resume offset; [None] for feeds that cannot seek
+    (simulator, in-memory). For the pcap tail this is the offset of the
+    next undecoded pcap record — capture pairing state is rebuilt from
+    the replayed suffix. *)
+
+val seek : t -> int64 -> bool
+(** Resume at a checkpointed offset; false when unsupported or the
+    seek failed (the feed then restarts from its natural start). *)
+
+val describe : t -> string
+val close : t -> unit
+
+val of_fn :
+  ?describe:string ->
+  ?pos:(unit -> int64 option) ->
+  ?seek:(int64 -> bool) ->
+  ?close:(unit -> unit) ->
+  (unit -> pull_result) ->
+  t
+(** Wrap a pull function — how the simulator live feed plugs in. *)
+
+val of_records : Nt_trace.Record.t Seq.t -> t
+(** In-memory feed for tests; [`Closed] once exhausted. *)
+
+val trace_tail : ?obs:Nt_obs.Obs.t -> string -> t
+(** Tail a text trace (one {!Nt_trace.Record.t} line each). Only
+    complete (newline-terminated) lines are consumed, so a writer
+    caught mid-line never produces a parse error or a lost record. *)
+
+val pcap_tail : ?obs:Nt_obs.Obs.t -> string -> t
+(** Tail a pcap capture, decoding frames through the capture engine as
+    complete pcap records arrive (both endiannesses, micro- and
+    nanosecond variants). Frames held back mid-write are picked up on
+    the next pull. *)

@@ -1,0 +1,167 @@
+module Record = Nt_trace.Record
+
+type entry = { expiry : float; proc : string; reply_lost : bool }
+
+type t = {
+  cap : int;
+  timeout : float;
+  mutable heap : entry array;  (* min-heap on expiry; [0, len) live *)
+  mutable len : int;
+  mutable lost : int;
+  mutable dropped : int;
+}
+
+let dummy = { expiry = 0.; proc = ""; reply_lost = false }
+
+let create ?(cap = 4096) ?(timeout = 60.) () =
+  if cap <= 0 then invalid_arg "Outstanding.create: cap <= 0";
+  { cap; timeout; heap = Array.make (min cap 64) dummy; len = 0; lost = 0; dropped = 0 }
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.heap.(i).expiry < t.heap.(p).expiry then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < t.len && t.heap.(l).expiry < t.heap.(!m).expiry then m := l;
+  if r < t.len && t.heap.(r).expiry < t.heap.(!m).expiry then m := r;
+  if !m <> i then begin
+    swap t i !m;
+    sift_down t !m
+  end
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- dummy;
+    sift_down t 0;
+    Some e
+  end
+
+let rec insert t e =
+  if t.len = Array.length t.heap && t.len < t.cap then begin
+    let bigger = Array.make (min t.cap (2 * t.len)) dummy in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  if t.len = t.cap then begin
+    (* Full: keep the call that stays in flight longest. *)
+    if e.expiry <= t.heap.(0).expiry then t.dropped <- t.dropped + 1
+    else begin
+      ignore (pop_min t);
+      t.dropped <- t.dropped + 1;
+      insert_raw t e
+    end
+  end
+  else insert_raw t e
+
+and insert_raw t e =
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let note t (r : Record.t) =
+  match r.Record.reply_time with
+  | Some rt ->
+      insert t
+        { expiry = rt; proc = Nt_nfs.Proc.to_string (Record.proc r); reply_lost = false }
+  | None ->
+      insert t
+        {
+          expiry = r.Record.time +. t.timeout;
+          proc = Nt_nfs.Proc.to_string (Record.proc r);
+          reply_lost = true;
+        }
+
+let advance t ~now =
+  let continue = ref true in
+  while !continue do
+    if t.len > 0 && t.heap.(0).expiry <= now then begin
+      match pop_min t with
+      | Some e -> if e.reply_lost then t.lost <- t.lost + 1
+      | None -> ()
+    end
+    else continue := false
+  done
+
+let outstanding t = t.len
+let lost t = t.lost
+let dropped t = t.dropped
+
+(* --- checkpoint serialization --- *)
+
+let to_lines t =
+  let es = Array.sub t.heap 0 t.len in
+  Array.sort (fun a b -> compare (a.expiry, a.proc) (b.expiry, b.proc)) es;
+  Printf.sprintf "pending n=%d lost=%d dropped=%d" t.len t.lost t.dropped
+  :: Array.to_list
+       (Array.map
+          (fun e ->
+            Printf.sprintf "call %h %d %s" e.expiry (if e.reply_lost then 1 else 0) e.proc)
+          es)
+
+let of_lines ?cap ?timeout lines =
+  let ( let* ) = Result.bind in
+  let int s =
+    match int_of_string_opt s with Some i -> Ok i | None -> Error ("bad int " ^ s)
+  in
+  match lines with
+  | [] -> Error "empty pending section"
+  | header :: rest ->
+      let* n, lost, dropped =
+        match String.split_on_char ' ' header with
+        | [ "pending"; n; l; d ]
+          when String.length n > 2 && String.sub n 0 2 = "n="
+               && String.length l > 5 && String.sub l 0 5 = "lost="
+               && String.length d > 8 && String.sub d 0 8 = "dropped=" ->
+            let* n = int (String.sub n 2 (String.length n - 2)) in
+            let* l = int (String.sub l 5 (String.length l - 5)) in
+            let* d = int (String.sub d 8 (String.length d - 8)) in
+            Ok (n, l, d)
+        | _ -> Error ("bad pending header: " ^ header)
+      in
+      if List.length rest <> n then Error "pending entry count mismatch"
+      else
+        let t = create ?cap ?timeout () in
+        t.lost <- lost;
+        t.dropped <- dropped;
+        let* () =
+          List.fold_left
+            (fun acc line ->
+              let* () = acc in
+              match String.split_on_char ' ' line with
+              | [ "call"; expiry; lost01; proc ] -> (
+                  match float_of_string_opt expiry with
+                  | None -> Error ("bad pending expiry: " ^ line)
+                  | Some expiry ->
+                      let* lost01 = int lost01 in
+                      insert t { expiry; proc; reply_lost = lost01 <> 0 };
+                      Ok ())
+              | _ -> Error ("bad pending line: " ^ line))
+            (Ok ()) rest
+        in
+        Ok t
+
+let by_proc t =
+  let counts = Hashtbl.create 8 in
+  for i = 0 to t.len - 1 do
+    let p = t.heap.(i).proc in
+    Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  done;
+  List.sort
+    (fun (ka, na) (kb, nb) -> if na <> nb then compare nb na else compare ka kb)
+    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [])

@@ -1,0 +1,266 @@
+module Record = Nt_trace.Record
+
+type config = {
+  window_s : float;
+  windows : int;
+  caps : Win.caps;
+  summary_cap : Win.caps;
+}
+
+let default_config =
+  let c = Win.default_caps in
+  {
+    window_s = 10.;
+    windows = 30;
+    caps = c;
+    summary_cap =
+      {
+        Win.client_cap = 4 * c.Win.client_cap;
+        uid_cap = 4 * c.Win.uid_cap;
+        fs_cap = 4 * c.Win.fs_cap;
+        proc_cap = c.Win.proc_cap;
+      };
+  }
+
+type t = {
+  config : config;
+  mutable cur_start : float;  (* nan until anchored *)
+  mutable wins : (float * Win.t) list;  (* newest first, length <= windows *)
+  summary : Win.t;
+  mutable observed : int;
+  mutable rotations : int;
+  mutable evicted_windows : int;
+  mutable late : int;
+  mutable backward : int;
+  mutable forward_jumps : int;
+  mutable max_seen : float;
+}
+
+let create config =
+  if config.window_s <= 0. then invalid_arg "Ring.create: window_s <= 0";
+  if config.windows < 1 then invalid_arg "Ring.create: windows < 1";
+  {
+    config;
+    cur_start = Float.nan;
+    wins = [];
+    summary = Win.create ~caps:config.summary_cap ();
+    observed = 0;
+    rotations = 0;
+    evicted_windows = 0;
+    late = 0;
+    backward = 0;
+    forward_jumps = 0;
+    max_seen = neg_infinity;
+  }
+
+let anchored t = not (Float.is_nan t.cur_start)
+let align t time = Float.of_int (int_of_float (time /. t.config.window_s)) *. t.config.window_s
+
+let spill t win =
+  ignore (Win.merge t.summary win);
+  Win.compact t.summary;
+  t.evicted_windows <- t.evicted_windows + 1
+
+(* Advance the ring by one window. The window scrolling off the back
+   spills into the summary. *)
+let rotate_once t =
+  t.rotations <- t.rotations + 1;
+  t.cur_start <- t.cur_start +. t.config.window_s;
+  let fresh = Win.create ~caps:t.config.caps () in
+  let wins = (t.cur_start, fresh) :: t.wins in
+  if List.length wins > t.config.windows then begin
+    match List.rev wins with
+    | (_, oldest) :: kept_rev ->
+        spill t oldest;
+        t.wins <- List.rev kept_rev
+    | [] -> assert false
+  end
+  else t.wins <- wins
+
+let anchor t time =
+  t.cur_start <- align t time;
+  t.wins <- [ (t.cur_start, Win.create ~caps:t.config.caps ()) ]
+
+let observe t (r : Record.t) =
+  let time = r.Record.time in
+  if not (anchored t) then anchor t time;
+  if time < t.max_seen then t.backward <- t.backward + 1;
+  if time > t.max_seen then t.max_seen <- time;
+  if time >= t.cur_start +. t.config.window_s then begin
+    (* Forward: rotate up to the covering window. A jump clearing the
+       whole ring flushes live windows and re-anchors instead. *)
+    let target = align t time in
+    let steps = (target -. t.cur_start) /. t.config.window_s in
+    if steps > Float.of_int t.config.windows then begin
+      t.forward_jumps <- t.forward_jumps + 1;
+      List.iter (fun (_, w) -> spill t w) t.wins;
+      anchor t time
+    end
+    else
+      while t.cur_start < target do
+        rotate_once t
+      done
+  end;
+  (* Route to the covering window: current, a retained older one, or
+     the summary once it has scrolled off. *)
+  (match t.wins with
+  | (start, win) :: _ when time >= start -> Win.observe win r
+  | _ -> (
+      t.late <- t.late + 1;
+      match
+        List.find_opt (fun (start, _) -> time >= start && time < start +. t.config.window_s) t.wins
+      with
+      | Some (_, win) -> Win.observe win r
+      | None ->
+          Win.observe t.summary r;
+          Win.compact t.summary));
+  t.observed <- t.observed + 1
+
+let force_rotate t = if anchored t then rotate_once t
+
+let newest t = if t.max_seen = neg_infinity then None else Some t.max_seen
+let current t = match t.wins with [] -> None | w :: _ -> Some w
+let live t = t.wins
+let summary t = t.summary
+
+let totals t =
+  let acc = Win.create ~caps:t.config.summary_cap () in
+  let ws = List.map snd t.wins @ [ t.summary ] in
+  List.iter
+    (fun w ->
+      match Win.of_lines ~caps:t.config.summary_cap (Win.to_lines w) with
+      | Ok copy -> ignore (Win.merge acc copy)
+      | Error _ -> assert false)
+    ws;
+  acc
+
+let observed t = t.observed
+let rotations t = t.rotations
+let evicted_windows t = t.evicted_windows
+let late t = t.late
+let backward t = t.backward
+let forward_jumps t = t.forward_jumps
+
+let evictions t =
+  List.map
+    (fun table ->
+      let n =
+        List.fold_left (fun acc (_, w) -> acc + Win.evictions w table) 0 t.wins
+        + Win.evictions t.summary table
+      in
+      (table, n))
+    Win.all_tables
+
+(* --- checkpoint serialization --- *)
+
+let f2s = Printf.sprintf "%h"
+
+let to_lines t =
+  let b = ref [] in
+  let push s = b := s :: !b in
+  push
+    (Printf.sprintf "ring cur_start=%s max_seen=%s observed=%d rotations=%d evicted=%d late=%d backward=%d jumps=%d windows=%d"
+       (f2s t.cur_start) (f2s t.max_seen) t.observed t.rotations t.evicted_windows t.late
+       t.backward t.forward_jumps (List.length t.wins));
+  List.iter
+    (fun (start, w) ->
+      let lines = Win.to_lines w in
+      push (Printf.sprintf "window start=%s lines=%d" (f2s start) (List.length lines));
+      List.iter push lines)
+    (List.rev t.wins);
+  let slines = Win.to_lines t.summary in
+  push (Printf.sprintf "summary lines=%d" (List.length slines));
+  List.iter push slines;
+  List.rev !b
+
+let kv_int kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> ( match int_of_string_opt v with Some i -> Ok i | None -> Error ("bad int " ^ k))
+  | None -> Error ("missing field " ^ k)
+
+let kv_float kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> (
+      match float_of_string_opt v with Some f -> Ok f | None -> Error ("bad float " ^ k))
+  | None -> Error ("missing field " ^ k)
+
+let parse_kvs tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i -> Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let of_lines config lines =
+  let ( let* ) = Result.bind in
+  let take n lines =
+    let rec go n acc = function
+      | rest when n = 0 -> Ok (List.rev acc, rest)
+      | [] -> Error "truncated ring section"
+      | l :: rest -> go (n - 1) (l :: acc) rest
+    in
+    go n [] lines
+  in
+  let win_of ~caps body =
+    let* w = Win.of_lines ~caps body in
+    Win.compact w;
+    Ok w
+  in
+  match lines with
+  | [] -> Error "empty ring section"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | "ring" :: kv_toks ->
+          let kvs = parse_kvs kv_toks in
+          let* cur_start = kv_float kvs "cur_start" in
+          let* max_seen = kv_float kvs "max_seen" in
+          let* observed = kv_int kvs "observed" in
+          let* rotations = kv_int kvs "rotations" in
+          let* evicted_windows = kv_int kvs "evicted" in
+          let* late = kv_int kvs "late" in
+          let* backward = kv_int kvs "backward" in
+          let* forward_jumps = kv_int kvs "jumps" in
+          let* nwins = kv_int kvs "windows" in
+          let t = create config in
+          t.cur_start <- cur_start;
+          t.max_seen <- max_seen;
+          t.observed <- observed;
+          t.rotations <- rotations;
+          t.evicted_windows <- evicted_windows;
+          t.late <- late;
+          t.backward <- backward;
+          t.forward_jumps <- forward_jumps;
+          let rec read_windows k lines acc =
+            if k = 0 then Ok (acc, lines)
+            else
+              match lines with
+              | [] -> Error "missing window header"
+              | wh :: rest -> (
+                  match String.split_on_char ' ' wh with
+                  | [ "window"; s; l ] ->
+                      let kvs = parse_kvs [ s; l ] in
+                      let* start = kv_float kvs "start" in
+                      let* n = kv_int kvs "lines" in
+                      let* body, rest = take n rest in
+                      let* w = win_of ~caps:config.caps body in
+                      read_windows (k - 1) rest ((start, w) :: acc)
+                  | _ -> Error ("expected window header, got: " ^ wh))
+          in
+          let* wins_newest_first, rest = read_windows nwins rest [] in
+          t.wins <- wins_newest_first;
+          (match rest with
+          | sh :: srest -> (
+              match String.split_on_char ' ' sh with
+              | [ "summary"; l ] -> (
+                  let kvs = parse_kvs [ l ] in
+                  let* n = kv_int kvs "lines" in
+                  let* body, rest' = take n srest in
+                  let* s = win_of ~caps:config.summary_cap body in
+                  ignore (Win.merge t.summary s);
+                  match rest' with
+                  | [] -> Ok t
+                  | l :: _ -> Error ("trailing ring line: " ^ l))
+              | _ -> Error ("expected summary header, got: " ^ sh))
+          | [] -> Error "missing summary section")
+      | _ -> Error ("expected ring header, got: " ^ header))

@@ -1,0 +1,351 @@
+module Record = Nt_trace.Record
+module Proc = Nt_nfs.Proc
+module Types = Nt_nfs.Types
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+module Ip_addr = Nt_net.Ip_addr
+
+type caps = { client_cap : int; uid_cap : int; fs_cap : int; proc_cap : int }
+
+let default_caps = { client_cap = 256; uid_cap = 256; fs_cap = 64; proc_cap = 64 }
+
+type row = { ops : int; read_bytes : int; write_bytes : int }
+
+let zero_row = { ops = 0; read_bytes = 0; write_bytes = 0 }
+
+let add_row a b =
+  {
+    ops = a.ops + b.ops;
+    read_bytes = a.read_bytes + b.read_bytes;
+    write_bytes = a.write_bytes + b.write_bytes;
+  }
+
+type table = [ `Client | `Uid | `Fs | `Proc ]
+
+let table_name = function
+  | `Client -> "client"
+  | `Uid -> "uid"
+  | `Fs -> "fs"
+  | `Proc -> "proc"
+
+let all_tables = [ `Client; `Uid; `Fs; `Proc ]
+
+(* A capped breakdown table. [rows] never grows past [cap] through
+   [bump] — newcomers beyond the cap land in [other]. [absorb] (merge)
+   is exact and may overshoot; [compact_tbl] restores the bound. *)
+type tbl = {
+  cap : int;
+  rows : (string, row) Hashtbl.t;
+  mutable other : row;
+  mutable evicted : int;
+}
+
+let tbl_create cap = { cap; rows = Hashtbl.create 16; other = zero_row; evicted = 0 }
+
+let bump tbl key row =
+  match Hashtbl.find_opt tbl.rows key with
+  | Some r -> Hashtbl.replace tbl.rows key (add_row r row)
+  | None ->
+      if Hashtbl.length tbl.rows < tbl.cap then Hashtbl.replace tbl.rows key row
+      else begin
+        tbl.other <- add_row tbl.other row;
+        tbl.evicted <- tbl.evicted + 1
+      end
+
+let absorb dst src =
+  Hashtbl.iter
+    (fun k r ->
+      match Hashtbl.find_opt dst.rows k with
+      | Some r0 -> Hashtbl.replace dst.rows k (add_row r0 r)
+      | None -> Hashtbl.replace dst.rows k r)
+    src.rows;
+  dst.other <- add_row dst.other src.other;
+  dst.evicted <- dst.evicted + src.evicted
+
+(* Demote the smallest rows (ops asc, key desc — so the keep-set is the
+   ops-descending, key-ascending prefix) until the cap holds again. *)
+let compact_tbl tbl =
+  let n = Hashtbl.length tbl.rows in
+  if n > tbl.cap then begin
+    let all = Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl.rows [] in
+    let sorted =
+      List.sort
+        (fun (ka, ra) (kb, rb) ->
+          if ra.ops <> rb.ops then compare rb.ops ra.ops else compare ka kb)
+        all
+    in
+    List.iteri
+      (fun i (k, r) ->
+        if i >= tbl.cap then begin
+          Hashtbl.remove tbl.rows k;
+          tbl.other <- add_row tbl.other r;
+          tbl.evicted <- tbl.evicted + 1
+        end)
+      sorted
+  end
+
+type t = {
+  caps : caps;
+  mutable t_min : float;
+  mutable t_max : float;
+  mutable total : row;  (* every record: ops + all io bytes *)
+  mutable reads : row;
+  mutable writes : row;
+  mutable commits : int;
+  mutable lost : int;
+  stable : row array;  (* indexed by Types.stable_how_to_int, 0..2 *)
+  clients : tbl;
+  uids : tbl;
+  fss : tbl;
+  procs : tbl;
+}
+
+let create ?(caps = default_caps) () =
+  {
+    caps;
+    t_min = infinity;
+    t_max = neg_infinity;
+    total = zero_row;
+    reads = zero_row;
+    writes = zero_row;
+    commits = 0;
+    lost = 0;
+    stable = Array.make 3 zero_row;
+    clients = tbl_create caps.client_cap;
+    uids = tbl_create caps.uid_cap;
+    fss = tbl_create caps.fs_cap;
+    procs = tbl_create caps.proc_cap;
+  }
+
+let fs_key r =
+  match Record.fh r with
+  | Some fh -> (
+      match Fh.fsid fh with Some id -> string_of_int id | None -> "foreign")
+  | None -> "-"
+
+let observe t (r : Record.t) =
+  if r.Record.time < t.t_min then t.t_min <- r.Record.time;
+  if r.Record.time > t.t_max then t.t_max <- r.Record.time;
+  let io = Record.io_bytes r in
+  let proc = Record.proc r in
+  let row =
+    match proc with
+    | Proc.Read -> { ops = 1; read_bytes = io; write_bytes = 0 }
+    | Proc.Write -> { ops = 1; read_bytes = 0; write_bytes = io }
+    | _ -> { ops = 1; read_bytes = 0; write_bytes = 0 }
+  in
+  t.total <- add_row t.total row;
+  (match proc with
+  | Proc.Read -> t.reads <- add_row t.reads row
+  | Proc.Write -> (
+      t.writes <- add_row t.writes row;
+      match r.Record.call with
+      | Ops.Write { stable; _ } ->
+          let i = Types.stable_how_to_int stable in
+          t.stable.(i) <- add_row t.stable.(i) row
+      | _ -> ())
+  | Proc.Commit -> t.commits <- t.commits + 1
+  | _ -> ());
+  if r.Record.reply_time = None then t.lost <- t.lost + 1;
+  bump t.clients (Ip_addr.to_string r.Record.client) row;
+  bump t.uids (string_of_int r.Record.uid) row;
+  bump t.fss (fs_key r) row;
+  bump t.procs (Proc.to_string proc) row
+
+let merge a b =
+  if b.t_min < a.t_min then a.t_min <- b.t_min;
+  if b.t_max > a.t_max then a.t_max <- b.t_max;
+  a.total <- add_row a.total b.total;
+  a.reads <- add_row a.reads b.reads;
+  a.writes <- add_row a.writes b.writes;
+  a.commits <- a.commits + b.commits;
+  a.lost <- a.lost + b.lost;
+  for i = 0 to 2 do
+    a.stable.(i) <- add_row a.stable.(i) b.stable.(i)
+  done;
+  absorb a.clients b.clients;
+  absorb a.uids b.uids;
+  absorb a.fss b.fss;
+  absorb a.procs b.procs;
+  a
+
+let tbl_of t = function
+  | `Client -> t.clients
+  | `Uid -> t.uids
+  | `Fs -> t.fss
+  | `Proc -> t.procs
+
+let compact t = List.iter (fun tb -> compact_tbl (tbl_of t tb)) all_tables
+let span t = if t.t_min > t.t_max then None else Some (t.t_min, t.t_max)
+let total_ops t = t.total.ops
+let read_ops t = t.reads.ops
+let read_bytes t = t.reads.read_bytes
+let write_ops t = t.writes.ops
+let write_bytes t = t.writes.write_bytes
+let commit_ops t = t.commits
+let lost_replies t = t.lost
+
+let writes_by_stable t =
+  List.map
+    (fun how -> (how, t.stable.(Types.stable_how_to_int how)))
+    [ Types.Unstable; Types.Data_sync; Types.File_sync ]
+
+let top t table n =
+  let tbl = tbl_of t table in
+  let all = Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl.rows [] in
+  let sorted =
+    List.sort
+      (fun (ka, ra) (kb, rb) ->
+        if ra.ops <> rb.ops then compare rb.ops ra.ops else compare ka kb)
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let other_row t table = (tbl_of t table).other
+let table_size t table = Hashtbl.length (tbl_of t table).rows
+let evictions t table = (tbl_of t table).evicted
+let evictions_total t = List.fold_left (fun acc tb -> acc + evictions t tb) 0 all_tables
+
+(* --- checkpoint serialization --- *)
+
+(* One token-separated record per line. Table keys are emitted in
+   sorted order so the text form is deterministic; keys never contain
+   whitespace (IPs, small ints, procedure names, "foreign"/"-"). *)
+
+let f2s = Printf.sprintf "%h" (* lossless hex float round-trip *)
+
+let s2f s =
+  match float_of_string_opt s with Some f -> Ok f | None -> Error ("bad float " ^ s)
+
+let row_tokens r = Printf.sprintf "%d %d %d" r.ops r.read_bytes r.write_bytes
+
+let to_lines t =
+  let b = ref [] in
+  let push s = b := s :: !b in
+  push (Printf.sprintf "span %s %s" (f2s t.t_min) (f2s t.t_max));
+  push (Printf.sprintf "caps %d %d %d %d" t.caps.client_cap t.caps.uid_cap t.caps.fs_cap
+          t.caps.proc_cap);
+  push ("total " ^ row_tokens t.total);
+  push ("reads " ^ row_tokens t.reads);
+  push ("writes " ^ row_tokens t.writes);
+  push (Printf.sprintf "commits %d" t.commits);
+  push (Printf.sprintf "lost %d" t.lost);
+  Array.iteri (fun i r -> push (Printf.sprintf "stable %d %s" i (row_tokens r))) t.stable;
+  List.iter
+    (fun table ->
+      let tbl = tbl_of t table in
+      let name = table_name table in
+      push
+        (Printf.sprintf "table %s other %s evicted %d" name (row_tokens tbl.other) tbl.evicted);
+      let keys = Hashtbl.fold (fun k r acc -> (k, r) :: acc) tbl.rows [] in
+      List.iter
+        (fun (k, r) -> push (Printf.sprintf "row %s %s %s" name k (row_tokens r)))
+        (List.sort compare keys))
+    all_tables;
+  List.rev !b
+
+let of_lines ?caps lines =
+  let ( let* ) = Result.bind in
+  let int s =
+    match int_of_string_opt s with Some i -> Ok i | None -> Error ("bad int " ^ s)
+  in
+  let row3 a b c =
+    let* ops = int a in
+    let* read_bytes = int b in
+    let* write_bytes = int c in
+    Ok { ops; read_bytes; write_bytes }
+  in
+  let table_of_name = function
+    | "client" -> Ok `Client
+    | "uid" -> Ok `Uid
+    | "fs" -> Ok `Fs
+    | "proc" -> Ok `Proc
+    | s -> Error ("unknown table " ^ s)
+  in
+  let t = create ?caps () in
+  (* Every serialized window carries these sections exactly once; a
+     checkpoint that lost lines must not restore as a smaller window. *)
+  let seen = Hashtbl.create 16 in
+  let mark s =
+    if Hashtbl.mem seen s then Error ("duplicate window section: " ^ s)
+    else begin
+      Hashtbl.replace seen s ();
+      Ok ()
+    end
+  in
+  let apply line =
+    match String.split_on_char ' ' line with
+    | [ "span"; a; b ] ->
+        let* () = mark "span" in
+        let* mn = s2f a in
+        let* mx = s2f b in
+        t.t_min <- mn;
+        t.t_max <- mx;
+        Ok ()
+    | [ "caps"; _; _; _; _ ] ->
+        (* caps are carried for the record; restored tables keep the
+           service's configured caps, enforced by the next compact *)
+        mark "caps"
+    | [ "total"; a; b; c ] ->
+        let* () = mark "total" in
+        let* r = row3 a b c in
+        t.total <- r;
+        Ok ()
+    | [ "reads"; a; b; c ] ->
+        let* () = mark "reads" in
+        let* r = row3 a b c in
+        t.reads <- r;
+        Ok ()
+    | [ "writes"; a; b; c ] ->
+        let* () = mark "writes" in
+        let* r = row3 a b c in
+        t.writes <- r;
+        Ok ()
+    | [ "commits"; n ] ->
+        let* () = mark "commits" in
+        let* n = int n in
+        t.commits <- n;
+        Ok ()
+    | [ "lost"; n ] ->
+        let* () = mark "lost" in
+        let* n = int n in
+        t.lost <- n;
+        Ok ()
+    | [ "stable"; i; a; b; c ] ->
+        let* i = int i in
+        if i < 0 || i > 2 then Error ("bad stable index " ^ string_of_int i)
+        else
+          let* () = mark ("stable" ^ string_of_int i) in
+          let* r = row3 a b c in
+          t.stable.(i) <- r;
+          Ok ()
+    | [ "table"; name; "other"; a; b; c; "evicted"; n ] ->
+        let* table = table_of_name name in
+        let* () = mark ("table " ^ table_name table) in
+        let* other = row3 a b c in
+        let* evicted = int n in
+        let tbl = tbl_of t table in
+        tbl.other <- other;
+        tbl.evicted <- evicted;
+        Ok ()
+    | [ "row"; name; key; a; b; c ] ->
+        let* table = table_of_name name in
+        let* r = row3 a b c in
+        Hashtbl.replace (tbl_of t table).rows key r;
+        Ok ()
+    | _ -> Error ("unrecognized window line: " ^ line)
+  in
+  let required =
+    [ "span"; "caps"; "total"; "reads"; "writes"; "commits"; "lost"; "stable0"; "stable1";
+      "stable2" ]
+    @ List.map (fun table -> "table " ^ table_name table) all_tables
+  in
+  let rec go = function
+    | [] -> (
+        match List.find_opt (fun s -> not (Hashtbl.mem seen s)) required with
+        | Some s -> Error ("missing window section: " ^ s)
+        | None -> Ok t)
+    | line :: rest -> (
+        match apply line with Ok () -> go rest | Error e -> Error e)
+  in
+  go lines

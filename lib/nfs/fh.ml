@@ -21,6 +21,11 @@ let fileid t =
     Some (Int64.to_int (String.get_int64_be t 8))
   else None
 
+let fsid t =
+  if String.length t >= 16 && String.sub t 0 4 = magic then
+    Some (Int32.to_int (String.get_int32_be t 4))
+  else None
+
 let to_hex t =
   let n = min (String.length t) 16 in
   let buf = Buffer.create (n * 2) in

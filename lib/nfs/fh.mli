@@ -20,6 +20,11 @@ val fileid : t -> int option
 (** Recover the fileid from a handle built by {!make}; [None] for
     foreign handles. *)
 
+val fsid : t -> int option
+(** Recover the file-system id from a handle built by {!make}; [None]
+    for foreign handles. The live monitor's per-filesystem breakdown
+    keys on this. *)
+
 val to_hex : t -> string
 (** Compact identity used in trace records (first 16 significant
     bytes, hex). *)

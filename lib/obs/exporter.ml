@@ -1,0 +1,158 @@
+type conn = {
+  fd : Unix.file_descr;
+  opened_at : float;
+  buf : Buffer.t;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  obs : Obs.t;
+  bound_port : int;
+  mutable conns : conn list;
+  mutable closed : bool;
+}
+
+let max_pending = 16
+let max_accept_per_poll = 8
+let grace_s = 0.5
+let max_request_bytes = 4096
+
+let create ?(addr = "127.0.0.1") ?(port = 0) obs =
+  match
+    let inet = Unix.inet_addr_of_string addr in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 16;
+       Unix.set_nonblock fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let bound_port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+    in
+    { listen_fd = fd; obs; bound_port; conns = []; closed = false }
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, _) -> Error (fn ^ ": " ^ Unix.error_message e)
+  | exception Failure e -> Error e
+
+let port t = t.bound_port
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let respond t c request_line =
+  let body, ctype, status =
+    match String.split_on_char ' ' request_line with
+    | "GET" :: path :: _ -> (
+        let path = match String.index_opt path '?' with
+          | Some i -> String.sub path 0 i
+          | None -> path
+        in
+        match path with
+        | "/metrics" ->
+            (Obs.to_prometheus (Obs.snapshot t.obs), "text/plain; version=0.0.4", "200 OK")
+        | "/json" -> (Obs.to_json (Obs.snapshot t.obs), "application/json", "200 OK")
+        | _ -> ("not found\n", "text/plain", "404 Not Found"))
+    | _ -> ("bad request\n", "text/plain", "400 Bad Request")
+  in
+  let resp =
+    Printf.sprintf "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      status ctype (String.length body) body
+  in
+  (* One best-effort blocking write: the response fits comfortably in a
+     socket buffer for any sane scrape, and a stuck peer is cut off by
+     closing rather than by waiting. *)
+  (try Unix.clear_nonblock c.fd; ignore (Unix.write_substring c.fd resp 0 (String.length resp))
+   with Unix.Unix_error _ -> ());
+  close_fd c.fd
+
+let service_conn t now c =
+  let bytes = Bytes.create 1024 in
+  let state =
+    match Unix.read c.fd bytes 0 (Bytes.length bytes) with
+    | 0 -> `Drop
+    | n ->
+        Buffer.add_subbytes c.buf bytes 0 n;
+        if Buffer.length c.buf > max_request_bytes then `Drop
+        else `Check
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Check
+    | exception Unix.Unix_error (_, _, _) -> `Drop
+  in
+  match state with
+  | `Drop ->
+      close_fd c.fd;
+      None
+  | `Check -> (
+      let s = Buffer.contents c.buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+          let line = String.trim (String.sub s 0 i) in
+          respond t c line;
+          None
+      | None -> if now -. c.opened_at > grace_s then (close_fd c.fd; None) else Some c)
+
+let poll t =
+  if not t.closed then begin
+    let accepted = ref 0 in
+    let continue = ref true in
+    while !continue && !accepted < max_accept_per_poll do
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          incr accepted;
+          Unix.set_nonblock fd;
+          if List.length t.conns >= max_pending then close_fd fd
+          else
+            t.conns <-
+              { fd; opened_at = Unix.gettimeofday (); buf = Buffer.create 128 } :: t.conns
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+    done;
+    let now = Unix.gettimeofday () in
+    t.conns <- List.filter_map (service_conn t now) t.conns
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun c -> close_fd c.fd) t.conns;
+    t.conns <- [];
+    close_fd t.listen_fd
+  end
+
+let scrape ?(timeout_s = 5.) ~addr ~port ~path () =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> close_fd fd)
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+        let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let b = Buffer.create 4096 in
+        let bytes = Bytes.create 4096 in
+        let rec go () =
+          match Unix.read fd bytes 0 (Bytes.length bytes) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes b bytes 0 n;
+              go ()
+        in
+        go ();
+        let s = Buffer.contents b in
+        (* Strip the header block: body starts after the first blank
+           line. *)
+        let n = String.length s in
+        let rec find i =
+          if i + 3 >= n then None
+          else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then
+            Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with Some i -> String.sub s i (n - i) | None -> s)
+  with
+  | body -> Ok body
+  | exception Unix.Unix_error (e, fn, _) -> Error (fn ^ ": " ^ Unix.error_message e)

@@ -1,0 +1,32 @@
+(** A dependency-free metrics endpoint: serve the registry's Prometheus
+    and JSON exports over a TCP socket without threads.
+
+    The exporter owns a non-blocking listening socket and does all its
+    work inside {!poll}, which the monitor calls once per service step:
+    accept whatever connections are pending (bounded per call), read
+    the request line when it has arrived, write the response, close.
+    A client that connects but never sends a request is dropped after a
+    short grace period, and the pending-connection set is capped — a
+    scrape stampede degrades to refused connections, never to unbounded
+    state or a blocked monitor loop.
+
+    Endpoints: [GET /metrics] (Prometheus text exposition) and
+    [GET /json] (the nt_obs snapshot document); anything else is 404. *)
+
+type t
+
+val create : ?addr:string -> ?port:int -> Obs.t -> (t, string) result
+(** Listen on [addr] (default ["127.0.0.1"]) : [port] (default 0 = an
+    ephemeral port; read it back with {!port}). *)
+
+val port : t -> int
+val poll : t -> unit
+(** Bounded, non-blocking: never waits for a client. Safe to call at
+    any frequency. *)
+
+val close : t -> unit
+
+val scrape : ?timeout_s:float -> addr:string -> port:int -> path:string -> unit ->
+  (string, string) result
+(** Minimal blocking HTTP GET used by tests and the endurance smoke:
+    returns the response body. *)

@@ -163,6 +163,17 @@ let span_open t name =
     t.stack <- { o_path = path; o_start = now t } :: t.stack
   end
 
+let reanchor t =
+  if not t.frozen then begin
+    (* Release the monotonic clamp down to the current clock reading,
+       then re-stamp every open span at that instant: time the process
+       did not exist (checkpoint restore) is attributed to no span, and
+       a clock that stepped backward across the restart cannot produce
+       a negative or wrapped duration. *)
+    t.last_now <- t.clock ();
+    t.stack <- List.map (fun sp -> { sp with o_start = t.last_now }) t.stack
+  end
+
 let span_close t _name =
   if t.on then
     match t.stack with

@@ -91,6 +91,14 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] runs [f] inside a span; the span closes even
     if [f] raises. *)
 
+val reanchor : t -> unit
+(** Re-anchor the registry on the current clock after a checkpoint
+    restore: the monotonic clamp is released down to the clock's
+    present reading and every open span is re-stamped to start {e now},
+    so downtime is attributed to no span and a wall clock that stepped
+    backward across the restart can never yield a negative or wrapped
+    duration. Ignored on {!null}. *)
+
 val span_record : t -> string -> seconds:float -> unit
 (** Record one completed span of the given duration without touching
     the registry clock, attributed under the currently open span path.

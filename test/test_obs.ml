@@ -120,6 +120,38 @@ let test_span_monotonic_clamp () =
   | Some s -> Alcotest.(check bool) "non-negative duration" true (s.total_s >= 0.)
   | None -> Alcotest.fail "span missing"
 
+let test_reanchor_forward_jump () =
+  (* Checkpoint restore after downtime: the wall clock leapt forward
+     while the monitor was dead. Re-anchoring must charge the open span
+     only for time after the restore. *)
+  let clock = ref 100. in
+  let t = Obs.create ~clock:(fun () -> !clock) () in
+  Obs.span_open t "svc";
+  clock := 500.;
+  (* hours of downtime *)
+  Obs.reanchor t;
+  clock := 501.5;
+  Obs.span_close t "svc";
+  match Obs.get_span (Obs.snapshot t) "svc" with
+  | Some s -> Alcotest.(check (float 1e-9)) "downtime excluded" 1.5 s.total_s
+  | None -> Alcotest.fail "span missing"
+
+let test_reanchor_backward_clock () =
+  (* Restoring on a machine whose clock is behind the checkpointed one:
+     the monotonic clamp must release downward instead of freezing the
+     registry clock in the future (which would zero every duration). *)
+  let clock = ref 100. in
+  let t = Obs.create ~clock:(fun () -> !clock) () in
+  Obs.span_open t "svc";
+  clock := 40.;
+  Obs.reanchor t;
+  Alcotest.(check (float 1e-9)) "registry clock released down" 40. (Obs.now t);
+  clock := 41.;
+  Obs.span_close t "svc";
+  match Obs.get_span (Obs.snapshot t) "svc" with
+  | Some s -> Alcotest.(check (float 1e-9)) "post-restore time only" 1. s.total_s
+  | None -> Alcotest.fail "span missing"
+
 let test_with_span_closes_on_raise () =
   let clock = ref 0. in
   let t = Obs.create ~clock:(fun () -> !clock) () in
@@ -222,6 +254,71 @@ let test_prometheus_export () =
   Alcotest.(check bool) "histogram +Inf bucket" true (has "h_prom_bucket{le=\"+Inf\"} 1");
   Alcotest.(check bool) "span series" true (has "nt_span_count{path=\"stage\"} 1")
 
+(* --- socket exporter --- *)
+
+(* The exporter is single-threaded by design: all its work happens in
+   [poll]. The test client therefore has to be non-blocking too,
+   interleaving its own connect/write/read with the exporter's polls. *)
+let fetch_interleaved exp ~port ~path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> ());
+  let request = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+  let buf = Buffer.create 4096 in
+  let sent = ref 0 in
+  let closed = ref false in
+  let rounds = ref 0 in
+  while (not !closed) && !rounds < 500 do
+    incr rounds;
+    Nt_obs.Exporter.poll exp;
+    (if !sent < String.length request then
+       match Unix.write_substring fd request !sent (String.length request - !sent) with
+       | n -> sent := !sent + n
+       | exception
+           Unix.Unix_error
+             ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINPROGRESS | Unix.ENOTCONN), _, _) ->
+           ()
+     else
+       let b = Bytes.create 4096 in
+       match Unix.read fd b 0 4096 with
+       | 0 -> closed := true
+       | n -> Buffer.add_subbytes buf b 0 n
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    if not !closed then Unix.sleepf 0.001
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let test_exporter_serves_endpoints () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t ~help:"records ingested" "mon.ingested") 42;
+  match Nt_obs.Exporter.create t with
+  | Error e -> Alcotest.fail ("exporter create failed: " ^ e)
+  | Ok exp ->
+      let port = Nt_obs.Exporter.port exp in
+      Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+      let has hay needle =
+        let n = String.length needle and m = String.length hay in
+        let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      let metrics = fetch_interleaved exp ~port ~path:"/metrics" in
+      Alcotest.(check bool) "/metrics 200" true (has metrics "200 OK");
+      Alcotest.(check bool) "/metrics body" true (has metrics "mon_ingested 42");
+      let json = fetch_interleaved exp ~port ~path:"/json" in
+      Alcotest.(check bool) "/json 200" true (has json "200 OK");
+      Alcotest.(check bool) "/json body" true (has json "\"mon.ingested\"");
+      let missing = fetch_interleaved exp ~port ~path:"/nope" in
+      Alcotest.(check bool) "unknown path 404" true (has missing "404");
+      Nt_obs.Exporter.close exp;
+      (* closed exporter: connection refused, not a hang *)
+      (match
+         Nt_obs.Exporter.scrape ~timeout_s:1.0 ~addr:"127.0.0.1" ~port ~path:"/metrics" ()
+       with
+      | Ok _ -> Alcotest.fail "scrape succeeded after close"
+      | Error _ -> ())
+
 (* --- Pipeline integration: conservation from the exported JSON --- *)
 
 let test_pipeline_conservation_from_json () =
@@ -278,6 +375,8 @@ let () =
         [
           Alcotest.test_case "nesting + timing" `Quick test_span_nesting_and_timing;
           Alcotest.test_case "monotonic clamp" `Quick test_span_monotonic_clamp;
+          Alcotest.test_case "reanchor after forward jump" `Quick test_reanchor_forward_jump;
+          Alcotest.test_case "reanchor after backward clock" `Quick test_reanchor_backward_clock;
           Alcotest.test_case "with_span closes on raise" `Quick test_with_span_closes_on_raise;
         ] );
       ( "disabled",
@@ -290,6 +389,7 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "json parser rejects garbage" `Quick test_json_parser_rejects_garbage;
           Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+          Alcotest.test_case "socket exporter" `Quick test_exporter_serves_endpoints;
         ] );
       ( "pipeline",
         [ Alcotest.test_case "conservation from exported JSON" `Quick test_pipeline_conservation_from_json ] );

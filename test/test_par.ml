@@ -31,6 +31,7 @@ module Shard = Nt_par.Shard
 module Driver = Nt_par.Driver
 module Passes = Nt_par.Passes
 module Report = Nt_par.Report
+module Win = Nt_mon.Win
 
 let test_jobs =
   match Sys.getenv_opt "NT_PAR_TEST_JOBS" with Some s -> int_of_string s | None -> 1
@@ -522,6 +523,56 @@ let law_stats =
   prop_merge_laws "stats" ~symmetric:true ~build ~build_shard:build ~empty:Stats.create
     ~empty_shard:Stats.create ~merge:Stats.merge ~eq:check_stats_eq
 
+let check_win_row name (a : Win.row) (b : Win.row) =
+  cki (name ^ ".ops") a.Win.ops b.Win.ops;
+  cki (name ^ ".read_bytes") a.Win.read_bytes b.Win.read_bytes;
+  cki (name ^ ".write_bytes") a.Win.write_bytes b.Win.write_bytes
+
+let check_win_eq a b =
+  (match (Win.span a, Win.span b) with
+  | None, None -> ()
+  | Some (lo1, hi1), Some (lo2, hi2) ->
+      ckf "span.lo" lo1 lo2;
+      ckf "span.hi" hi1 hi2
+  | _ -> QCheck.Test.fail_reportf "span: one side empty");
+  cki "total_ops" (Win.total_ops a) (Win.total_ops b);
+  cki "read_ops" (Win.read_ops a) (Win.read_ops b);
+  cki "read_bytes" (Win.read_bytes a) (Win.read_bytes b);
+  cki "write_ops" (Win.write_ops a) (Win.write_ops b);
+  cki "write_bytes" (Win.write_bytes a) (Win.write_bytes b);
+  cki "commit_ops" (Win.commit_ops a) (Win.commit_ops b);
+  cki "lost_replies" (Win.lost_replies a) (Win.lost_replies b);
+  List.iter2
+    (fun (s1, r1) (s2, r2) ->
+      cki "stable.kind" (Types.stable_how_to_int s1) (Types.stable_how_to_int s2);
+      check_win_row "stable" r1 r2)
+    (Win.writes_by_stable a) (Win.writes_by_stable b);
+  List.iter
+    (fun table ->
+      let tn = Win.table_name table in
+      cki (tn ^ ".size") (Win.table_size a table) (Win.table_size b table);
+      cki (tn ^ ".evictions") (Win.evictions a table) (Win.evictions b table);
+      check_win_row (tn ^ ".other") (Win.other_row a table) (Win.other_row b table);
+      let ta = Win.top a table max_int and tb = Win.top b table max_int in
+      cki (tn ^ ".rows") (List.length ta) (List.length tb);
+      List.iter2
+        (fun (k1, r1) (k2, r2) ->
+          if k1 <> k2 then QCheck.Test.fail_reportf "%s.key: %s <> %s" tn k1 k2;
+          check_win_row (tn ^ ".row") r1 r2)
+        ta tb)
+    Win.all_tables
+
+(* Tight caps so the laws hold even while the eviction machinery is
+   active on every build: capping happens at observe time and [merge]
+   stays an exact sum, which is exactly the design the monitor's ring
+   relies on. *)
+let law_win =
+  let win_caps = { Win.client_cap = 3; uid_cap = 3; fs_cap = 2; proc_cap = 4 } in
+  let build = build_with (fun () -> Win.create ~caps:win_caps ()) Win.observe in
+  let empty () = Win.create ~caps:win_caps () in
+  prop_merge_laws "win" ~symmetric:true ~build ~build_shard:build ~empty ~empty_shard:empty
+    ~merge:Win.merge ~eq:check_win_eq
+
 (* --- shard-boundary unit tests --- *)
 
 let fh_a = Fh.make ~fsid:9 ~fileid:201
@@ -811,6 +862,7 @@ let () =
           QCheck_alcotest.to_alcotest law_lifetime;
           QCheck_alcotest.to_alcotest law_histogram;
           QCheck_alcotest.to_alcotest law_stats;
+          QCheck_alcotest.to_alcotest law_win;
         ] );
       ( "shard-boundary",
         [
