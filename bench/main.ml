@@ -980,13 +980,17 @@ let par_speedup () =
       let t0 = Unix.gettimeofday () in
       let out = Nt_par.Report.run ~obs ~jobs ~sections records in
       let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt;
-      snapshot := Some (Obs.snapshot obs);
-      report := String.concat "\n" (List.map snd out)
+      (* Keep the snapshot from the best iteration so its span totals
+         describe the same run as the reported wall time. *)
+      if dt < !best then begin
+        best := dt;
+        snapshot := Some (Obs.snapshot obs);
+        report := String.concat "\n" (List.map snd out)
+      end
     done;
     (!best, !report, !snapshot)
   in
-  let t1, r1, _ = time_jobs 1 in
+  let t1, r1, snap1 = time_jobs 1 in
   let t4, r4, snap = time_jobs 4 in
   let speedup = t1 /. t4 in
   let identical = String.equal r1 r4 in
@@ -994,7 +998,74 @@ let par_speedup () =
   (* The >= 2x gate only means something with real parallel hardware;
      on fewer cores the run still reports and checks determinism. *)
   let enforced = domains >= 4 in
-  let pass = identical && ((not enforced) || speedup >= min_speedup) in
+  let skip_reason =
+    if enforced then None
+    else
+      Some
+        (Printf.sprintf "available_domains=%d < 4: the >= %.1fx speedup gate is disarmed"
+           domains min_speedup)
+  in
+  (match skip_reason with
+  | Some reason ->
+      prerr_endline ("WARNING: nt_par speedup gate NOT enforced -- " ^ reason);
+      prerr_endline "WARNING: rerun on a machine with >= 4 cores for an enforceable result"
+  | None -> ());
+  (* Per-pass throughput from the jobs=1 snapshot: span totals there are
+     sequential seconds over the whole stream, so n / total is
+     single-core records/s for that pass.  Each pass is gated against
+     the checked-in BENCH_par.json baseline (with slack for machine
+     variance) so a regression in one pass fails the bench even when
+     the aggregate hides it behind the others. *)
+  let pass_rates =
+    match snap1 with
+    | None -> []
+    | Some s ->
+        List.filter_map
+          (fun (st : Obs.span_stat) ->
+            let prefix = "par.pass." in
+            let pl = String.length prefix in
+            if
+              String.length st.Obs.path > pl
+              && String.equal (String.sub st.Obs.path 0 pl) prefix
+              && st.Obs.total_s > 0.
+            then
+              Some
+                ( String.sub st.Obs.path pl (String.length st.Obs.path - pl),
+                  float_of_int n /. st.Obs.total_s )
+            else None)
+          s.Obs.spans
+  in
+  (* jobs=1 records/s over the 1M-record workload that produced the
+     checked-in BENCH_par.json: per-pass minima across repeated runs,
+     deliberately conservative because a shared single-core container
+     swings several-fold run to run.  The gate exists to catch
+     order-of-magnitude per-pass regressions, not percent drift. *)
+  let pass_baseline =
+    [
+      ("hourly", 20_054_143.); ("io_log", 569_525.); ("names", 1_070_555.);
+      ("runs", 5_481_797.); ("summary", 5_767_697.);
+    ]
+  in
+  let pass_slack =
+    match Sys.getenv_opt "NT_PAR_BENCH_PASS_SLACK" with
+    | Some s -> ( try max 1.0 (float_of_string s) with Failure _ -> 1.5)
+    | None -> 1.5
+  in
+  (* Smoke-sized streams (NT_PAR_BENCH_RECORDS) are too noisy to gate. *)
+  let pass_gate_enforced = n >= 1_000_000 in
+  let regressed =
+    List.filter_map
+      (fun (name, base) ->
+        match List.assoc_opt name pass_rates with
+        | Some rate when rate < base /. pass_slack -> Some name
+        | _ -> None)
+      pass_baseline
+  in
+  let pass =
+    identical
+    && ((not enforced) || speedup >= min_speedup)
+    && ((not pass_gate_enforced) || regressed = [])
+  in
   let rate t = float_of_int n /. t in
   Tables.print
     ~header:[ "jobs"; "time (s)"; "records/s" ]
@@ -1009,11 +1080,33 @@ let par_speedup () =
     (if enforced then "ENFORCED" else "not enforced")
     domains
     (if identical then "yes" else "NO");
+  if pass_rates <> [] then begin
+    Printf.printf "\nper-pass throughput at jobs=1 (gate: >= baseline / %.2f, %s):\n" pass_slack
+      (if pass_gate_enforced then "ENFORCED" else "not enforced on a smoke-sized stream");
+    Tables.print
+      ~header:[ "pass"; "records/s"; "baseline"; "verdict" ]
+      (List.map
+         (fun (name, base) ->
+           match List.assoc_opt name pass_rates with
+           | Some r ->
+               [
+                 name; Printf.sprintf "%.0f" r; Printf.sprintf "%.0f" base;
+                 (if r < base /. pass_slack then "REGRESSED" else "ok");
+               ]
+           | None -> [ name; "-"; Printf.sprintf "%.0f" base; "no span" ])
+         pass_baseline)
+  end;
   let snapshot_json = match snap with Some s -> Obs.to_json s | None -> "null" in
+  let json_rates l =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.0f" k v) l)
+    ^ "}"
+  in
+  let skip_json = match skip_reason with None -> "null" | Some r -> Printf.sprintf "%S" r in
   let oc = open_out "BENCH_par.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nt_bench_par/1\",\n\
+    \  \"schema\": \"nt_bench_par/2\",\n\
     \  \"workload\": \"lint_stream/week\",\n\
     \  \"records\": %d,\n\
     \  \"available_domains\": %d,\n\
@@ -1022,10 +1115,20 @@ let par_speedup () =
     \  \"speedup\": %.3f,\n\
     \  \"min_speedup\": %.2f,\n\
     \  \"gate_enforced\": %b,\n\
+    \  \"skip_reason\": %s,\n\
+    \  \"pass_records_per_second\": %s,\n\
+    \  \"pass_baseline_records_per_second\": %s,\n\
+    \  \"pass_slack\": %.2f,\n\
+    \  \"pass_gate_enforced\": %b,\n\
+    \  \"pass_regressed\": [%s],\n\
     \  \"reports_identical\": %b,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
-    n domains t1 t4 (rate t1) (rate t4) speedup min_speedup enforced identical pass snapshot_json;
+    n domains t1 t4 (rate t1) (rate t4) speedup min_speedup enforced skip_json
+    (json_rates (List.sort compare pass_rates))
+    (json_rates pass_baseline) pass_slack pass_gate_enforced
+    (String.concat ", " (List.map (Printf.sprintf "%S") regressed))
+    identical pass snapshot_json;
   close_out oc;
   print_endline "wrote BENCH_par.json";
   if not pass then exit 1

@@ -82,7 +82,13 @@ let run build_dir json json_out fail_on enabled_only disabled roots excludes max
           Printf.eprintf "ntcheck: merge coverage required for: %s\n%!"
             (String.concat ", " (Engine.merge_required t));
           Printf.eprintf "ntcheck: merge coverage registered for: %s\n%!"
-            (String.concat ", " (Engine.merge_covered t))
+            (String.concat ", " (Engine.merge_covered t));
+          Printf.eprintf "ntcheck: suppressions by rule: %s\n%!"
+            (match Engine.allowed_by_rule t with
+            | [] -> "(none)"
+            | l ->
+                String.concat ", "
+                  (List.map (fun (id, n) -> Printf.sprintf "%s=%d" id n) l))
         end;
         List.iter
           (fun (path, err) -> Printf.eprintf "ntcheck: unreadable %s: %s\n%!" path err)

@@ -28,11 +28,21 @@ let fresh_model () = { size_counts = Hashtbl.create 4; lifetime_counts = Hashtbl
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
 
-let argmax tbl =
-  Hashtbl.fold
-    (fun k n best -> match best with Some (_, bn) when bn >= n -> best | _ -> Some (k, n))
-    tbl None
-  |> Option.map fst
+(* Top-level so [argmax] (on the create path) allocates no folder
+   closure per call. *)
+let keep_best k n best = match best with Some (_, bn) when bn >= n -> best | _ -> Some (k, n)
+
+let argmax tbl = Hashtbl.fold keep_best tbl None |> Option.map fst
+
+let size_class_eq a b =
+  match (a, b) with
+  | Tiny, Tiny | Small, Small | Medium, Medium | Large, Large -> true
+  | _ -> false
+
+let lifetime_class_eq a b =
+  match (a, b) with
+  | Subsecond, Subsecond | Transient, Transient | Session, Session | Durable, Durable -> true
+  | _ -> false
 
 (* An open prediction awaiting ground truth. *)
 type pending = {
@@ -83,7 +93,8 @@ let model_for t category =
       Hashtbl.add t.models category m;
       m
 
-let name_key dir name = (Fh.to_hex_full dir, name)
+(* Raw handle bytes key just as well as hex and cost nothing to make. *)
+let name_key dir name = (Fh.to_raw dir, name)
 
 (* Ground truth for a file's size arrives when the file is deleted or
    at end of trace; we score size on the maximum size observed. *)
@@ -96,7 +107,7 @@ let settle t fh ~deleted_at =
       (match p.predicted_size with
       | Some predicted ->
           t.size_scored <- t.size_scored + 1;
-          if predicted = actual_size then t.size_correct <- t.size_correct + 1
+          if size_class_eq predicted actual_size then t.size_correct <- t.size_correct + 1
       | None -> ());
       bump m.size_counts actual_size;
       (match deleted_at with
@@ -105,7 +116,8 @@ let settle t fh ~deleted_at =
           (match p.predicted_lifetime with
           | Some predicted ->
               t.lifetime_scored <- t.lifetime_scored + 1;
-              if predicted = actual_lt then t.lifetime_correct <- t.lifetime_correct + 1
+              if lifetime_class_eq predicted actual_lt then
+                t.lifetime_correct <- t.lifetime_correct + 1
           | None -> ());
           bump m.lifetime_counts actual_lt
       | None -> ());
@@ -121,7 +133,7 @@ let observe t (r : Record.t) =
       let m = model_for t category in
       let predicted_size = argmax m.size_counts in
       let predicted_lifetime = argmax m.lifetime_counts in
-      if predicted_size = None && predicted_lifetime = None then
+      if Option.is_none predicted_size && Option.is_none predicted_lifetime then
         t.cold_creates <- t.cold_creates + 1
       else t.predictions <- t.predictions + 1;
       Fh_tbl.replace t.pending fh

@@ -22,6 +22,7 @@ let bucket_for t hour =
       let b = { ops = 0; reads = 0; writes = 0; bytes_read = 0.; bytes_written = 0. } in
       Hashtbl.add t.buckets hour b;
       b
+[@@nt.bounded "one bucket per trace hour (168 for a paper-length week)"]
 
 let observe t (r : Record.t) =
   let b = bucket_for t (Tw.hour_index r.time) in

@@ -31,12 +31,15 @@ let log_for t fh =
       let l = { items = []; n = 0 } in
       Fh_tbl.add t.files fh l;
       l
+[@@nt.unbounded "one log per distinct file handle; the per-file journal is the analysis product"]
 
 let add t fh access =
   let l = log_for t fh in
   l.items <- access :: l.items;
   l.n <- l.n + 1;
   t.total <- t.total + 1
+[@@nt.alloc_ok "the journal entry is the product: one access record kept per I/O"]
+[@@nt.unbounded "access journal, one entry per I/O by design; consumed by the runs pass"]
 
 let observe t (r : Record.t) =
   match r.call with

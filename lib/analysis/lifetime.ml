@@ -2,6 +2,7 @@ module Record = Nt_trace.Record
 module Ops = Nt_nfs.Ops
 module Fh = Nt_nfs.Fh
 module Histogram = Nt_util.Histogram
+module Intern = Nt_util.Intern
 
 type config = {
   phase1_start : float;
@@ -32,6 +33,16 @@ module Fh_tbl = Hashtbl.Make (struct
   let hash = Fh.hash
 end)
 
+(* Name-binding keys are packed interned atoms (dir atom high, name
+   atom in the low 31 bits): binding traffic is int-keyed, with no
+   per-record tuple allocation or directory-handle hex encoding. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 type death_cause = Overwrite | Truncate | Deletion
 
 (* Name-binding states. Root accumulators know every binding, so an
@@ -48,6 +59,9 @@ type kstate = K_bound of Fh.t | K_unbound | K_tainted
    merge the log replays in time order against the merged root, which
    restores exactly the binding/state context the sequential pass had. *)
 type litem = L_bind of (string * string) * kstate | L_record of Record.t
+(* L_bind carries the raw (dir handle, name) strings, not a packed key:
+   atom ids are private to one accumulator, so merge re-interns on the
+   destination. *)
 
 (* Shard knowledge about a handle's block state. [Grounded]: the file
    was created inside this shard, so its whole history is local.
@@ -60,9 +74,10 @@ type fground = Grounded | Frozen
 type t = {
   cfg : config;
   files : file_state Fh_tbl.t;
-  (* (dir handle hex, name) -> binding, learned from lookups/creates so
+  atoms : Intern.t;  (* dir-handle and name atoms backing [names] keys *)
+  (* packed (dir, name) key -> binding, learned from lookups/creates so
      REMOVE/RENAME calls can be resolved to the dying file. *)
-  names : (string * string, kstate) Hashtbl.t;
+  names : kstate Int_tbl.t;
   root : bool;
   ground : fground Fh_tbl.t;  (* shard mode only *)
   mutable log : litem list;  (* shard mode only, newest first *)
@@ -70,7 +85,12 @@ type t = {
       (* merge-detected violations of the fresh-create assumption *)
   mutable births_write : int;
   mutable births_extension : int;
-  mutable deaths : (float * death_cause) list;  (** lifetimes *)
+  (* Death journal as parallel arrays ([n_deaths] live entries): the
+     kill path runs per overwritten block, so recording a death must
+     not allocate. *)
+  mutable death_lt : float array;
+  mutable death_cause : death_cause array;
+  mutable n_deaths : int;
   lifetimes : Histogram.t;
 }
 
@@ -83,14 +103,17 @@ let make ~root cfg =
   {
     cfg;
     files = Fh_tbl.create 1024;
-    names = Hashtbl.create 1024;
+    atoms = Intern.create 1024;
+    names = Int_tbl.create 1024;
     root;
     ground = Fh_tbl.create 256;
     log = [];
     ground_conflicts = 0;
     births_write = 0;
     births_extension = 0;
-    deaths = [];
+    death_lt = [||];
+    death_cause = [||];
+    n_deaths = 0;
     lifetimes = Histogram.create ~edges:lifetime_edges;
   }
 
@@ -122,11 +145,26 @@ let ensure_capacity st n =
     st.births <- bigger
   end
 
+let push_death t lt cause =
+  if t.n_deaths >= Array.length t.death_lt then begin
+    let cap = max 64 (2 * Array.length t.death_lt) in
+    let lts = Array.make cap 0. in
+    let causes = Array.make cap Overwrite in
+    Array.blit t.death_lt 0 lts 0 t.n_deaths;
+    Array.blit t.death_cause 0 causes 0 t.n_deaths;
+    t.death_lt <- lts;
+    t.death_cause <- causes
+  end;
+  t.death_lt.(t.n_deaths) <- lt;
+  t.death_cause.(t.n_deaths) <- cause;
+  t.n_deaths <- t.n_deaths + 1
+[@@nt.unbounded "death journal, one entry per tracked block death; summarized by result"]
+
 let kill t st ~time ~cause b =
   let birth = st.births.(b) in
   if birth >= 0. && in_window t time then begin
     let lifetime = time -. birth in
-    t.deaths <- (lifetime, cause) :: t.deaths;
+    push_death t lifetime cause;
     Histogram.add t.lifetimes lifetime
   end;
   st.births.(b) <- dead
@@ -208,14 +246,15 @@ let note_size t fh size =
     st.size_blocks <- nb
   end
 
-let name_key dir name = (Fh.to_hex_full dir, name)
+let key t ~dir ~name = (Intern.id t.atoms dir lsl 31) lor Intern.id t.atoms name
+let name_key t dir name = key t ~dir:(Fh.to_raw dir) ~name
 
 (* Binding lookup that distinguishes "known unbound" (root: absent;
    shard: tombstone) from "never seen" (shard: absent). *)
 type kq = Q_bound of Fh.t | Q_unbound | Q_tainted | Q_unknown
 
 let kstate_of t k =
-  match Hashtbl.find_opt t.names k with
+  match Int_tbl.find_opt t.names k with
   | Some (K_bound fh) -> Q_bound fh
   | Some K_unbound -> Q_unbound
   | Some K_tainted -> Q_tainted
@@ -226,11 +265,14 @@ let kstate_of t k =
    bookkeeping for a *deferred* record: the replayed record itself will
    redo the binding on the root, so journaling it too would apply it
    twice. *)
-let set_key ?(log = true) t k st =
+let set_key ?(log = true) t ~dir ~name st =
+  let dir = Fh.to_raw dir in
   (match st with
-  | K_unbound when t.root -> Hashtbl.remove t.names k
-  | _ -> Hashtbl.replace t.names k st);
-  if log && not t.root then t.log <- L_bind (k, st) :: t.log
+  | K_unbound when t.root -> Int_tbl.remove t.names (key t ~dir ~name)
+  | _ -> Int_tbl.replace t.names (key t ~dir ~name) st);
+  if log && not t.root then t.log <- L_bind ((dir, name), st) :: t.log
+[@@nt.alloc_ok "journal entry per shard-local binding transition; root mode never journals"]
+[@@nt.unbounded "shard replay journal, drained at merge"]
 
 let is_grounded t fh =
   t.root || match Fh_tbl.find_opt t.ground fh with Some Grounded -> true | _ -> false
@@ -240,12 +282,13 @@ let freeze t fh =
   | Some Grounded -> Fh_tbl.replace t.ground fh Frozen
   | _ -> ()
 
-(* Defer [r] to merge time. Any locally grounded handle whose state the
-   record would touch is frozen so no later local event mutates it out
-   of order. *)
-let defer t (r : Record.t) fhs =
-  t.log <- L_record r :: t.log;
-  List.iter (freeze t) fhs
+(* Defer [r] to merge time. Any locally grounded handle whose state
+   the record would touch must be frozen (see [freeze]) by the caller
+   so no later local event mutates it out of order. *)
+let defer t (r : Record.t) =
+  t.log <- L_record r :: t.log
+[@@nt.alloc_ok "journal entry per deferred record; shard mode only"]
+[@@nt.unbounded "shard replay journal, drained at merge"]
 
 (* Process a record whose every prerequisite (bindings, block states)
    is locally known. This is the entire sequential semantics; the root
@@ -254,9 +297,9 @@ let apply t (r : Record.t) =
   (* Name learning for REMOVE/RENAME resolution. *)
   (match (r.call, r.result) with
   | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; _ })) ->
-      set_key t (name_key dir name) (K_bound fh)
+      set_key t ~dir ~name (K_bound fh)
   | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
-      set_key t (name_key dir name) (K_bound fh)
+      set_key t ~dir ~name (K_bound fh)
   | _ -> ());
   match r.call with
   | Ops.Write { fh; offset; count; _ } ->
@@ -271,24 +314,24 @@ let apply t (r : Record.t) =
       | None -> ())
   | Ops.Remove { dir; name } ->
       if Record.is_ok r then begin
-        match kstate_of t (name_key dir name) with
+        match kstate_of t (name_key t dir name) with
         | Q_bound fh ->
             handle_remove t fh ~time:r.time;
-            set_key t (name_key dir name) K_unbound
+            set_key t ~dir ~name K_unbound
         | Q_unbound | Q_tainted | Q_unknown -> ()
       end
   | Ops.Rename { from_dir; from_name; to_dir; to_name } ->
       if Record.is_ok r then begin
         (* POSIX rename: a pre-existing target is unlinked. *)
-        let fk = name_key from_dir from_name and tk = name_key to_dir to_name in
+        let fk = name_key t from_dir from_name and tk = name_key t to_dir to_name in
         (match kstate_of t tk with
         | Q_bound victim -> handle_remove t victim ~time:r.time
         | _ -> ());
         match kstate_of t fk with
         | Q_bound fh ->
-            set_key t fk K_unbound;
-            set_key t tk (K_bound fh)
-        | _ -> set_key t tk K_unbound
+            set_key t ~dir:from_dir ~name:from_name K_unbound;
+            set_key t ~dir:to_dir ~name:to_name (K_bound fh)
+        | _ -> set_key t ~dir:to_dir ~name:to_name K_unbound
       end
   | Ops.Create { dir = _; name = _; _ } -> (
       (* A create that truncated an existing file would show as size 0. *)
@@ -306,26 +349,25 @@ let apply t (r : Record.t) =
    un-journaled bindings) that later records resolve consistently. *)
 let observe_shard t (r : Record.t) =
   match r.call with
-  | Ops.Write { fh; _ } -> if is_grounded t fh then apply t r else defer t r []
-  | Ops.Setattr { fh; attrs } ->
-      if attrs.set_size = None then ()
-      else if is_grounded t fh then apply t r
-      else defer t r []
+  | Ops.Write { fh; _ } -> if is_grounded t fh then apply t r else defer t r
+  | Ops.Setattr { fh; attrs } -> (
+      match attrs.set_size with
+      | None -> ()
+      | Some _ -> if is_grounded t fh then apply t r else defer t r)
   | Ops.Remove { dir; name } ->
       if Record.is_ok r then begin
-        let k = name_key dir name in
-        match kstate_of t k with
+        match kstate_of t (name_key t dir name) with
         | Q_bound fh when is_grounded t fh -> apply t r
         | Q_unbound -> ()
         | Q_bound _ | Q_tainted | Q_unknown ->
             (* The dying file's block state (or the binding itself)
                lives in a predecessor shard. *)
-            defer t r [];
-            set_key ~log:false t k K_unbound
+            defer t r;
+            set_key ~log:false t ~dir ~name K_unbound
       end
   | Ops.Rename { from_dir; from_name; to_dir; to_name } ->
       if Record.is_ok r then begin
-        let fk = name_key from_dir from_name and tk = name_key to_dir to_name in
+        let fk = name_key t from_dir from_name and tk = name_key t to_dir to_name in
         let fq = kstate_of t fk and tq = kstate_of t tk in
         let victim_local =
           match tq with
@@ -337,12 +379,13 @@ let observe_shard t (r : Record.t) =
         if victim_local && from_known then apply t r
         else begin
           (* A locally known victim dies at replay time: freeze it. *)
-          defer t r (match tq with Q_bound vfh -> [ vfh ] | _ -> []);
-          set_key ~log:false t fk K_unbound;
+          (match tq with Q_bound vfh -> freeze t vfh | _ -> ());
+          defer t r;
+          set_key ~log:false t ~dir:from_dir ~name:from_name K_unbound;
           match fq with
-          | Q_bound fh -> set_key ~log:false t tk (K_bound fh)
-          | Q_unbound -> set_key ~log:false t tk K_unbound
-          | Q_tainted | Q_unknown -> set_key ~log:false t tk K_tainted
+          | Q_bound fh -> set_key ~log:false t ~dir:to_dir ~name:to_name (K_bound fh)
+          | Q_unbound -> set_key ~log:false t ~dir:to_dir ~name:to_name K_unbound
+          | Q_tainted | Q_unknown -> set_key ~log:false t ~dir:to_dir ~name:to_name K_tainted
         end
       end
   | _ -> (
@@ -359,10 +402,10 @@ let observe_shard t (r : Record.t) =
           (* note_size needs predecessor state; the Lookup binding is
              state-free, so keep it usable locally (un-journaled — the
              replayed record re-binds at its own stream slot). *)
-          defer t r [];
+          defer t r;
           (match (r.call, r.result) with
           | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh = lfh; _ })) ->
-              set_key ~log:false t (name_key dir name) (K_bound lfh)
+              set_key ~log:false t ~dir ~name (K_bound lfh)
           | _ -> ())
       | _ -> apply t r)
 
@@ -387,15 +430,17 @@ let merge a b =
      for each deferred record. *)
   List.iter
     (function
-      | L_bind (k, K_unbound) -> Hashtbl.remove a.names k
-      | L_bind (k, st) -> Hashtbl.replace a.names k st
+      | L_bind ((dir, name), K_unbound) -> Int_tbl.remove a.names (key a ~dir ~name)
+      | L_bind ((dir, name), st) -> Int_tbl.replace a.names (key a ~dir ~name) st
       | L_record r -> observe a r)
     (List.rev b.log);
   (* 3. Counters, deaths and the lifetime histogram are plain sums
      (replayed records above contributed to [a]'s, never [b]'s). *)
   a.births_write <- a.births_write + b.births_write;
   a.births_extension <- a.births_extension + b.births_extension;
-  a.deaths <- b.deaths @ a.deaths;
+  for i = 0 to b.n_deaths - 1 do
+    push_death a b.death_lt.(i) b.death_cause.(i)
+  done;
   ignore (Histogram.merge a.lifetimes b.lifetimes);
   a
 
@@ -416,10 +461,25 @@ let result t =
   let births = t.births_write + t.births_extension in
   (* Sampling-bias filter: deaths with lifespan beyond Phase 2's length
      could only have been observed for early births. *)
-  let kept = List.filter (fun (l, _) -> l <= t.cfg.phase2_len) t.deaths in
-  let dropped = List.length t.deaths - List.length kept in
-  let deaths = List.length kept in
-  let count cause = List.length (List.filter (fun (_, c) -> c = cause) kept) in
+  let deaths = ref 0 in
+  let dropped = ref 0 in
+  let overwrites = ref 0 in
+  let truncates = ref 0 in
+  let deletions = ref 0 in
+  let hist = Histogram.create ~edges:lifetime_edges in
+  for i = 0 to t.n_deaths - 1 do
+    let l = t.death_lt.(i) in
+    if l <= t.cfg.phase2_len then begin
+      incr deaths;
+      (match t.death_cause.(i) with
+      | Overwrite -> incr overwrites
+      | Truncate -> incr truncates
+      | Deletion -> incr deletions);
+      Histogram.add hist l
+    end
+    else incr dropped
+  done;
+  let deaths = !deaths in
   let live_tracked = ref 0 in
   Fh_tbl.iter
     (fun _ st ->
@@ -427,10 +487,8 @@ let result t =
         if b < Array.length st.births && st.births.(b) >= 0. then incr live_tracked
       done)
     t.files;
-  let end_surplus = !live_tracked + dropped in
+  let end_surplus = !live_tracked + !dropped in
   let pct n = if deaths = 0 then 0. else 100. *. float_of_int n /. float_of_int deaths in
-  let hist = Histogram.create ~edges:lifetime_edges in
-  List.iter (fun (l, _) -> Histogram.add hist l) kept;
   {
     births;
     births_write_pct =
@@ -438,9 +496,9 @@ let result t =
     births_extension_pct =
       (if births = 0 then 0. else 100. *. float_of_int t.births_extension /. float_of_int births);
     deaths;
-    deaths_overwrite_pct = pct (count Overwrite);
-    deaths_truncate_pct = pct (count Truncate);
-    deaths_deletion_pct = pct (count Deletion);
+    deaths_overwrite_pct = pct !overwrites;
+    deaths_truncate_pct = pct !truncates;
+    deaths_deletion_pct = pct !deletions;
     end_surplus;
     end_surplus_pct =
       (if births = 0 then 0. else 100. *. float_of_int end_surplus /. float_of_int births);

@@ -2,6 +2,7 @@ module Record = Nt_trace.Record
 module Ops = Nt_nfs.Ops
 module Fh = Nt_nfs.Fh
 module Stats = Nt_util.Stats
+module Intern = Nt_util.Intern
 
 type category =
   | Lock
@@ -41,12 +42,27 @@ let category_to_string = function
   | Dataset -> "dataset"
   | Other -> "other"
 
+(* categorize runs once per lookup/create record: compare in place, no
+   substring copies. *)
 let has_suffix s suf =
-  String.length s >= String.length suf
-  && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf
+  &&
+  let ok = ref true in
+  for i = 0 to lf - 1 do
+    if s.[ls - lf + i] <> suf.[i] then ok := false
+  done;
+  !ok
 
 let has_prefix s pre =
-  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+  let ls = String.length s and lp = String.length pre in
+  ls >= lp
+  &&
+  let ok = ref true in
+  for i = 0 to lp - 1 do
+    if s.[i] <> pre.[i] then ok := false
+  done;
+  !ok
 
 let categorize name =
   let n = String.length name in
@@ -87,6 +103,17 @@ module Fh_tbl = Hashtbl.Make (struct
   let hash = Fh.hash
 end)
 
+(* Name-binding keys are packed interned atoms (dir atom in the high
+   bits, name atom in the low 31), so steady-state binding traffic is
+   int-keyed: no tuple allocation, no polymorphic hashing, and no hex
+   encoding of the directory handle. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 (* Key states for (dir, name) bindings. A root accumulator knows every
    binding, so "absent" means unbound. A shard accumulator starts blind:
    "absent" means unknown — the predecessor shards may hold a binding —
@@ -106,23 +133,28 @@ type orphan = {
 
 type t = {
   files : file_info Fh_tbl.t;
-  names : (string * string, kstate) Hashtbl.t;
+  atoms : Intern.t;  (* dir-handle and name atoms backing [names] keys *)
+  names : kstate Int_tbl.t;
   mutable t_min : float;
   mutable t_max : float;
   root : bool;
   orphans : orphan Fh_tbl.t;  (* shard mode only *)
-  mutable deferred : Record.t list;  (* unresolved REMOVEs, newest first *)
+  (* Unresolved REMOVEs in arrival order; [n_deferred] live entries. *)
+  mutable deferred : Record.t array;
+  mutable n_deferred : int;
 }
 
 let make ~root =
   {
     files = Fh_tbl.create 4096;
-    names = Hashtbl.create 4096;
+    atoms = Intern.create 4096;
+    names = Int_tbl.create 4096;
     t_min = infinity;
     t_max = neg_infinity;
     root;
     orphans = Fh_tbl.create 64;
-    deferred = [];
+    deferred = [||];
+    n_deferred = 0;
   }
 
 let create () = make ~root:true
@@ -138,15 +170,18 @@ let info_for t fh ~name =
       in
       Fh_tbl.add t.files fh info;
       info
+[@@nt.unbounded "one entry per distinct file handle; the per-file table is the analysis product"]
 
-let key dir name = (Fh.to_hex_full dir, name)
+let key t ~dir ~name = (Intern.id t.atoms dir lsl 31) lor Intern.id t.atoms name
+let key_dir t k = Intern.to_string t.atoms (k lsr 31)
+let key_name t k = Intern.to_string t.atoms (k land 0x7FFFFFFF)
 
 let note_size info size = if size > info.max_size then info.max_size <- size
 
 let unbind t k =
   (* Root accumulators keep the historical "absent = unbound" encoding;
      shards need the tombstone to distinguish unbound from unknown. *)
-  if t.root then Hashtbl.remove t.names k else Hashtbl.replace t.names k Unbound
+  if t.root then Int_tbl.remove t.names k else Int_tbl.replace t.names k Unbound
 
 let orphan_for t fh =
   match Fh_tbl.find_opt t.orphans fh with
@@ -155,6 +190,17 @@ let orphan_for t fh =
       let o = { o_reads = 0; o_writes = 0; o_bytes = 0.; o_max = 0. } in
       Fh_tbl.add t.orphans fh o;
       o
+[@@nt.unbounded "one entry per distinct unresolved handle, resolved or dropped at merge"]
+
+let push_deferred t r =
+  if t.n_deferred >= Array.length t.deferred then begin
+    let bigger = Array.make (max 8 (2 * Array.length t.deferred)) r in
+    Array.blit t.deferred 0 bigger 0 t.n_deferred;
+    t.deferred <- bigger
+  end;
+  t.deferred.(t.n_deferred) <- r;
+  t.n_deferred <- t.n_deferred + 1
+[@@nt.unbounded "shard replay journal of unresolved REMOVEs, drained at merge"]
 
 let count_io t fh ~is_read (r : Record.t) =
   match Fh_tbl.find_opt t.files fh with
@@ -181,21 +227,22 @@ let observe t (r : Record.t) =
   if r.time > t.t_max then t.t_max <- r.time;
   match (r.call, r.result) with
   | Ops.Lookup { dir; name }, Some (Ok (Ops.R_lookup { fh; obj; _ })) ->
-      Hashtbl.replace t.names (key dir name) (Bound fh);
+      Int_tbl.replace t.names (key t ~dir:(Fh.to_raw dir) ~name) (Bound fh);
       let info = info_for t fh ~name in
       (match obj with Some a -> note_size info (Int64.to_float a.size) | None -> ())
   | Ops.Create { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ }))
   | Ops.Mkdir { dir; name; _ }, Some (Ok (Ops.R_create { fh = Some fh; _ })) ->
-      Hashtbl.replace t.names (key dir name) (Bound fh);
+      Int_tbl.replace t.names (key t ~dir:(Fh.to_raw dir) ~name) (Bound fh);
       let info = info_for t fh ~name in
-      if info.created = None then info.created <- Some r.time
+      (match info.created with None -> info.created <- Some r.time | Some _ -> ())
   | Ops.Remove { dir; name }, Some (Ok _) -> (
-      let k = key dir name in
-      match Hashtbl.find_opt t.names k with
+      let k = key t ~dir:(Fh.to_raw dir) ~name in
+      match Int_tbl.find_opt t.names k with
       | Some (Bound fh) -> (
           unbind t k;
           match Fh_tbl.find_opt t.files fh with
-          | Some info -> if info.deleted = None then info.deleted <- Some r.time
+          | Some info -> (
+              match info.deleted with None -> info.deleted <- Some r.time | Some _ -> ())
           | None -> ())
       | Some Unbound -> ()
       | None ->
@@ -204,8 +251,8 @@ let observe t (r : Record.t) =
              predecessor's bindings are in scope, and tombstones the key
              (whatever the binding was, the REMOVE consumed it). *)
           if not t.root then begin
-            t.deferred <- r :: t.deferred;
-            Hashtbl.replace t.names k Unbound
+            push_deferred t r;
+            Int_tbl.replace t.names k Unbound
           end)
   | Ops.Read { fh; _ }, _ -> count_io t fh ~is_read:true r
   | Ops.Write { fh; _ }, _ -> count_io t fh ~is_read:false r
@@ -216,7 +263,9 @@ let merge a b =
   (* 1. Replay b's unresolved REMOVEs, oldest first, against a's state —
      exactly the bindings the sequential pass would have had in scope,
      since a deferred key was never locally bound before the REMOVE. *)
-  List.iter (observe a) (List.rev b.deferred);
+  for i = 0 to b.n_deferred - 1 do
+    observe a b.deferred.(i)
+  done;
   (* 2. Orphan I/O resolves only against files named before b began. An
      orphan with no match is dropped, matching the sequential pass: the
      file was first named after those accesses, so they never counted. *)
@@ -240,7 +289,7 @@ let merge a b =
       match Fh_tbl.find_opt a.files fh with
       | None -> Fh_tbl.add a.files fh bi
       | Some ai ->
-          if ai.created = None then ai.created <- bi.created;
+          (match ai.created with None -> ai.created <- bi.created | Some _ -> ());
           (match (ai.deleted, bi.deleted) with
           | None, d -> ai.deleted <- d
           | Some ta, Some tb when tb < ta -> ai.deleted <- Some tb
@@ -250,10 +299,15 @@ let merge a b =
           ai.writes <- ai.writes + bi.writes;
           ai.bytes <- ai.bytes +. bi.bytes)
     b.files;
-  (* 4. Keys b touched take b's (later) end state. *)
-  Hashtbl.iter
+  (* 4. Keys b touched take b's (later) end state.  b's packed keys are
+     meaningless in a's atom space: translate through b's interner and
+     re-intern in a. *)
+  Int_tbl.iter
     (fun k st ->
-      match st with Bound _ -> Hashtbl.replace a.names k st | Unbound -> Hashtbl.remove a.names k)
+      let ka = key a ~dir:(key_dir b k) ~name:(key_name b k) in
+      match st with
+      | Bound _ -> Int_tbl.replace a.names ka st
+      | Unbound -> Int_tbl.remove a.names ka)
     b.names;
   if b.t_min < a.t_min then a.t_min <- b.t_min;
   if b.t_max > a.t_max then a.t_max <- b.t_max;

@@ -8,7 +8,7 @@ type config = {
   block : int;
 }
 
-(* Buffered dirty blocks, keyed by (fh hex, block index). [seq] gives
+(* Buffered dirty blocks, keyed by (raw fh bytes, block index). [seq] gives
    FIFO flush order; a rewrite refreshes the entry (the old version is
    absorbed, the new one re-enters at the tail). *)
 type entry = { mutable seq : int; mutable live : bool }
@@ -72,13 +72,15 @@ let expire t ~now =
     | _ -> ()
   done
 
+let absorb_entry t e =
+  if e.live then begin
+    e.live <- false;
+    t.buffered <- t.buffered - 1;
+    t.absorbed <- t.absorbed + 1
+  end
+
 let absorb t key =
-  match Hashtbl.find_opt t.entries key with
-  | Some e when e.live ->
-      e.live <- false;
-      t.buffered <- t.buffered - 1;
-      t.absorbed <- t.absorbed + 1
-  | _ -> ()
+  match Hashtbl.find_opt t.entries key with Some e -> absorb_entry t e | None -> ()
 
 let write_block t ~now key =
   t.block_writes <- t.block_writes + 1;
@@ -95,16 +97,13 @@ let write_block t ~now key =
   Queue.push (deadline, seq, key) t.queue
 
 (* Blocks of a removed/truncated file that are still buffered never
-   need to reach the disk at all. *)
-let drop_file t fh_hex =
-  let keys =
-    Hashtbl.fold
-      (fun ((h, _) as k) e acc -> if h = fh_hex && e.live then k :: acc else acc)
-      t.entries []
-  in
-  List.iter (absorb t) keys
+   need to reach the disk at all.  [absorb_entry] mutates entry fields
+   only (never the table structure), so iterating directly is safe. *)
+let drop_file t fh_raw =
+  Hashtbl.iter (fun (h, _) e -> if String.equal h fh_raw then absorb_entry t e) t.entries
+[@@nt.alloc_ok "one iterator closure per remove/truncate; the per-write path never comes here"]
 
-let name_key dir name = (Fh.to_hex_full dir, name)
+let name_key dir name = (Fh.to_raw dir, name)
 
 let observe t (r : Record.t) =
   expire t ~now:r.time;
@@ -116,18 +115,18 @@ let observe t (r : Record.t) =
   | _ -> ());
   match r.call with
   | Ops.Write { fh; offset; count; _ } when count > 0 ->
-      let hex = Fh.to_hex_full fh in
+      let raw = Fh.to_raw fh in
       let b0 = Int64.to_int offset / t.cfg.block in
       let b1 = (Int64.to_int offset + count - 1) / t.cfg.block in
       for b = b0 to b1 do
-        write_block t ~now:r.time (hex, b)
+        write_block t ~now:r.time (raw, b)
       done
   | Ops.Setattr { fh; attrs = { set_size = Some s; _ } } when Int64.equal s 0L ->
-      drop_file t (Fh.to_hex_full fh)
+      drop_file t (Fh.to_raw fh)
   | Ops.Remove { dir; name } when Record.is_ok r -> (
       match Hashtbl.find_opt t.names (name_key dir name) with
       | Some fh ->
-          drop_file t (Fh.to_hex_full fh);
+          drop_file t (Fh.to_raw fh);
           Hashtbl.remove t.names (name_key dir name)
       | None -> ())
   | _ -> ()

@@ -43,6 +43,8 @@ let observe t (r : Record.t) =
   match Record.target_fh r with
   | Some fh -> if not (Fh_set.mem t.touched fh) then Fh_set.add t.touched fh ()
   | None -> ()
+[@@nt.bounded "per_proc is keyed by the finite proc enum"]
+[@@nt.unbounded "touched is the paper's working-set metric: one entry per distinct file handle"]
 
 let merge a b =
   Hashtbl.iter

@@ -1,0 +1,6 @@
+(** Hot-path allocation rules (alloc-hot-string / format / list /
+    closure and alloc-poly-compare) over the bindings in the alloc-hot
+    and merge-hot sets.  Error paths under raise are exempt; the counted
+    escape hatch is [@@nt.alloc_ok "reason"]. *)
+
+val check : Finding.sink -> hot:Hot.t -> cmp_hot:Hot.t -> Loader.unit_info -> unit

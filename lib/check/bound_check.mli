@@ -1,0 +1,6 @@
+(** Accumulator-boundedness rules (bound-table, bound-list) over the
+    bindings in the bound-hot set.  Growth sites must be paired with
+    same-module eviction/reset evidence or carry a counted
+    [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] annotation. *)
+
+val check : Finding.sink -> hot:Hot.t -> Loader.unit_info -> unit

@@ -2,6 +2,8 @@ type config = {
   roots : string list;
   lib_prefixes : string list;
   decode_prefixes : string list;
+  hot_prefixes : string list;
+  acc_prefixes : string list;
   test_units : string list;
   merge_prop_fn : string;
   excludes : string list;
@@ -15,6 +17,8 @@ let default_config =
     roots = [ "Nt_par__Passes"; "Nt_par__Driver"; "Nt_mon__Service"; "Nt_mon__Feed" ];
     lib_prefixes = [ "Nt_" ];
     decode_prefixes = [ "Nt_xdr"; "Nt_rpc"; "Nt_nfs"; "Nt_net" ];
+    hot_prefixes = [ "Nt_analysis" ];
+    acc_prefixes = [ "Nt_analysis"; "Nt_lint"; "Nt_mon" ];
     test_units = [ "Test_par" ];
     merge_prop_fn = "prop_merge_laws";
     excludes = [ "check_fixtures" ];
@@ -26,6 +30,7 @@ let default_config =
 type t = {
   findings : Finding.t list;
   allowed : int;
+  allowed_by_rule : (string * int) list;
   overflow : int;
   units_scanned : int;
   reachable : string list;
@@ -36,6 +41,7 @@ type t = {
 
 let findings t = t.findings
 let allowed t = t.allowed
+let allowed_by_rule t = t.allowed_by_rule
 let overflow t = t.overflow
 let units_scanned t = t.units_scanned
 let reachable t = t.reachable
@@ -68,6 +74,7 @@ let run config root =
   let reach = Reach.compute ~roots:config.roots units in
   let findings = ref [] in
   let allowed = ref 0 in
+  let allow_by_rule = Hashtbl.create 16 in
   let overflow = ref 0 in
   let per_rule = Hashtbl.create 16 in
   let sink =
@@ -82,7 +89,15 @@ let run config root =
               findings := Finding.of_loc rule loc detail :: !findings
             end
           end);
-      allow = (fun rule -> if enabled config rule then incr allowed);
+      allow =
+        (fun rule ->
+          if enabled config rule then begin
+            incr allowed;
+            let n =
+              match Hashtbl.find_opt allow_by_rule rule.Rule.id with Some n -> n | None -> 0
+            in
+            Hashtbl.replace allow_by_rule rule.Rule.id (n + 1)
+          end);
     }
   in
   let config_finding detail =
@@ -111,12 +126,47 @@ let run config root =
     (fun p ->
       config_finding (Printf.sprintf "decode scope prefix %s matched no compiled module" p))
     (any_scope config.decode_prefixes);
+  List.iter
+    (fun p -> config_finding (Printf.sprintf "hot scope prefix %s matched no compiled module" p))
+    (any_scope config.hot_prefixes);
+  List.iter
+    (fun p ->
+      config_finding (Printf.sprintf "accumulator scope prefix %s matched no compiled module" p))
+    (any_scope config.acc_prefixes);
+  (* --- hot-set discovery for the alloc/bound families --- *)
+  let graph = Hot.build units in
+  let entry_fns = [ "observe"; "observe_shard"; "add" ] in
+  let alloc_hot =
+    Hot.solve graph ~seeds:(fun ~unit_name:_ ~dotted ~fn ->
+        (List.mem fn entry_fns && prefix_scope config.hot_prefixes dotted)
+        || (Syntax.starts_with ~prefix:"decode" fn
+           && prefix_scope config.decode_prefixes dotted))
+  in
+  (* Merge paths also carry the poly-compare rule (they run per shard,
+     not per record, so the other alloc rules would be noise there). *)
+  let cmp_hot =
+    Hot.solve graph ~seeds:(fun ~unit_name:_ ~dotted ~fn ->
+        prefix_scope config.hot_prefixes dotted
+        && (List.mem fn entry_fns || fn = "merge")
+        || (Syntax.starts_with ~prefix:"decode" fn
+           && prefix_scope config.decode_prefixes dotted))
+  in
+  let bound_hot =
+    Hot.solve graph ~seeds:(fun ~unit_name:_ ~dotted ~fn ->
+        List.mem fn entry_fns && prefix_scope config.acc_prefixes dotted)
+  in
+  if Hot.seed_count alloc_hot = 0 then
+    config_finding "alloc-hot seed set is empty; hot-path allocation rules never ran";
+  if Hot.seed_count bound_hot = 0 then
+    config_finding "bound-hot seed set is empty; accumulator-boundedness rules never ran";
   (* --- per-unit rule families --- *)
   List.iter
     (fun (u : Loader.unit_info) ->
       if Reach.mem reach u.Loader.name then Domain_check.check sink u;
       if prefix_scope config.decode_prefixes u.Loader.dotted then Purity_check.check sink u;
-      if lib_scope config u.Loader.dotted then Hygiene_check.check sink u)
+      if lib_scope config u.Loader.dotted then Hygiene_check.check sink u;
+      Alloc_check.check sink ~hot:alloc_hot ~cmp_hot u;
+      Bound_check.check sink ~hot:bound_hot u)
     impls;
   (* --- merge-law coverage (cross-unit) --- *)
   let merge_required, merge_covered, test_units_found =
@@ -131,6 +181,8 @@ let run config root =
   {
     findings = List.sort Finding.compare !findings;
     allowed = !allowed;
+    allowed_by_rule =
+      List.sort compare (Hashtbl.fold (fun id n acc -> (id, n) :: acc) allow_by_rule []);
     overflow = !overflow;
     units_scanned = List.length units;
     reachable = Reach.to_list reach;

@@ -10,6 +10,13 @@ type config = {
       (** dotted-name prefixes of units under hygiene + merge-law scope *)
   decode_prefixes : string list;
       (** dotted-name prefixes of units under decode-purity scope *)
+  hot_prefixes : string list;
+      (** dotted-name prefixes whose observe/observe_shard/add (and, for
+          the poly-compare rule, merge) bindings seed the alloc-hot set;
+          decode* bindings in decode scope seed it too *)
+  acc_prefixes : string list;
+      (** dotted-name prefixes whose observe/observe_shard/add bindings
+          seed the bound-hot set for accumulator-boundedness *)
   test_units : string list;
       (** units scanned for merge-law property registrations *)
   merge_prop_fn : string;
@@ -33,6 +40,10 @@ val run : config -> string -> t
 val findings : t -> Finding.t list
 val allowed : t -> int
 (** Violations suppressed by allowlist attributes. *)
+
+val allowed_by_rule : t -> (string * int) list
+(** Per-rule-id suppression counts, sorted by id — how often each
+    escape hatch ([@@nt.alloc_ok], [@@nt.bounded], ...) actually bit. *)
 
 val overflow : t -> int
 (** Findings dropped past the per-rule cap. *)

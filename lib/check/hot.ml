@@ -1,0 +1,174 @@
+(* Function-level hot-code discovery for the alloc and bound families.
+
+   Module-granular reachability (Reach) is too coarse for per-record
+   cost rules: Record.to_line lives in the same unit as the hot
+   accessors but only runs once per serialized report.  This module
+   builds a cross-unit call graph over *top-level value bindings* and
+   solves reachability from configurable seed bindings (analysis
+   observe/add entry points, wire decode* entry points, merge paths).
+
+   Resolution is name-based over typedtree paths: a [Texp_ident] whose
+   path prefix names another compiled unit (directly, via the wrapped
+   dotted name, or through a one-level local module alias — the
+   [module Fh = Nt_nfs.Fh] idiom every lib file uses) becomes an edge.
+   Bindings inside nested structures are not graph nodes; references
+   through functor instances (Fh_tbl.add) resolve to no unit and add no
+   edge, which is fine — the stdlib leaves they wrap are modeled by the
+   rules themselves, not by traversal. *)
+
+type node = string * string (* compilation unit name, binding name *)
+
+type graph = {
+  (* unit name -> binding names defined at its top level, in order *)
+  bindings : (string, string list) Hashtbl.t;
+  (* unit name -> dotted name *)
+  dotted : (string, string) Hashtbl.t;
+  (* "Nt_nfs.Fh" / "Nt_nfs__Fh" -> unit name, for prefix resolution *)
+  by_name : (string, string) Hashtbl.t;
+  edges : (node, node list) Hashtbl.t;
+}
+
+let binding_name (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Some (Ident.name id) | _ -> None
+
+(* Local [module X = Path] aliases, one level (merge_check's idiom). *)
+let module_aliases (str : Typedtree.structure) =
+  let tbl = Hashtbl.create 16 in
+  let rec of_expr (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_ident (p, _) -> Some (Path.name p)
+    | Tmod_constraint (me, _, _, _) -> of_expr me
+    | _ -> None
+  in
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_module mb -> (
+          match (mb.mb_id, of_expr mb.mb_expr) with
+          | Some id, Some target -> Hashtbl.replace tbl (Ident.name id) target
+          | _ -> ())
+      | _ -> ())
+    str.str_items;
+  tbl
+
+let expand_alias aliases dotted =
+  match String.index_opt dotted '.' with
+  | None -> ( match Hashtbl.find_opt aliases dotted with Some t -> t | None -> dotted)
+  | Some i -> (
+      let head = String.sub dotted 0 i in
+      let rest = String.sub dotted i (String.length dotted - i) in
+      match Hashtbl.find_opt aliases head with Some t -> t ^ rest | None -> dotted)
+
+let top_bindings (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.filter_map
+            (fun vb -> Option.map (fun n -> (n, vb)) (binding_name vb))
+            vbs
+      | _ -> [])
+    str.str_items
+
+(* Every (unit, binding) pair a binding's body mentions. *)
+let callees graph aliases ~unit_name (vb : Typedtree.value_binding) =
+  let acc = ref [] in
+  let local = Hashtbl.find_opt graph.bindings unit_name in
+  let local_has n = match local with Some l -> List.mem n l | None -> false in
+  let add node = if not (List.mem node !acc) then acc := node :: !acc in
+  let resolve_prefix prefix_name =
+    let expanded = expand_alias aliases prefix_name in
+    Hashtbl.find_opt graph.by_name expanded
+  in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        match p with
+        | Path.Pident id ->
+            let n = Ident.name id in
+            if local_has n then add (unit_name, n)
+        | Path.Pdot (prefix, last) -> (
+            match resolve_prefix (Path.name prefix) with
+            | Some u -> (
+                match Hashtbl.find_opt graph.bindings u with
+                | Some l when List.mem last l -> add (u, last)
+                | _ -> ())
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it vb.vb_expr;
+  !acc
+
+let build (units : Loader.unit_info list) =
+  let graph =
+    {
+      bindings = Hashtbl.create 64;
+      dotted = Hashtbl.create 64;
+      by_name = Hashtbl.create 64;
+      edges = Hashtbl.create 256;
+    }
+  in
+  let impls =
+    List.filter_map
+      (fun (u : Loader.unit_info) ->
+        match u.Loader.payload with
+        | Loader.Impl str -> Some (u, str)
+        | Loader.Intf _ -> None)
+      units
+  in
+  (* Pass 1: nodes and name resolution tables. *)
+  List.iter
+    (fun ((u : Loader.unit_info), str) ->
+      Hashtbl.replace graph.bindings u.Loader.name (List.map fst (top_bindings str));
+      Hashtbl.replace graph.dotted u.Loader.name u.Loader.dotted;
+      Hashtbl.replace graph.by_name u.Loader.name u.Loader.name;
+      Hashtbl.replace graph.by_name u.Loader.dotted u.Loader.name)
+    impls;
+  (* Pass 2: edges. *)
+  List.iter
+    (fun ((u : Loader.unit_info), str) ->
+      let aliases = module_aliases str in
+      List.iter
+        (fun (n, vb) ->
+          Hashtbl.replace graph.edges (u.Loader.name, n)
+            (callees graph aliases ~unit_name:u.Loader.name vb))
+        (top_bindings str))
+    impls;
+  graph
+
+type t = { hot : (node, unit) Hashtbl.t; seed_count : int }
+
+(* [seeds graph f] collects every top-level binding [f] accepts;
+   [solve] closes them over the call graph. *)
+let solve graph ~seeds:accept =
+  let seeds = ref [] in
+  Hashtbl.iter
+    (fun unit_name bindings ->
+      let dotted =
+        match Hashtbl.find_opt graph.dotted unit_name with Some d -> d | None -> unit_name
+      in
+      List.iter
+        (fun fn -> if accept ~unit_name ~dotted ~fn then seeds := (unit_name, fn) :: !seeds)
+        bindings)
+    graph.bindings;
+  let hot = Hashtbl.create 256 in
+  let rec visit node =
+    if not (Hashtbl.mem hot node) then begin
+      Hashtbl.add hot node ();
+      match Hashtbl.find_opt graph.edges node with
+      | Some callees -> List.iter visit callees
+      | None -> ()
+    end
+  in
+  List.iter visit !seeds;
+  { hot; seed_count = List.length !seeds }
+
+let mem t ~unit_name ~fn = Hashtbl.mem t.hot (unit_name, fn)
+let seed_count t = t.seed_count
+let size t = Hashtbl.length t.hot
+
+let to_list t =
+  List.sort compare (Hashtbl.fold (fun (u, f) () acc -> (u ^ "." ^ f) :: acc) t.hot [])

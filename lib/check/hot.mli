@@ -1,0 +1,25 @@
+(** Function-level hot-code discovery: a cross-unit call graph over
+    top-level value bindings, solved from configurable seed bindings
+    (analysis observe/add entry points, wire decode* entry points).
+    Backs the alloc and bound rule families, which must distinguish
+    per-record code from cold reporting code living in the same unit. *)
+
+type graph
+
+val build : Loader.unit_info list -> graph
+(** Collect every implementation unit's top-level bindings and resolve
+    cross-unit references (direct, wrapped-dotted, or through one-level
+    local module aliases) into call edges. *)
+
+type t
+
+val solve :
+  graph -> seeds:(unit_name:string -> dotted:string -> fn:string -> bool) -> t
+(** Close the bindings accepted by [seeds] over the call graph. *)
+
+val mem : t -> unit_name:string -> fn:string -> bool
+val seed_count : t -> int
+val size : t -> int
+
+val to_list : t -> string list
+(** Sorted ["Unit.binding"] names, for diagnostics. *)

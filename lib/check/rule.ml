@@ -3,13 +3,15 @@ type severity = Info | Warn | Error
 let severity_to_string = function Info -> "info" | Warn -> "warn" | Error -> "error"
 let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Config
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Config
 
 let family_to_string = function
   | Domain_safety -> "domain-safety"
   | Merge_law -> "merge-law"
   | Decode_purity -> "decode-purity"
   | Hygiene -> "hygiene"
+  | Alloc -> "alloc"
+  | Bound -> "bound"
   | Config -> "config"
 
 type t = { id : string; family : family; severity : severity; doc : string }
@@ -61,6 +63,43 @@ let marshal_output =
   rule "marshal-output" Hygiene Warn
     "Marshal serialization (fragile, version-locked wire format)"
 
+(* --- hot-path allocation --- *)
+
+let alloc_hot_string =
+  rule "alloc-hot-string" Alloc Error
+    "intermediate string copy (String.sub, concat, ^, Bytes conversion, Buffer \
+     materialization) in per-record hot code"
+
+let alloc_hot_format =
+  rule "alloc-hot-format" Alloc Error
+    "Printf/Format call in per-record hot code (format interpretation allocates; error \
+     paths under raise are exempt)"
+
+let alloc_hot_list =
+  rule "alloc-hot-list" Alloc Error
+    "list construction (cons, append, List.map/rev/init) in per-record hot code"
+
+let alloc_hot_closure =
+  rule "alloc-hot-closure" Alloc Error
+    "closure allocated per record (fun nested inside a hot function body)"
+
+let alloc_poly_compare =
+  rule "alloc-poly-compare" Alloc Error
+    "polymorphic =, <>, compare or Hashtbl.hash at a type the compiler does not \
+     specialize (walks the heap, allocates, and is slow on every record)"
+
+(* --- accumulator boundedness --- *)
+
+let bound_table =
+  rule "bound-table" Bound Error
+    "Hashtbl add/replace growth in per-record accumulator code with no eviction \
+     (remove/reset/clear/filter_inplace) on the same table class anywhere in the module"
+
+let bound_list =
+  rule "bound-list" Bound Error
+    "self-appending container growth (x :: t.f, Set.add into its own field) in per-record \
+     accumulator code with no reset of the same field anywhere in the module"
+
 (* --- configuration drift --- *)
 
 let config_drift =
@@ -79,6 +118,13 @@ let all =
     obj_magic;
     marshal_untrusted;
     marshal_output;
+    alloc_hot_string;
+    alloc_hot_format;
+    alloc_hot_list;
+    alloc_hot_closure;
+    alloc_poly_compare;
+    bound_table;
+    bound_list;
     config_drift;
   ]
 

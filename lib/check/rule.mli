@@ -10,7 +10,7 @@ type severity = Info | Warn | Error
 val severity_to_string : severity -> string
 val severity_rank : severity -> int
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Config
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Config
 
 val family_to_string : family -> string
 
@@ -25,6 +25,13 @@ val lib_stdout : t
 val obj_magic : t
 val marshal_untrusted : t
 val marshal_output : t
+val alloc_hot_string : t
+val alloc_hot_format : t
+val alloc_hot_list : t
+val alloc_hot_closure : t
+val alloc_poly_compare : t
+val bound_table : t
+val bound_list : t
 val config_drift : t
 
 val all : t list

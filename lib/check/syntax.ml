@@ -67,6 +67,10 @@ let first_token s =
   String.sub s 0 !stop
 
 (* [@@nt.domain_safe "reason"] allowlists both domain-safety rules;
+   [@@nt.alloc_ok "reason"] allowlists the whole alloc family on one
+   binding; [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] allowlist
+   the bound family (the first documents a cap the analyzer cannot see,
+   the second an accepted unbounded growth);
    [@@nt.allow "<rule-id>: reason"] allowlists one rule ("*" for all).
    A reason string is required: a bare attribute suppresses nothing, so
    undocumented exemptions do not accumulate. *)
@@ -77,6 +81,16 @@ let allows (attrs : Typedtree.attributes) =
       | _, Some "" | _, None -> []
       | "nt.domain_safe", Some _ ->
           [ Rule.dom_top_mutable.Rule.id; Rule.dom_mutable_record.Rule.id ]
+      | "nt.alloc_ok", Some _ ->
+          [
+            Rule.alloc_hot_string.Rule.id;
+            Rule.alloc_hot_format.Rule.id;
+            Rule.alloc_hot_list.Rule.id;
+            Rule.alloc_hot_closure.Rule.id;
+            Rule.alloc_poly_compare.Rule.id;
+          ]
+      | ("nt.bounded" | "nt.unbounded"), Some _ ->
+          [ Rule.bound_table.Rule.id; Rule.bound_list.Rule.id ]
       | "nt.allow", Some reason -> [ first_token reason ]
       | _ -> [])
     attrs

@@ -19,7 +19,9 @@ val unit_matches : unit:string -> string -> bool
     Test_par). *)
 
 val allows : Typedtree.attributes -> string list
-(** Rule ids allowlisted by [@@nt.domain_safe "reason"] or
+(** Rule ids allowlisted by [@@nt.domain_safe "reason"],
+    [@@nt.alloc_ok "reason"] (whole alloc family),
+    [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] (bound family) or
     [@@nt.allow "<rule-id>: reason"] attributes.  Attributes with no
     reason string suppress nothing. *)
 

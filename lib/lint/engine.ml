@@ -69,6 +69,7 @@ let emit t (f : Finding.t) =
     | Rule.Warn -> t.n_warn <- t.n_warn + 1
     | Rule.Error -> t.n_error <- t.n_error + 1
   end
+[@@nt.bounded "counts is keyed by the finite rule set; findings_rev is capped by max_findings_per_rule"]
 
 let create ?(obs = Obs.null) cfg =
   let c_findings = Hashtbl.create 32 in

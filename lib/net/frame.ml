@@ -159,3 +159,4 @@ let decode s =
       end
     end
   end
+[@@nt.alloc_ok "materializes MACs and one payload copy per frame; zero-copy slices are a ROADMAP item"]

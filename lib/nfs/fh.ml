@@ -26,18 +26,19 @@ let fsid t =
     Some (Int32.to_int (String.get_int32_be t 4))
   else None
 
-let to_hex t =
-  let n = min (String.length t) 16 in
-  let buf = Buffer.create (n * 2) in
-  for i = 0 to n - 1 do
-    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code t.[i]))
-  done;
-  Buffer.contents buf
+let hex_digits = "0123456789abcdef"
 
-let to_hex_full t =
-  let buf = Buffer.create (String.length t * 2) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
-  Buffer.contents buf
+let hex_of_prefix t n =
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code t.[i] in
+    Bytes.set b (2 * i) hex_digits.[c lsr 4];
+    Bytes.set b ((2 * i) + 1) hex_digits.[c land 0xF]
+  done;
+  Bytes.unsafe_to_string b
+
+let to_hex t = hex_of_prefix t (min (String.length t) 16)
+let to_hex_full t = hex_of_prefix t (String.length t)
 
 let of_hex s =
   let n = String.length s in

@@ -73,3 +73,4 @@ let decode_export_result d =
     else List.rev acc
   in
   entries []
+[@@nt.alloc_ok "the export list is the decoded value; MOUNT traffic is a handful of calls per trace"]

@@ -97,19 +97,24 @@ let encode_sattr e (s : Types.sattr) =
       E.uint32 e neg1;
       E.uint32 e neg1
 
+(* Helpers at top level: decode_sattr runs per SETATTR/CREATE record,
+   so its body must not rebuild these closures each call. *)
+let sattr_opt v = if v = neg1 then None else Some v
+
+let decode_sattr_time d =
+  let seconds = D.uint32 d in
+  let micros = D.uint32 d in
+  if seconds = neg1 then None else Some { Types.seconds; nanos = micros * 1000 }
+
 let decode_sattr d : Types.sattr =
-  let opt v = if v = neg1 then None else Some v in
-  let set_mode = opt (D.uint32 d) in
-  let set_uid = opt (D.uint32 d) in
-  let set_gid = opt (D.uint32 d) in
-  let set_size = Option.map Int64.of_int (opt (D.uint32 d)) in
-  let time_opt d =
-    let seconds = D.uint32 d in
-    let micros = D.uint32 d in
-    if seconds = neg1 then None else Some { Types.seconds; nanos = micros * 1000 }
+  let set_mode = sattr_opt (D.uint32 d) in
+  let set_uid = sattr_opt (D.uint32 d) in
+  let set_gid = sattr_opt (D.uint32 d) in
+  let set_size =
+    match sattr_opt (D.uint32 d) with Some v -> Some (Int64.of_int v) | None -> None
   in
-  let set_atime = time_opt d in
-  let set_mtime = time_opt d in
+  let set_atime = decode_sattr_time d in
+  let set_mtime = decode_sattr_time d in
   { set_mode; set_uid; set_gid; set_size; set_atime; set_mtime }
 
 let encode_diropargs e dir name =
@@ -321,8 +326,10 @@ let encode_result e ~proc (r : Ops.result) =
       | Error _ -> ())
   | Access | Mknod | Readdirplus | Fsinfo | Pathconf | Commit -> unsupported proc
 
+let decode_status d = Types.nfsstat_of_int (D.uint32 d)
+
 let decode_result ~proc d : Ops.result =
-  let status d = Types.nfsstat_of_int (D.uint32 d) in
+  let status = decode_status in
   match (proc : Proc.t) with
   | Null -> Ok R_null
   | Root | Writecache -> Ok R_null
@@ -394,3 +401,4 @@ let decode_result ~proc d : Ops.result =
                })
       | err -> Error err)
   | Access | Mknod | Readdirplus | Fsinfo | Pathconf | Commit -> unsupported proc
+[@@nt.alloc_ok "the readdir entry list (cons + rev + local walker) is the decoded value"]

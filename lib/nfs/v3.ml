@@ -80,14 +80,16 @@ let encode_wcc_data e post =
   E.bool e false;
   encode_post_op_attr e post
 
+(* Top level so decode_wcc_data (per WRITE/CREATE/REMOVE record)
+   allocates no closure per call. *)
+let skip_wcc_attr d =
+  let _size = D.uint64 d in
+  let _mtime = decode_time d in
+  let _ctime = decode_time d in
+  ()
+
 let decode_wcc_data d =
-  let pre =
-    D.optional d (fun d ->
-        let _size = D.uint64 d in
-        let _mtime = decode_time d in
-        let _ctime = decode_time d in
-        ())
-  in
+  let pre = D.optional d skip_wcc_attr in
   ignore pre;
   decode_post_op_attr d
 
@@ -109,18 +111,20 @@ let encode_sattr e (s : Types.sattr) =
       E.uint32 e 2;
       encode_time e t
 
+(* Top level so decode_sattr (per SETATTR/CREATE record) allocates no
+   closure per call. *)
+let decode_set_time d =
+  match D.uint32 d with
+  | 0 -> None
+  | 1 -> Some { Types.seconds = 0; nanos = 0 } (* SET_TO_SERVER_TIME *)
+  | 2 -> Some (decode_time d)
+  | n -> raise (D.Error (Printf.sprintf "bad time_how %d" n))
+
 let decode_sattr d : Types.sattr =
   let set_mode = D.optional d D.uint32 in
   let set_uid = D.optional d D.uint32 in
   let set_gid = D.optional d D.uint32 in
   let set_size = D.optional d D.uint64 in
-  let decode_set_time d =
-    match D.uint32 d with
-    | 0 -> None
-    | 1 -> Some { Types.seconds = 0; nanos = 0 } (* SET_TO_SERVER_TIME *)
-    | 2 -> Some (decode_time d)
-    | n -> raise (D.Error (Printf.sprintf "bad time_how %d" n))
-  in
   let set_atime = decode_set_time d in
   let set_mtime = decode_set_time d in
   { set_mode; set_uid; set_gid; set_size; set_atime; set_mtime }
@@ -569,3 +573,4 @@ let decode_result ~proc d : Ops.result =
       Ok R_empty
   | Ok_, (Root | Writecache) -> raise (Unsupported "v2-only procedure in v3 stream")
   | err, _ -> Error err
+[@@nt.alloc_ok "the readdir entry list (cons + rev + local walker) is the decoded value"]

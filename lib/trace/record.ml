@@ -60,7 +60,7 @@ let post_fattr t =
   | Some (Ok (Ops.R_create { attr = Some a; _ })) -> Some a
   | _ -> None
 
-let post_size t = Option.map (fun (a : Types.fattr) -> a.size) (post_fattr t)
+let post_size t = match post_fattr t with Some a -> Some a.size | None -> None
 
 let status t =
   match t.result with

@@ -13,17 +13,16 @@ let log2_buckets ~lo ~hi =
   let rec collect acc v = if v > hi *. 1.0001 then List.rev acc else collect (v :: acc) (v *. 2.) in
   create ~edges:(Array.of_list (collect [] lo))
 
-let bucket_of t x =
-  (* First bucket whose edge exceeds x; edges.(i) is the exclusive upper
-     bound of bucket i. *)
-  let n = Array.length t.edges in
-  let rec go lo hi =
-    if lo >= hi then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if x >= t.edges.(mid) then go (mid + 1) hi else go lo mid
-  in
-  go 0 n
+(* First bucket whose edge exceeds x; edges.(i) is the exclusive upper
+   bound of bucket i.  Top-level so the per-sample path allocates no
+   closure. *)
+let rec search edges x lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if x >= edges.(mid) then search edges x (mid + 1) hi else search edges x lo mid
+
+let bucket_of t x = search t.edges x 0 (Array.length t.edges)
 
 let add_weighted t x w = t.weights.(bucket_of t x) <- t.weights.(bucket_of t x) +. w
 let add t x = add_weighted t x 1.
@@ -32,8 +31,17 @@ let edges t = t.edges
 let weight t i = t.weights.(i)
 let total_weight t = Array.fold_left ( +. ) 0. t.weights
 
+let same_edges (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) <> b.(i) then ok := false
+  done;
+  !ok
+
 let merge a b =
-  if a.edges <> b.edges then invalid_arg "Histogram.merge: bucket edges differ";
+  if not (same_edges a.edges b.edges) then invalid_arg "Histogram.merge: bucket edges differ";
   for i = 0 to Array.length a.weights - 1 do
     a.weights.(i) <- a.weights.(i) +. b.weights.(i)
   done;

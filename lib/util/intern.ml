@@ -1,0 +1,38 @@
+(* String interning for per-record hot paths.  The analysis passes key
+   their name tables by (directory handle, component name); hashing and
+   comparing those strings per record — or worse, hex-encoding the
+   handle first — dominates the pass cost.  Interning maps each
+   distinct string to a small int once, so the steady-state per-record
+   work is one string-keyed lookup and all downstream table traffic is
+   int-keyed and allocation-free.
+
+   Each accumulator owns its interner (atom ids are meaningless across
+   instances — merge must translate through [to_string]), which also
+   keeps shard accumulators domain-local. *)
+
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable rev : string array;
+  mutable n : int;
+}
+
+let create size = { ids = Hashtbl.create size; rev = Array.make (max size 16) ""; n = 0 }
+
+let id t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some i -> i
+  | None ->
+      let i = t.n in
+      if i >= Array.length t.rev then begin
+        let bigger = Array.make (2 * Array.length t.rev) "" in
+        Array.blit t.rev 0 bigger 0 t.n;
+        t.rev <- bigger
+      end;
+      t.rev.(i) <- s;
+      Hashtbl.add t.ids s i;
+      t.n <- i + 1;
+      i
+[@@nt.unbounded "one entry per distinct atom; interning trades table growth for zero-alloc per-record keys"]
+
+let to_string t i = t.rev.(i)
+let size t = t.n

@@ -1,0 +1,21 @@
+(** String interning for per-record hot paths: each distinct string
+    maps to a dense small int, so accumulator tables can be int-keyed
+    (no per-record string hashing, comparison, or hex encoding).
+
+    Atom ids are private to one interner instance; translating a key
+    between accumulators (e.g. at shard merge) goes through
+    [to_string] on the source and [id] on the destination. *)
+
+type t
+
+val create : int -> t
+(** [create size_hint] makes an empty interner. *)
+
+val id : t -> string -> int
+(** Stable dense id of [s] in this interner, assigned on first sight.
+    Ids count up from 0. *)
+
+val to_string : t -> int -> string
+(** Inverse of [id].  Unchecked: out-of-range ids are undefined. *)
+
+val size : t -> int

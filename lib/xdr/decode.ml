@@ -49,6 +49,7 @@ let fixed_opaque t n =
   need t (n + pad);
   t.cursor <- t.cursor + n + pad;
   s
+[@@nt.alloc_ok "materializes the decoded opaque; the copy is the decoded value"]
 
 let opaque t =
   let n = uint32 t in
@@ -62,6 +63,7 @@ let array t dec =
   if n * 4 > remaining t then raise (Error (Printf.sprintf "array count %d exceeds window" n));
   let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (dec t :: acc) in
   go n []
+[@@nt.alloc_ok "materializes the decoded array as a list; the list is the decoded value"]
 
 let optional t dec = if bool t then Some (dec t) else None
 

@@ -1,0 +1,14 @@
+(* Accumulator-boundedness fixtures: this unit is in the configured
+   accumulator scope, so [observe] and [add] are bound-hot seeds. *)
+
+type t = { table : (int, int) Hashtbl.t; mutable log : int list }
+
+let create () = { table = Hashtbl.create 16; log = [] }
+
+(* violation: bound-table (growth with no eviction anywhere in this
+   module) *)
+let add t k v = Hashtbl.replace t.table k v
+
+(* violation: bound-list (self-appending field with no reset anywhere
+   in this module) *)
+let observe t x = t.log <- x :: t.log

@@ -1,0 +1,17 @@
+(* Clean twin of Fix_bound: the same growth sites, paired with eviction
+   on the table class and a reset of the appended field. *)
+
+type t = { table : (int, int) Hashtbl.t; mutable log : int list }
+
+let create () = { table = Hashtbl.create 16; log = [] }
+
+let add t k v =
+  if Hashtbl.length t.table > 1024 then Hashtbl.reset t.table;
+  Hashtbl.replace t.table k v
+
+let observe t x = t.log <- x :: t.log
+
+let flush t =
+  let out = t.log in
+  t.log <- [];
+  out

@@ -1,0 +1,14 @@
+(* Allowlist fixture: the same growth sites as Fix_bound, accepted and
+   counted through the boundedness attributes. *)
+
+type t = { table : (int, int) Hashtbl.t; mutable log : int list }
+
+let create () = { table = Hashtbl.create 16; log = [] }
+
+(* suppressed: bound-table *)
+let add t k v = Hashtbl.replace t.table k v
+[@@nt.bounded "fixture: capped by the test driver"]
+
+(* suppressed: bound-list *)
+let observe t x = t.log <- x :: t.log
+[@@nt.unbounded "fixture: accepted growth, drained by the test driver"]

@@ -21,3 +21,7 @@ let decode_first (b : bytes) = try if Bytes.length b = 0 then raise Exit else 1 
 (* violation: decode-partial-match (compiled with -w -a so only ntcheck
    sees it) *)
 let tag_name (t : int) = match t with 0 -> "null" | 1 -> "data"
+
+(* violation: alloc-hot-format (decode* bindings in the decode scope
+   seed the alloc-hot set; format interpretation allocates per record) *)
+let decode_label (t : int) = Printf.sprintf "tag-%d" t

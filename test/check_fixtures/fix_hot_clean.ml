@@ -1,0 +1,16 @@
+(* Clean twin of Fix_hot: the same entry-point shape (seeded observe
+   and merge in the hot scope) with nothing allocated per record. *)
+
+type t = { mutable seen : int; mutable total : int }
+
+let create () = { seen = 0; total = 0 }
+let bump x = x + 1
+
+let observe t x =
+  t.seen <- t.seen + 1;
+  t.total <- t.total + bump x
+
+let merge (a : t) (b : t) =
+  if b.seen > a.seen then a.seen <- b.seen;
+  a.total <- a.total + b.total;
+  a

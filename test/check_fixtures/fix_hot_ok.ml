@@ -1,0 +1,12 @@
+(* Allowlist fixture: the same hot-string violation as Fix_hotdep, but
+   accepted through [@@nt.alloc_ok] — it must be counted, not fire. *)
+
+type t = { mutable seen : int }
+
+let create () = { seen = 0 }
+
+(* suppressed: alloc-hot-string *)
+let head (s : string) = String.sub s 0 1
+[@@nt.alloc_ok "fixture: accepted per-record copy"]
+
+let observe t name = t.seen <- t.seen + String.length (head name)

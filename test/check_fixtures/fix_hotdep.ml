@@ -1,0 +1,6 @@
+(* Hot only by reachability: no entry-point seed lives here, but
+   Fix_hot.observe calls [slice], so the hot set must propagate across
+   the unit boundary and flag it. *)
+
+(* violation: alloc-hot-string (intermediate copy per record) *)
+let slice (s : string) = String.sub s 0 1

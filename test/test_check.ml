@@ -14,6 +14,8 @@ let fixture_config =
     (* Fix_ghost exists nowhere: config-drift's seeded violation *)
     lib_prefixes = [ "Fix_" ];
     decode_prefixes = [ "Fix_decode" ];
+    hot_prefixes = [ "Fix_hot" ];
+    acc_prefixes = [ "Fix_bound" ];
     test_units = [ "Fix_testreg" ];
     excludes = [];
   }
@@ -28,7 +30,7 @@ let run ?(config = fixture_config) () = Engine.run config fixture_dir
 let test_loads_cleanly () =
   let t = run () in
   Alcotest.(check (list (pair string string))) "no unreadable cmts" [] (Engine.load_errors t);
-  Alcotest.(check int) "all fixture units scanned" 10 (Engine.units_scanned t)
+  Alcotest.(check int) "all fixture units scanned" 17 (Engine.units_scanned t)
 
 let test_each_rule_fires_exactly_once () =
   let t = run () in
@@ -53,12 +55,21 @@ let test_clean_twins_stay_silent () =
         (fun twin ->
           if contains f.Finding.file twin then
             Alcotest.failf "finding %s in clean twin %s" f.Finding.rule.Rule.id f.Finding.file)
-        [ "fix_unreachable"; "fix_acc_covered"; "fix_driver"; "fix_testreg" ])
+        [
+          "fix_unreachable"; "fix_acc_covered"; "fix_driver"; "fix_testreg"; "fix_hot_clean";
+          "fix_hot_ok"; "fix_bound_clean"; "fix_bound_ok";
+        ])
     (Engine.findings t)
 
 let test_suppression_counts () =
   let t = run () in
-  Alcotest.(check int) "allowlisted ref counted, not reported" 1 (Engine.allowed t)
+  Alcotest.(check int) "allowlisted violations counted, not reported" 4 (Engine.allowed t);
+  Alcotest.(check (list (pair string int)))
+    "one suppression per allowlist attribute, under the right rule"
+    [
+      ("alloc-hot-string", 1); ("bound-list", 1); ("bound-table", 1); ("dom-top-mutable", 1);
+    ]
+    (Engine.allowed_by_rule t)
 
 let test_reachability_set () =
   let t = run () in
@@ -78,7 +89,7 @@ let test_per_rule_cap () =
   Alcotest.(check int) "no findings under a zero cap" 0 (List.length (Engine.findings t));
   Alcotest.(check int) "every violation counted as overflow" (List.length Rule.all)
     (Engine.overflow t);
-  Alcotest.(check int) "suppression is not capped" 1 (Engine.allowed t)
+  Alcotest.(check int) "suppression is not capped" 4 (Engine.allowed t)
 
 let test_disabled_rule () =
   let t = run ~config:{ fixture_config with Engine.disabled = [ "lib-stdout" ] } () in
