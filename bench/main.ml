@@ -883,33 +883,87 @@ let obs_overhead () =
   (* Best of 3 per variant; severity_count forces the settle so the
      deferred protocol checks land inside the timed region. The lint
      engine's default registry is Obs.null, so the no-registry run is
-     the compiled-out analog: instrumentation reduced to dead branches. *)
-  let time_variant make_obs =
-    let best = ref infinity in
-    let snapshot = ref None in
-    for _ = 1 to 3 do
-      let obs = make_obs () in
-      let t0 = Unix.gettimeofday () in
-      let engine =
-        match obs with
-        | None -> Nt_lint.Engine.run cfg (lint_stream n)
-        | Some o -> Nt_lint.Engine.run ~obs:o cfg (lint_stream n)
-      in
-      ignore (Nt_lint.Engine.severity_count engine Nt_lint.Rule.Error);
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt;
-      Option.iter (fun o -> snapshot := Some (Obs.snapshot o)) obs
-    done;
-    (!best, !snapshot)
+     the compiled-out analog: instrumentation reduced to dead branches.
+     The enabled arm carries the full v2 telemetry load — resource
+     sampler ticked per record plus an attached trace timeline — so the
+     5% budget covers everything a --trace-out production run pays. *)
+  let last_sampler = ref None in
+  let run_once make_obs =
+    let obs, tick = make_obs () in
+    let stream =
+      match tick with
+      | None -> lint_stream n
+      | Some f ->
+          Seq.map
+            (fun r ->
+              f ();
+              r)
+            (lint_stream n)
+    in
+    (* Level the heap before every timed run so major-GC phase luck
+       doesn't land on one variant and not its pair. *)
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let engine =
+      match obs with
+      | None -> Nt_lint.Engine.run cfg stream
+      | Some o -> Nt_lint.Engine.run ~obs:o cfg stream
+    in
+    ignore (Nt_lint.Engine.severity_count engine Nt_lint.Rule.Error);
+    (Unix.gettimeofday () -. t0, obs)
   in
-  let compiled_out, _ = time_variant (fun () -> None) in
-  let disabled, _ = time_variant (fun () -> Some (Obs.create ~enabled:false ())) in
-  let enabled, snap = time_variant (fun () -> Some (Obs.create ())) in
+  let make_compiled_out () = (None, None) in
+  let make_disabled () = (Some (Obs.create ~enabled:false ()), None) in
+  let make_enabled () =
+    let obs = Obs.create () in
+    let tl = Nt_obs.Timeline.create () in
+    Nt_obs.Timeline.attach tl obs;
+    let sampler = Nt_obs.Sampler.create ~interval:0.25 obs in
+    last_sampler := Some sampler;
+    (Some obs, Some (fun () -> Nt_obs.Sampler.tick sampler))
+  in
+  (* Rounds interleave the variants rather than timing each one's
+     best-of block back to back: a systemic slow phase on a shared
+     machine then lands on all three instead of poisoning one. The
+     gate statistic is the median over rounds of the per-round
+     enabled/disabled ratio — pairing cancels round-level machine
+     drift, and the median (unlike min-of-N) is not inflated by one
+     lucky-fast baseline run, which is the difference between a 5%
+     gate and a coin flip. *)
+  let variants = [| make_compiled_out; make_disabled; make_enabled |] in
+  let rounds = if n < 1_000_000 then 7 else 5 in
+  let times = Array.make_matrix 3 rounds 0.0 in
+  let snap = ref None in
+  ignore (run_once make_compiled_out : float * Obs.t option);
+  for r = 0 to rounds - 1 do
+    Array.iteri
+      (fun i make ->
+        let dt, obs = run_once make in
+        times.(i).(r) <- dt;
+        if i = 2 then Option.iter (fun o -> snap := Some (Obs.snapshot o)) obs)
+      variants
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let ratio num den = median (Array.init rounds (fun r -> num.(r) /. den.(r))) in
+  let compiled_out = median times.(0)
+  and disabled = median times.(1)
+  and enabled = median times.(2) in
+  let snap = !snap in
+  let rss_hwm, heap_words =
+    match !last_sampler with
+    | Some s ->
+        let smp = Nt_obs.Sampler.sample_now s in
+        (smp.Nt_obs.Sampler.rss_hwm_bytes, smp.Nt_obs.Sampler.heap_words)
+    | None -> (0, 0)
+  in
   let rate t = float_of_int n /. t in
-  let overhead base t = 100. *. ((t /. base) -. 1.) in
-  let enabled_vs_disabled = overhead disabled enabled in
-  let disabled_vs_compiled = overhead compiled_out disabled in
-  let pass = enabled <= disabled *. 1.05 in
+  let enabled_vs_disabled = 100. *. (ratio times.(2) times.(1) -. 1.) in
+  let disabled_vs_compiled = 100. *. (ratio times.(1) times.(0) -. 1.) in
+  let pass = enabled_vs_disabled <= 5.0 in
   Tables.print
     ~header:[ "variant"; "time (s)"; "records/s"; "overhead" ]
     [
@@ -934,10 +988,12 @@ let obs_overhead () =
     \  \"records_per_second\": {\"compiled_out\": %.0f, \"disabled\": %.0f, \"enabled\": %.0f},\n\
     \  \"overhead_pct\": {\"enabled_vs_disabled\": %.3f, \"disabled_vs_compiled_out\": %.3f},\n\
     \  \"budget_pct\": 5.0,\n\
+    \  \"heap_words\": %d,\n\
+    \  \"rss_hwm_bytes\": %d,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
     n compiled_out disabled enabled (rate compiled_out) (rate disabled) (rate enabled)
-    enabled_vs_disabled disabled_vs_compiled pass snapshot_json;
+    enabled_vs_disabled disabled_vs_compiled heap_words rss_hwm pass snapshot_json;
   close_out oc;
   print_endline "wrote BENCH_obs.json";
   if not pass then exit 1
@@ -1097,6 +1153,7 @@ let par_speedup () =
          pass_baseline)
   end;
   let snapshot_json = match snap with Some s -> Obs.to_json s | None -> "null" in
+  let end_smp = Nt_obs.Sampler.sample_now (Nt_obs.Sampler.create Obs.null) in
   let json_rates l =
     "{"
     ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.0f" k v) l)
@@ -1122,13 +1179,16 @@ let par_speedup () =
     \  \"pass_gate_enforced\": %b,\n\
     \  \"pass_regressed\": [%s],\n\
     \  \"reports_identical\": %b,\n\
+    \  \"heap_words\": %d,\n\
+    \  \"rss_hwm_bytes\": %d,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
     n domains t1 t4 (rate t1) (rate t4) speedup min_speedup enforced skip_json
     (json_rates (List.sort compare pass_rates))
     (json_rates pass_baseline) pass_slack pass_gate_enforced
     (String.concat ", " (List.map (Printf.sprintf "%S") regressed))
-    identical pass snapshot_json;
+    identical end_smp.Nt_obs.Sampler.heap_words end_smp.Nt_obs.Sampler.rss_hwm_bytes pass
+    snapshot_json;
   close_out oc;
   print_endline "wrote BENCH_par.json";
   if not pass then exit 1
@@ -1187,20 +1247,43 @@ let mon_soak () =
       (Feed.of_records records)
   in
   let t0 = Unix.gettimeofday () in
-  let quarter_peak = ref 0 in
+  let warm_peak = ref 0 in
+  (* All heap probes go through the service's resource sampler: one
+     audited path instead of scattered Gc.quick_stat calls, and the
+     readings land in the /series ring and rt.* gauges for free.
+     Each gated probe compacts first so heap_words reads live state,
+     not chunk-expansion timing: top_heap_words moves in whole heap
+     chunks, and at smoke sizes a single expansion drifting across the
+     warm mark swings the ratio more than real growth does. The warm
+     probe sits at the halfway point — smoke-sized streams are not yet
+     past ring warm-up at a quarter, and flat-over-the-back-half is the
+     same boundedness claim. *)
+  let compacted_probe () =
+    Gc.compact ();
+    Nt_obs.Sampler.sample_now (Service.sampler svc)
+  in
   let rec loop () =
     match Service.step svc with
     | `Continue ->
-        if !quarter_peak = 0 && Service.observed svc >= n / 4 then
-          quarter_peak := (Gc.quick_stat ()).Gc.top_heap_words;
+        if !warm_peak = 0 && Service.observed svc >= n / 2 then
+          warm_peak := (compacted_probe ()).Nt_obs.Sampler.heap_words;
         loop ()
     | `Stopped -> ()
   in
   loop ();
   Service.shutdown svc;
   let dt = Unix.gettimeofday () -. t0 in
-  let end_peak = (Gc.quick_stat ()).Gc.top_heap_words in
-  let quarter_peak = if !quarter_peak = 0 then end_peak else !quarter_peak in
+  let end_smp = compacted_probe () in
+  let end_peak = end_smp.Nt_obs.Sampler.heap_words in
+  let warm_peak = if !warm_peak = 0 then end_peak else !warm_peak in
+  (* Footprint honesty gate: the per-component state estimates must be
+     non-trivial and within 2x of the live major heap — an estimator
+     that drifts past the heap it claims to describe is lying. *)
+  let footprints = Nt_obs.Sampler.publish_footprints (Service.sampler svc) in
+  let fp_words =
+    List.fold_left (fun acc (_, fp) -> acc + fp.Nt_obs.Footprint.words) 0 footprints
+  in
+  let fp_ok = fp_words > 0 && fp_words <= 2 * end_smp.Nt_obs.Sampler.heap_words in
   let evictions =
     List.fold_left (fun acc (_, e) -> acc + e) 0 (Ring.evictions (Service.ring svc))
   in
@@ -1208,11 +1291,11 @@ let mon_soak () =
     match Service.conservation svc with Ok () -> true | Error _ -> false
   in
   (* "Flat peak RSS": the major heap must stop growing once the ring,
-     caps, and queue are warm — a quarter of the way in is generously
-     past warm-up, so the end-of-run peak may exceed it only slightly. *)
+     caps, and queue are warm — halfway in is generously past warm-up,
+     so the end-of-run live heap may exceed it only slightly. *)
   let growth_budget = 1.20 in
-  let heap_flat = float_of_int end_peak <= growth_budget *. float_of_int quarter_peak in
-  let pass = heap_flat && evictions > 0 && conserved && !reports > 0 in
+  let heap_flat = float_of_int end_peak <= growth_budget *. float_of_int warm_peak in
+  let pass = heap_flat && evictions > 0 && conserved && !reports > 0 && fp_ok in
   Tables.print
     ~header:[ "statistic"; "value" ]
     [
@@ -1223,15 +1306,21 @@ let mon_soak () =
       [ "rotations"; string_of_int (Ring.rotations (Service.ring svc)) ];
       [ "table evictions"; string_of_int evictions ];
       [ "shed"; string_of_int (Service.shed svc) ];
-      [ "peak heap at 25% (words)"; string_of_int quarter_peak ];
-      [ "peak heap at end (words)"; string_of_int end_peak ];
+      [ "compacted heap at 50% (words)"; string_of_int warm_peak ];
+      [ "compacted heap at end (words)"; string_of_int end_peak ];
+      [ "peak heap ever (words)"; string_of_int end_smp.Nt_obs.Sampler.top_heap_words ];
+      [ "state footprint (words)"; string_of_int fp_words ];
+      [ "peak RSS (bytes)"; string_of_int end_smp.Nt_obs.Sampler.rss_hwm_bytes ];
     ];
   Printf.printf
-    "\nheap flat (end <= %.2fx quarter): %s; evictions > 0: %s; conservation: %s\n"
+    "\nheap flat (end <= %.2fx warm): %s; evictions > 0: %s; conservation: %s;\n\
+     footprint sum within 2x of live heap (%d <= 2 * %d): %s\n"
     growth_budget
     (if heap_flat then "PASS" else "FAIL")
     (if evictions > 0 then "PASS" else "FAIL")
-    (if conserved then "PASS" else "FAIL");
+    (if conserved then "PASS" else "FAIL")
+    fp_words end_smp.Nt_obs.Sampler.heap_words
+    (if fp_ok then "PASS" else "FAIL");
   let snapshot_json = Obs.to_json (Obs.snapshot obs) in
   let oc = open_out "BENCH_mon.json" in
   Printf.fprintf oc
@@ -1245,15 +1334,19 @@ let mon_soak () =
     \  \"rotations\": %d,\n\
     \  \"evictions\": %d,\n\
     \  \"shed\": %d,\n\
-    \  \"heap_words\": {\"quarter\": %d, \"end\": %d},\n\
+    \  \"heap_words\": {\"warm\": %d, \"end\": %d},\n\
     \  \"growth_budget\": %.2f,\n\
+    \  \"rss_hwm_bytes\": %d,\n\
+    \  \"footprint_words\": %d,\n\
+    \  \"footprint_within_2x_heap\": %b,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
     n dt
     (float_of_int n /. dt)
     !reports
     (Ring.rotations (Service.ring svc))
-    evictions (Service.shed svc) quarter_peak end_peak growth_budget pass snapshot_json;
+    evictions (Service.shed svc) warm_peak end_peak growth_budget
+    end_smp.Nt_obs.Sampler.rss_hwm_bytes fp_words fp_ok pass snapshot_json;
   close_out oc;
   print_endline "wrote BENCH_mon.json";
   if not pass then exit 1

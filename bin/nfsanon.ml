@@ -11,6 +11,8 @@ let run input output seed omit obs_opts =
     if omit then Nt_trace.Anonymize.omit_config else Nt_trace.Anonymize.default_config
   in
   let obs = Nt_obs.Obs.create () in
+  let timeline = Obs_cli.timeline obs_opts obs in
+  let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfsanon" in
   let anon =
     Nt_trace.Anonymize.create ~obs ?seed:(Option.map Int64.of_string seed) config
@@ -26,6 +28,7 @@ let run input output seed omit obs_opts =
           output_char oc '\n';
           incr n;
           Nt_obs.Obs.inc c_records;
+          Nt_obs.Sampler.tick sampler;
           Obs_cli.tick prog ~stage:"anonymize" 1)
         (Nt_trace.Record.read_channel ic));
   if input <> "-" then close_in ic;
@@ -34,6 +37,7 @@ let run input output seed omit obs_opts =
     (Nt_trace.Anonymize.mapped_names anon);
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
+  Obs_cli.dump_timeline ~sampler obs_opts timeline;
   0
 
 let input =

@@ -50,12 +50,15 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
         }
       in
       let obs = Nt_obs.Obs.create () in
-      let prog = Obs_cli.progress obs_opts "nfslint" in
+      let timeline = Obs_cli.timeline obs_opts obs in
+      let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
       let ic = if input = "-" then stdin else open_in input in
+      let prog = Obs_cli.progress obs_opts "nfslint" in
       let records =
         Seq.map
           (fun r ->
             Obs_cli.tick prog ~stage:"lint" 1;
+            Nt_obs.Sampler.tick sampler;
             r)
           (Nt_trace.Record.read_channel ic)
       in
@@ -73,7 +76,9 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
         (if Lint.suppressed t > 0 then
            Printf.sprintf " (%d findings suppressed past per-rule cap)" (Lint.suppressed t)
          else "");
+      ignore (Nt_obs.Sampler.sample_now sampler : Nt_obs.Sampler.sample);
       Obs_cli.dump obs_opts obs;
+      Obs_cli.dump_timeline ~sampler obs_opts timeline;
       let failed =
         match fail_on with
         | `Never -> false

@@ -54,13 +54,30 @@ let parse_listen s =
       | _ -> Error (Printf.sprintf "bad listen spec %S (ADDR:PORT or PORT)" s))
 
 let run source window windows topn report_every json checkpoint checkpoint_every listen
-    table_cap queue_cap max_records idle_exit sim_start sim_stop speedup slice =
+    table_cap queue_cap max_records idle_exit sim_start sim_stop speedup slice trace_out =
   let obs = Obs.create () in
+  let timeline =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        let tl = Nt_obs.Timeline.create () in
+        Nt_obs.Timeline.attach tl obs;
+        Some tl
+  in
   match parse_source obs source ~sim_start ~sim_stop ~speedup ~slice with
   | Error e ->
       Printf.eprintf "nfsmon: %s\n%!" e;
       2
   | Ok feed -> (
+      (* The exporter is wired before the service exists, so /series
+         reads the sampler through this cell once [Mon.create] fills
+         it; until then the endpoint answers an empty document. *)
+      let service_cell = ref None in
+      let series () =
+        match !service_cell with
+        | Some svc -> Nt_obs.Sampler.series_json (Mon.sampler svc)
+        | None -> "{\"schema\": \"nt_obs_series/1\", \"samples\": []}"
+      in
       let exporter =
         match listen with
         | None -> None
@@ -70,7 +87,7 @@ let run source window windows topn report_every json checkpoint checkpoint_every
                 Printf.eprintf "nfsmon: %s\n%!" e;
                 exit 2
             | Ok (addr, port) -> (
-                match Nt_obs.Exporter.create ~addr ~port obs with
+                match Nt_obs.Exporter.create ~addr ~port ~series obs with
                 | Ok ex ->
                     Printf.eprintf "nfsmon: metrics on http://%s:%d/metrics\n%!" addr
                       (Nt_obs.Exporter.port ex);
@@ -116,6 +133,7 @@ let run source window windows topn report_every json checkpoint checkpoint_every
       in
       let tick () = match exporter with Some ex -> Nt_obs.Exporter.poll ex | None -> () in
       let service = Mon.create ~obs ~tick config feed in
+      service_cell := Some service;
       if Mon.restored service then Printf.eprintf "nfsmon: restored from checkpoint\n%!";
       let stop _ = Mon.request_stop service in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -124,6 +142,9 @@ let run source window windows topn report_every json checkpoint checkpoint_every
       Mon.run service;
       Obs.span_close obs "mon.run";
       (match exporter with Some ex -> Nt_obs.Exporter.close ex | None -> ());
+      (match (trace_out, timeline) with
+      | Some path, Some tl -> Obs_cli.write_timeline ~sampler:(Mon.sampler service) ~path tl
+      | _ -> ());
       match Mon.conservation service with
       | Ok () -> 0
       | Error e ->
@@ -218,12 +239,21 @@ let slice =
     value & opt float 1.0
     & info [ "slice" ] ~docv:"SECONDS" ~doc:"Simulated seconds advanced per feed pull.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event timeline of the run to $(docv) on exit: service spans \
+           plus heap/RSS counter tracks from the resource sampler.")
+
 let cmd =
   Cmd.v
     (Cmd.info "nfsmon" ~doc:"Continuously monitor a live NFS record source")
     Term.(
       const run $ source $ window $ windows $ topn $ report_every $ json $ checkpoint
       $ checkpoint_every $ listen $ table_cap $ queue_cap $ max_records $ idle_exit $ sim_start
-      $ sim_stop $ speedup $ slice)
+      $ sim_stop $ speedup $ slice $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

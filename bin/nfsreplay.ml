@@ -96,6 +96,8 @@ let replay policy records =
 
 let run input obs_opts =
   let obs = Nt_obs.Obs.create () in
+  let timeline = Obs_cli.timeline obs_opts obs in
+  let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfsreplay" in
   let ic = if input = "-" then stdin else open_in input in
   let records =
@@ -104,6 +106,7 @@ let run input obs_opts =
           (Seq.map
              (fun r ->
                Obs_cli.tick prog ~stage:"load" 1;
+               Nt_obs.Sampler.tick sampler;
                r)
              (Record.read_channel ic)))
   in
@@ -148,8 +151,10 @@ let run input obs_opts =
                else "-");
             ])
           results));
+  ignore (Nt_obs.Sampler.sample_now sampler : Nt_obs.Sampler.sample);
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
+  Obs_cli.dump_timeline ~sampler obs_opts timeline;
   0
 
 let input =

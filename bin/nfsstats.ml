@@ -4,13 +4,14 @@
 
 open Cmdliner
 
-let load prog input =
+let load prog sampler input =
   let ic = if input = "-" then stdin else open_in input in
   let records =
     List.of_seq
       (Seq.map
          (fun r ->
            Obs_cli.tick prog ~stage:"load" 1;
+           Nt_obs.Sampler.tick sampler;
            r)
          (Nt_trace.Record.read_channel ic))
   in
@@ -19,8 +20,10 @@ let load prog input =
 
 let run input analyses jobs shard_records lint obs_opts =
   let obs = Nt_obs.Obs.create () in
+  let timeline = Obs_cli.timeline obs_opts obs in
+  let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfsstats" in
-  let records = Nt_obs.Obs.with_span obs "load" (fun () -> load prog input) in
+  let records = Nt_obs.Obs.with_span obs "load" (fun () -> load prog sampler input) in
   Nt_obs.Obs.add
     (Nt_obs.Obs.counter obs ~help:"trace records loaded" "stats.records")
     (List.length records);
@@ -45,7 +48,7 @@ let run input analyses jobs shard_records lint obs_opts =
   Obs_cli.set_stage prog "analyze";
   let sections =
     Nt_obs.Obs.with_span obs "analyze" (fun () ->
-        Nt_core.Pipeline.analyze_records ~obs ~jobs ~records_per_shard:shard_records
+        Nt_core.Pipeline.analyze_records ~obs ?timeline ~jobs ~records_per_shard:shard_records
           ~sections:analyses records)
   in
   List.iter
@@ -53,8 +56,10 @@ let run input analyses jobs shard_records lint obs_opts =
       print_string text;
       print_newline ())
     sections;
+  ignore (Nt_obs.Sampler.sample_now sampler : Nt_obs.Sampler.sample);
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
+  Obs_cli.dump_timeline ~sampler obs_opts timeline;
   0
 
 let input =

@@ -9,6 +9,8 @@ module Obs = Nt_obs.Obs
 let run input output salvage lint obs_opts =
   let ic = if input = "-" then stdin else open_in_bin input in
   let obs = Obs.create () in
+  let timeline = Obs_cli.timeline obs_opts obs in
+  let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfstrace" in
   let decode () =
     let reader = Nt_net.Pcap.reader_of_channel ~obs ~salvage ic in
@@ -26,6 +28,7 @@ let run input output salvage lint obs_opts =
       output_string oc (Nt_trace.Record.to_line r);
       output_char oc '\n';
       Option.iter (fun l -> Nt_lint.Engine.observe l r) linter;
+      Nt_obs.Sampler.tick sampler;
       Obs_cli.tick prog ~stage:"decode" 1
     in
     (* Stream records as replies complete; unanswered calls flush at EOF. *)
@@ -61,6 +64,7 @@ let run input output salvage lint obs_opts =
   (* Dump whatever was counted even on a decode abort: a partial
      snapshot is exactly what post-mortems want. *)
   Obs_cli.dump obs_opts obs;
+  Obs_cli.dump_timeline ~sampler obs_opts timeline;
   status
 
 let input =

@@ -9,6 +9,8 @@ open Cmdliner
 
 let run system users start_hour hours format loss fault fault_seed output obs_opts =
   let obs = Nt_obs.Obs.create () in
+  let timeline = Obs_cli.timeline obs_opts obs in
+  let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfswlgen" in
   let day = Nt_util.Trace_week.Wed in
   let start = Nt_util.Trace_week.time_of ~day ~hour:start_hour ~minute:0 in
@@ -26,6 +28,7 @@ let run system users start_hour hours format loss fault fault_seed output obs_op
       output_string oc (Nt_trace.Record.to_line r);
       output_char oc '\n';
       incr n;
+      Nt_obs.Sampler.tick sampler;
       Obs_cli.tick prog ~stage:"simulate" 1
     in
     (match system with
@@ -65,8 +68,10 @@ let run system users start_hour hours format loss fault fault_seed output obs_op
       stats.run.records stats.packets_written stats.packets_dropped
   in
   with_out (match format with `Trace -> emit_trace | `Pcap -> emit_pcap);
+  ignore (Nt_obs.Sampler.sample_now sampler : Nt_obs.Sampler.sample);
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
+  Obs_cli.dump_timeline ~sampler obs_opts timeline;
   0
 
 let system =

@@ -9,7 +9,12 @@ module Obs = Nt_obs.Obs
 
 type format = Json | Prometheus
 
-type opts = { metrics : string option; format : format; progress : bool }
+type opts = {
+  metrics : string option;
+  format : format;
+  progress : bool;
+  trace_out : string option;
+}
 
 let metrics_arg =
   Arg.(
@@ -38,10 +43,20 @@ let progress_arg =
           "Print a throttled heartbeat to stderr while working: records so far, rate, \
            current stage, and an ETA when the total is known.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event timeline of the run to $(docv): stage and per-pass \
+           spans on per-domain tracks plus heap/RSS counter tracks. Load it in \
+           ui.perfetto.dev or chrome://tracing.")
+
 let term =
   Term.(
-    const (fun metrics format progress -> { metrics; format; progress })
-    $ metrics_arg $ format_arg $ progress_arg)
+    const (fun metrics format progress trace_out -> { metrics; format; progress; trace_out })
+    $ metrics_arg $ format_arg $ progress_arg $ trace_arg)
 
 let dump opts obs =
   match opts.metrics with
@@ -61,6 +76,44 @@ let dump opts obs =
         let oc = open_out path in
         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
       end
+
+(* Timeline helpers: [timeline] creates and attaches one when
+   --trace-out was given; [dump_timeline] folds a sampler's readings in
+   as counter tracks and writes the file. Counters go on their own
+   synthetic track so late-dumped samples are not clamped forward by
+   the main track's already-advanced span clock. *)
+
+let counters_tid = 1_000_000
+
+let timeline opts obs =
+  match opts.trace_out with
+  | None -> None
+  | Some _ ->
+      let tl = Nt_obs.Timeline.create () in
+      Nt_obs.Timeline.attach tl obs;
+      Some tl
+
+let write_timeline ?sampler ~path tl =
+  (match sampler with
+  | None -> ()
+  | Some s ->
+      List.iter
+        (fun (smp : Nt_obs.Sampler.sample) ->
+          Nt_obs.Timeline.counter tl ~tid:counters_tid ~name:"heap_words"
+            ~ts:smp.Nt_obs.Sampler.at
+            ~value:(float_of_int smp.Nt_obs.Sampler.heap_words)
+            ();
+          Nt_obs.Timeline.counter tl ~tid:(counters_tid + 1) ~name:"rss_bytes"
+            ~ts:smp.Nt_obs.Sampler.at
+            ~value:(float_of_int smp.Nt_obs.Sampler.rss_bytes)
+            ())
+        (Nt_obs.Sampler.samples s));
+  Nt_obs.Timeline.write_file tl path
+
+let dump_timeline ?sampler opts tl =
+  match (opts.trace_out, tl) with
+  | Some path, Some tl -> write_timeline ?sampler ~path tl
+  | _ -> ()
 
 (* Heartbeat helpers over [Nt_obs.Progress.t option] so call sites stay
    one-liners whether or not --progress was given. *)

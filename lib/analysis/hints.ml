@@ -183,3 +183,15 @@ let size_accuracy (s : score) =
 let lifetime_accuracy (s : score) =
   if s.lifetime_scored = 0 then nan
   else float_of_int s.lifetime_correct /. float_of_int s.lifetime_scored
+
+let footprint t =
+  let model_cards =
+    Hashtbl.fold
+      (fun _ m acc -> acc + Hashtbl.length m.size_counts + Hashtbl.length m.lifetime_counts)
+      t.models 0
+  in
+  let pending = Fh_tbl.length t.pending in
+  let names = Hashtbl.length t.names in
+  Nt_obs.Footprint.v
+    ~cards:(model_cards + pending + names)
+    ~words:(16 + (model_cards * 6) + (pending * 16) + (names * 18))

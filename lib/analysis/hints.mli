@@ -45,3 +45,7 @@ val size_accuracy : score -> float
 (** Fraction of size predictions that were right; nan if none. *)
 
 val lifetime_accuracy : score -> float
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

@@ -127,3 +127,7 @@ let variance_reduction t =
   let all = (all_hours t).total_ops_k.stddev_pct in
   let peak = (peak_hours t).total_ops_k.stddev_pct in
   if peak = 0. then 0. else all /. peak
+
+let footprint t =
+  let n = Hashtbl.length t.buckets in
+  Nt_obs.Footprint.v ~cards:n ~words:(8 + (n * 11))

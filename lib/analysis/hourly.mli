@@ -50,3 +50,7 @@ val variance_reduction : t -> float
 (** Factor by which the normalised standard deviation of hourly total
     ops shrinks when restricted to peak hours (the paper reports at
     least 4x for CAMPUS). *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

@@ -144,3 +144,9 @@ let sort_window w accesses =
       end
     done;
   (a, !swaps)
+
+let footprint t =
+  (* The journal is the product: one boxed access record (+ list cons)
+     per I/O, one table entry + handle per distinct file. *)
+  let files = Fh_tbl.length t.files in
+  Nt_obs.Footprint.v ~cards:(files + t.total) ~words:(8 + (files * 15) + (t.total * 10))

@@ -50,3 +50,7 @@ val sort_window : float -> access array -> access array * int
     seconds) when they are out of ascending offset order. Returns the
     partially sorted copy and the number of swaps performed. [w = 0]
     returns an unchanged copy. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

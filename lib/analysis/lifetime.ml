@@ -511,3 +511,18 @@ let cdf_at r seconds =
     | (edge, frac) :: rest -> if edge > seconds then last else go frac rest
   in
   go 0. r.lifetime_cdf
+
+let footprint t =
+  let files = Fh_tbl.length t.files in
+  let atoms = Intern.size t.atoms in
+  let names = Int_tbl.length t.names in
+  let ground = Fh_tbl.length t.ground in
+  let log = List.length t.log in
+  let fp =
+    Nt_obs.Footprint.v
+      ~cards:(files + atoms + names + ground + log + t.n_deaths)
+      ~words:
+        (32 + (files * 22) + (atoms * 10) + (names * 8) + (ground * 14) + (log * 12)
+        + (Array.length t.death_lt * 3))
+  in
+  Nt_obs.Footprint.add fp (Histogram.footprint t.lifetimes)

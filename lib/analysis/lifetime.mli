@@ -75,3 +75,7 @@ val result : t -> result
 
 val cdf_at : result -> float -> float
 (** Cumulative fraction of deaths with lifetime <= the given seconds. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

@@ -482,3 +482,15 @@ let predict t =
     lifetime_accuracy = accuracy lt_model lt_of;
     pattern_accuracy = accuracy pat_model pat_of;
   }
+
+let footprint t =
+  let files = Fh_tbl.length t.files in
+  let atoms = Intern.size t.atoms in
+  let names = Int_tbl.length t.names in
+  let orphans = Fh_tbl.length t.orphans in
+  let deferred = t.n_deferred in
+  Nt_obs.Footprint.v
+    ~cards:(files + atoms + names + orphans + deferred)
+    ~words:
+      (32 + (files * 20) + (atoms * 10) + (names * 8) + (orphans * 12)
+      + (Array.length t.deferred * 2))

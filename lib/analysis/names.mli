@@ -102,3 +102,7 @@ val predict : t -> prediction
 (** Learn each category's majority size / lifetime / access-pattern
     class on files created in the first half of the window; test on the
     second half. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

@@ -109,3 +109,9 @@ let daily ?(scale = 1.0) t =
 let top_procs t =
   Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.per_proc []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let footprint t =
+  (* touched dominates: one table entry + boxed handle per distinct
+     file; per_proc is bounded by the proc enum. *)
+  let procs = Hashtbl.length t.per_proc and touched = Fh_set.length t.touched in
+  Nt_obs.Footprint.v ~cards:(procs + touched) ~words:(16 + (procs * 6) + (touched * 12))

@@ -55,3 +55,7 @@ val daily : ?scale:float -> t -> daily
 
 val top_procs : t -> (Nt_nfs.Proc.t * int) list
 (** Procedures by call count, descending. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}): tracked
+    entries and an approximate heap-words estimate. *)

@@ -6,6 +6,7 @@ type config = {
   acc_prefixes : string list;
   test_units : string list;
   merge_prop_fn : string;
+  footprint_prop_fn : string;
   excludes : string list;
   enabled_only : string list option;
   disabled : string list;
@@ -21,6 +22,7 @@ let default_config =
     acc_prefixes = [ "Nt_analysis"; "Nt_lint"; "Nt_mon" ];
     test_units = [ "Test_par" ];
     merge_prop_fn = "prop_merge_laws";
+    footprint_prop_fn = "prop_footprint";
     excludes = [ "check_fixtures" ];
     enabled_only = None;
     disabled = [];
@@ -168,15 +170,16 @@ let run config root =
       Alloc_check.check sink ~hot:alloc_hot ~cmp_hot u;
       Bound_check.check sink ~hot:bound_hot u)
     impls;
-  (* --- merge-law coverage (cross-unit) --- *)
+  (* --- merge-law and footprint coverage (cross-unit) --- *)
   let merge_required, merge_covered, test_units_found =
     Merge_check.check sink
       ~in_scope:(fun dotted -> lib_scope config dotted)
-      ~test_units:config.test_units ~prop_fn:config.merge_prop_fn units
+      ~test_units:config.test_units ~prop_fn:config.merge_prop_fn
+      ~footprint_prop_fn:config.footprint_prop_fn units
   in
   if test_units_found = 0 then
     config_finding
-      (Printf.sprintf "no test unit matched [%s]; merge-law coverage never ran"
+      (Printf.sprintf "no test unit matched [%s]; merge-law and footprint coverage never ran"
          (String.concat "; " config.test_units));
   {
     findings = List.sort Finding.compare !findings;

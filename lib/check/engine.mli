@@ -18,9 +18,11 @@ type config = {
       (** dotted-name prefixes whose observe/observe_shard/add bindings
           seed the bound-hot set for accumulator-boundedness *)
   test_units : string list;
-      (** units scanned for merge-law property registrations *)
+      (** units scanned for merge-law and footprint property registrations *)
   merge_prop_fn : string;
       (** name of the registration function the merge-law rule looks for *)
+  footprint_prop_fn : string;
+      (** name of the registration function the footprint rule looks for *)
   excludes : string list;  (** path substrings to skip while walking *)
   enabled_only : string list option;
   disabled : string list;

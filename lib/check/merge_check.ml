@@ -12,7 +12,12 @@
    module aliases (module Summary = Nt_analysis.Summary) are expanded
    one level, which is exactly the idiom the test files use. *)
 
-type requirement = { req_dotted : string; req_loc : Location.t }
+(* Footprint side: the same interfaces must also expose state-footprint
+   accounting (a [footprint] value consuming [t]) and have it registered
+   under the footprint property (default [prop_footprint]); otherwise the
+   nt_state_cards/nt_state_words gauges silently omit the component. *)
+
+type requirement = { req_dotted : string; req_loc : Location.t; req_footprint : bool }
 
 let same_head a b c =
   match (Types.get_desc a, Types.get_desc b, Types.get_desc c) with
@@ -20,6 +25,22 @@ let same_head a b c =
       let na = Path.name pa in
       na = Path.name pb && na = Path.name pc && Path.last pa = "t"
   | _ -> false
+
+(* A [footprint] declaration counts as long as it consumes the local [t];
+   the result shape (record, pair, abstract) is the module's business. *)
+let has_footprint (sg : Typedtree.signature) =
+  List.exists
+    (fun (item : Typedtree.signature_item) ->
+      match item.sig_desc with
+      | Tsig_value vd when Ident.name vd.val_id = "footprint" -> (
+          match Types.get_desc vd.val_val.Types.val_type with
+          | Types.Tarrow (_, a, _, _) -> (
+              match Types.get_desc a with
+              | Types.Tconstr (pa, _, _) -> Path.last pa = "t"
+              | _ -> false)
+          | _ -> false)
+      | _ -> false)
+    sg.sig_items
 
 let merge_requirement (u : Loader.unit_info) =
   match u.payload with
@@ -33,7 +54,12 @@ let merge_requirement (u : Loader.unit_info) =
               | Types.Tarrow (_, a, rest, _) -> (
                   match Types.get_desc rest with
                   | Types.Tarrow (_, b, c, _) when same_head a b c ->
-                      Some { req_dotted = u.dotted; req_loc = vd.val_loc }
+                      Some
+                        {
+                          req_dotted = u.dotted;
+                          req_loc = vd.val_loc;
+                          req_footprint = has_footprint sg;
+                        }
                   | _ -> None)
               | _ -> None)
           | _ -> None)
@@ -68,11 +94,11 @@ let expand_alias aliases dotted =
       let rest = String.sub dotted i (String.length dotted - i) in
       match Hashtbl.find_opt aliases head with Some t -> t ^ rest | None -> dotted)
 
-let merge_idents_in (e : Typedtree.expression) =
+let idents_in ~last (e : Typedtree.expression) =
   let acc = ref [] in
   let expr sub (e : Typedtree.expression) =
     (match e.exp_desc with
-    | Texp_ident (p, _, _) when Path.last p = "merge" -> (
+    | Texp_ident (p, _, _) when Path.last p = last -> (
         match p with
         | Path.Pdot (prefix, _) -> acc := Path.name prefix :: !acc
         | _ -> ())
@@ -83,7 +109,7 @@ let merge_idents_in (e : Typedtree.expression) =
   it.expr it e;
   !acc
 
-let registrations ~prop_fn (str : Typedtree.structure) =
+let registrations ~prop_fn ~last (str : Typedtree.structure) =
   let aliases = module_aliases str in
   let acc = ref [] in
   let expr sub (e : Typedtree.expression) =
@@ -96,7 +122,7 @@ let registrations ~prop_fn (str : Typedtree.structure) =
             | Some a ->
                 List.iter
                   (fun prefix -> acc := expand_alias aliases prefix :: !acc)
-                  (merge_idents_in a)
+                  (idents_in ~last a)
             | None -> ())
           args
     | _ -> ());
@@ -106,8 +132,8 @@ let registrations ~prop_fn (str : Typedtree.structure) =
   it.structure it str;
   !acc
 
-let check (sink : Finding.sink) ~in_scope ~test_units ~prop_fn (units : Loader.unit_info list)
-    =
+let check (sink : Finding.sink) ~in_scope ~test_units ~prop_fn ~footprint_prop_fn
+    (units : Loader.unit_info list) =
   let requirements =
     List.filter_map
       (fun u -> if in_scope u.Loader.dotted then merge_requirement u else None)
@@ -120,14 +146,16 @@ let check (sink : Finding.sink) ~in_scope ~test_units ~prop_fn (units : Loader.u
         && List.exists (fun t -> Syntax.unit_matches ~unit:u.name t) test_units)
       units
   in
-  let covered =
+  let extract ~prop_fn ~last =
     List.concat_map
       (fun (u : Loader.unit_info) ->
         match u.payload with
-        | Loader.Impl str -> registrations ~prop_fn str
+        | Loader.Impl str -> registrations ~prop_fn ~last str
         | Loader.Intf _ -> [])
       test_impls
   in
+  let covered = extract ~prop_fn ~last:"merge" in
+  let fp_covered = extract ~prop_fn:footprint_prop_fn ~last:"footprint" in
   List.iter
     (fun req ->
       if not (List.mem req.req_dotted covered) then
@@ -135,6 +163,18 @@ let check (sink : Finding.sink) ~in_scope ~test_units ~prop_fn (units : Loader.u
           (Printf.sprintf
              "%s.merge has no %s registration in the test suite (add associativity and \
               neutral-element properties)"
-             req.req_dotted prop_fn))
+             req.req_dotted prop_fn);
+      if not req.req_footprint then
+        sink.emit Rule.footprint_missing req.req_loc
+          (Printf.sprintf
+             "%s exposes merge but no footprint value over t; the state-accounting gauges \
+              cannot see this accumulator"
+             req.req_dotted)
+      else if not (List.mem req.req_dotted fp_covered) then
+        sink.emit Rule.footprint_missing req.req_loc
+          (Printf.sprintf
+             "%s.footprint has no %s registration in the test suite (assert words >= cards \
+              and words > 0 on built states)"
+             req.req_dotted footprint_prop_fn))
     requirements;
   (List.map (fun r -> r.req_dotted) requirements, covered, List.length test_impls)

@@ -3,7 +3,7 @@ type severity = Info | Warn | Error
 let severity_to_string = function Info -> "info" | Warn -> "warn" | Error -> "error"
 let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Config
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Footprint | Config
 
 let family_to_string = function
   | Domain_safety -> "domain-safety"
@@ -12,6 +12,7 @@ let family_to_string = function
   | Hygiene -> "hygiene"
   | Alloc -> "alloc"
   | Bound -> "bound"
+  | Footprint -> "footprint"
   | Config -> "config"
 
 type t = { id : string; family : family; severity : severity; doc : string }
@@ -100,6 +101,14 @@ let bound_list =
     "self-appending container growth (x :: t.f, Set.add into its own field) in per-record \
      accumulator code with no reset of the same field anywhere in the module"
 
+(* --- state-footprint accounting --- *)
+
+let footprint_missing =
+  rule "footprint-missing" Footprint Error
+    "interface exposes merge : t -> t -> t (a sharded accumulator) without a footprint \
+     value over t, or its footprint has no registered property in the test suite — the \
+     state-accounting gauges would silently omit this component"
+
 (* --- configuration drift --- *)
 
 let config_drift =
@@ -125,6 +134,7 @@ let all =
     alloc_poly_compare;
     bound_table;
     bound_list;
+    footprint_missing;
     config_drift;
   ]
 

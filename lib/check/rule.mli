@@ -10,7 +10,7 @@ type severity = Info | Warn | Error
 val severity_to_string : severity -> string
 val severity_rank : severity -> int
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Config
+type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Footprint | Config
 
 val family_to_string : family -> string
 
@@ -32,6 +32,7 @@ val alloc_hot_closure : t
 val alloc_poly_compare : t
 val bound_table : t
 val bound_list : t
+val footprint_missing : t
 val config_drift : t
 
 val all : t list

@@ -171,8 +171,8 @@ let collect_records simulate =
 
 (* --- sharded analysis entry point --- *)
 
-let analyze_records ?obs ?jobs ?records_per_shard ~sections records =
-  Nt_par.Report.run ?obs ?jobs ?records_per_shard ~sections (Array.of_list records)
+let analyze_records ?obs ?timeline ?jobs ?records_per_shard ~sections records =
+  Nt_par.Report.run ?obs ?timeline ?jobs ?records_per_shard ~sections (Array.of_list records)
 
 (* --- lint hooks: the linter as a differential oracle --- *)
 

@@ -116,6 +116,7 @@ val run_degraded :
 
 val analyze_records :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   ?jobs:int ->
   ?records_per_shard:int ->
   sections:Nt_par.Report.section list ->

@@ -3,6 +3,7 @@ module Ops = Nt_nfs.Ops
 module Types = Nt_nfs.Types
 module Ip_addr = Nt_net.Ip_addr
 module Obs = Nt_obs.Obs
+module Footprint = Nt_obs.Footprint
 
 type config = {
   anonymized : bool;
@@ -51,6 +52,7 @@ type t = {
   c_suppressed : Obs.counter;
   c_evictions : Obs.counter;
   g_tracked : Obs.gauge;
+  fp_pub : Footprint.pub;
 }
 
 let emit t (f : Finding.t) =
@@ -105,6 +107,7 @@ let create ?(obs = Obs.null) cfg =
         c_evictions =
           Obs.counter obs ~help:"lint state-table capacity evictions" "lint.evictions";
         g_tracked = Obs.gauge obs ~help:"live lint protocol-state entries" "lint.tracked";
+        fp_pub = Footprint.publisher obs ~component:"lint";
       }
   in
   Lazy.force t
@@ -185,10 +188,17 @@ let run ?obs ?stats cfg records =
    suspects still waiting out their reorder window get judged now.
    Also the sync point for state-size telemetry (delta against the
    counter's own value, so repeated settles don't double-count). *)
+let footprint t =
+  let tracked = Protocol_check.tracked t.protocol in
+  let kept = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0 - t.suppressed in
+  let kept = if kept < 0 then 0 else kept in
+  Footprint.v ~cards:(tracked + kept) ~words:(32 + (tracked * 12) + (kept * 24))
+
 let settle t =
   Protocol_check.finalize t.protocol;
   Obs.set t.g_tracked (float_of_int (Protocol_check.tracked t.protocol));
-  Obs.add t.c_evictions (Protocol_check.evictions t.protocol - Obs.value t.c_evictions)
+  Obs.add t.c_evictions (Protocol_check.evictions t.protocol - Obs.value t.c_evictions);
+  Footprint.set t.fp_pub (footprint t)
 
 let findings t =
   settle t;

@@ -60,5 +60,10 @@ val worst : t -> Rule.severity option
 (** Highest severity seen; [None] for a clean trace. *)
 
 val records_seen : t -> int
+
 val tracked : t -> int
 (** Live protocol-state entries (bench observability). *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting: protocol-state entries plus kept
+    findings; published as the [lint] component on every settle. *)

@@ -29,3 +29,6 @@ let push t v =
   t.buf.(tail) <- Some v;
   t.len <- t.len + 1;
   shed
+
+let footprint ?(entry_words = 24) t =
+  Nt_obs.Footprint.v ~cards:t.len ~words:(8 + Array.length t.buf + (t.len * entry_words))

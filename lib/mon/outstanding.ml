@@ -165,3 +165,8 @@ let by_proc t =
   List.sort
     (fun (ka, na) (kb, nb) -> if na <> nb then compare nb na else compare ka kb)
     (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [])
+
+let footprint t =
+  (* heap slots are preallocated up to cap; live entries carry a boxed
+     record + proc string. *)
+  Nt_obs.Footprint.v ~cards:t.len ~words:(8 + Array.length t.heap + (t.len * 10))

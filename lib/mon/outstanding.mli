@@ -36,3 +36,6 @@ val to_lines : t -> string list
 val of_lines : ?cap:int -> ?timeout:float -> string list -> (t, string) result
 (** Rebuild a tracker from {!to_lines} output, enforcing the given
     bounds (entries beyond [cap] are dropped and counted, as live). *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}). *)

@@ -264,3 +264,9 @@ let of_lines config lines =
               | _ -> Error ("expected summary header, got: " ^ sh))
           | [] -> Error "missing summary section")
       | _ -> Error ("expected ring header, got: " ^ header))
+
+let footprint t =
+  List.fold_left
+    (fun acc (_, w) -> Nt_obs.Footprint.add acc (Win.footprint w))
+    (Nt_obs.Footprint.add (Nt_obs.Footprint.v ~cards:0 ~words:16) (Win.footprint t.summary))
+    t.wins

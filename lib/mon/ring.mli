@@ -80,3 +80,6 @@ val to_lines : t -> string list
 val of_lines : config -> string list -> (t, string) result
 (** Restore under the given config; window contents revive under the
     config's caps and are compacted immediately. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}). *)

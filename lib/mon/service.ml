@@ -1,4 +1,6 @@
 module Obs = Nt_obs.Obs
+module Sampler = Nt_obs.Sampler
+module Footprint = Nt_obs.Footprint
 module Record = Nt_trace.Record
 module Types = Nt_nfs.Types
 
@@ -93,6 +95,7 @@ type t = {
   g_backoff : Obs.gauge;
   g_stalled : Obs.gauge;
   g_heap : Obs.gauge;
+  sampler : Sampler.t;
   mutable stop_requested : bool;
   mutable stopped : bool;
   mutable shutdown_done : bool;
@@ -103,6 +106,13 @@ type t = {
   mutable last_checkpoint : float;
   mutable rotations_reported : int;
 }
+
+let footprints t =
+  [
+    ("mon.ring", Ring.footprint t.ring);
+    ("mon.outstanding", Outstanding.footprint t.out);
+    ("mon.ingest", Ingest.footprint t.queue);
+  ]
 
 let sync t =
   mirror_sync t.m_observed (Ring.observed t.ring);
@@ -121,6 +131,11 @@ let sync t =
   mirror_sync t.m_pending_dropped (Outstanding.dropped t.out);
   Obs.set t.g_queue (float_of_int (Ingest.length t.queue));
   Obs.set t.g_outstanding (float_of_int (Outstanding.outstanding t.out))
+(* Footprint gauges are NOT refreshed in [sync]: it runs every step,
+   and walking every window table that often is measurable garbage.
+   They refresh at sampling cadence instead — [Sampler.sample_now]
+   (every report, every /series scrape, each elapsed interval)
+   republishes. *)
 
 (* --- reports --- *)
 
@@ -260,7 +275,10 @@ let emit_report t =
   t.emit (if t.config.json then report_json t ^ "\n" else report_text t);
   t.reports <- t.reports + 1;
   Obs.inc t.c_reports;
-  Obs.set_max t.g_heap (float_of_int (Gc.quick_stat ()).Gc.top_heap_words)
+  (* Heap numbers come from the sampler — the one audited probe — and
+     mon.top_heap_words keeps its historical meaning as the peak. *)
+  let s = Sampler.sample_now t.sampler in
+  Obs.set_max t.g_heap (float_of_int s.Sampler.top_heap_words)
 
 (* --- checkpoints --- *)
 
@@ -270,7 +288,8 @@ let drain t limit =
     (match Ingest.pop t.queue with
     | Some r ->
         Ring.observe t.ring r;
-        Outstanding.note t.out r
+        Outstanding.note t.out r;
+        Sampler.tick t.sampler
     | None -> ());
     incr n
   done;
@@ -395,6 +414,7 @@ let create ?obs ?clock ?sleep ?emit ?tick config feed =
       g_backoff = Obs.gauge o "mon.backoff_s";
       g_stalled = Obs.gauge o "mon.feed.stalled";
       g_heap = Obs.gauge o "mon.top_heap_words";
+      sampler = Sampler.create o;
       stop_requested = false;
       stopped = false;
       shutdown_done = false;
@@ -406,6 +426,8 @@ let create ?obs ?clock ?sleep ?emit ?tick config feed =
       rotations_reported = 0;
     }
   in
+  Sampler.set_footprints t.sampler (fun () -> footprints t);
+  ignore (Sampler.publish_footprints t.sampler : (string * Footprint.t) list);
   restore t;
   t
 
@@ -510,6 +532,7 @@ let conservation t =
 
 let ring t = t.ring
 let obs t = t.o
+let sampler t = t.sampler
 let ingested t = t.ingested
 let shed t = t.shed
 let observed t = Ring.observed t.ring

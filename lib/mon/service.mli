@@ -86,6 +86,13 @@ val report_json : t -> string
 
 val ring : t -> Ring.t
 val obs : t -> Nt_obs.Obs.t
+
+val sampler : t -> Nt_obs.Sampler.t
+(** The service's resource sampler: ticked per drained record, sampled
+    at every report, publisher of the [mon.*] component footprints.
+    Wire [Nt_obs.Sampler.series_json] of this into the exporter's
+    [/series] endpoint. *)
+
 val ingested : t -> int
 val shed : t -> int
 val observed : t -> int

@@ -349,3 +349,14 @@ let of_lines ?caps lines =
         match apply line with Ok () -> go rest | Error e -> Error e)
   in
   go lines
+
+let fp_tbl tbl =
+  let n = Hashtbl.length tbl.rows in
+  (* key string (~client/uid/fs/proc label) + row record + table entry *)
+  Nt_obs.Footprint.v ~cards:n ~words:(8 + (n * 14))
+
+let footprint t =
+  List.fold_left
+    (fun acc tb -> Nt_obs.Footprint.add acc (fp_tbl (tbl_of t tb)))
+    (Nt_obs.Footprint.v ~cards:0 ~words:32)
+    all_tables

@@ -105,3 +105,6 @@ val of_lines : ?caps:caps -> string list -> (t, string) result
 (** [caps] (default {!default_caps}) applies the restoring service's
     configured caps to the revived tables; the checkpoint's own caps
     line is informational. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** State-footprint accounting (see {!Nt_obs.Footprint}). *)

@@ -7,6 +7,7 @@ type conn = {
 type t = {
   listen_fd : Unix.file_descr;
   obs : Obs.t;
+  series : (unit -> string) option;
   bound_port : int;
   mutable conns : conn list;
   mutable closed : bool;
@@ -17,7 +18,7 @@ let max_accept_per_poll = 8
 let grace_s = 0.5
 let max_request_bytes = 4096
 
-let create ?(addr = "127.0.0.1") ?(port = 0) obs =
+let create ?(addr = "127.0.0.1") ?(port = 0) ?series obs =
   match
     let inet = Unix.inet_addr_of_string addr in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -32,7 +33,7 @@ let create ?(addr = "127.0.0.1") ?(port = 0) obs =
     let bound_port =
       match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
     in
-    { listen_fd = fd; obs; bound_port; conns = []; closed = false }
+    { listen_fd = fd; obs; series; bound_port; conns = []; closed = false }
   with
   | t -> Ok t
   | exception Unix.Unix_error (e, fn, _) -> Error (fn ^ ": " ^ Unix.error_message e)
@@ -54,6 +55,10 @@ let respond t c request_line =
         | "/metrics" ->
             (Obs.to_prometheus (Obs.snapshot t.obs), "text/plain; version=0.0.4", "200 OK")
         | "/json" -> (Obs.to_json (Obs.snapshot t.obs), "application/json", "200 OK")
+        | "/series" -> (
+            match t.series with
+            | Some f -> (f (), "application/json", "200 OK")
+            | None -> ("no series source\n", "text/plain", "404 Not Found"))
         | _ -> ("not found\n", "text/plain", "404 Not Found"))
     | _ -> ("bad request\n", "text/plain", "400 Bad Request")
   in

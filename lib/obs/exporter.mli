@@ -10,14 +10,17 @@
     scrape stampede degrades to refused connections, never to unbounded
     state or a blocked monitor loop.
 
-    Endpoints: [GET /metrics] (Prometheus text exposition) and
-    [GET /json] (the nt_obs snapshot document); anything else is 404. *)
+    Endpoints: [GET /metrics] (Prometheus text exposition), [GET /json]
+    (the nt_obs snapshot document) and [GET /series] (the resource
+    sampler's ["nt_obs_series/1"] document when a source was wired at
+    {!create}); anything else is 404. *)
 
 type t
 
-val create : ?addr:string -> ?port:int -> Obs.t -> (t, string) result
+val create : ?addr:string -> ?port:int -> ?series:(unit -> string) -> Obs.t -> (t, string) result
 (** Listen on [addr] (default ["127.0.0.1"]) : [port] (default 0 = an
-    ephemeral port; read it back with {!port}). *)
+    ephemeral port; read it back with {!port}). [series] supplies the
+    [/series] body — typically [Sampler.series_json]. *)
 
 val port : t -> int
 val poll : t -> unit

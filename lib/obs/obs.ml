@@ -20,6 +20,13 @@ type reg = {
   span_aggs : (string, span_agg) Hashtbl.t;
   mutable span_paths_rev : string list;
   mutable stack : open_span list;
+  mutable sink : sink option;
+}
+
+and sink = {
+  on_span_open : string -> float -> unit;
+  on_span_close : string -> float -> unit;
+  on_reanchor : float -> unit;
 }
 
 and entry = { e_name : string; e_labels : labels; e_help : string; e_obj : obj }
@@ -58,12 +65,14 @@ let create ?(enabled = true) ?clock () =
     span_aggs = Hashtbl.create 16;
     span_paths_rev = [];
     stack = [];
+    sink = None;
   }
 
 let null = { (create ~enabled:false ()) with frozen = true }
 [@@nt.domain_safe "disabled and frozen: every mutating entry point checks [on]/[frozen] first, so cross-domain sharing never writes"]
 let enabled t = t.on
 let set_enabled t v = if not t.frozen then t.on <- v
+let set_trace_sink t s = if not t.frozen then t.sink <- s
 
 let now t =
   let v = t.clock () in
@@ -160,7 +169,9 @@ let span_open t name =
     let path =
       match t.stack with [] -> name | { o_path; _ } :: _ -> o_path ^ "/" ^ name
     in
-    t.stack <- { o_path = path; o_start = now t } :: t.stack
+    let start = now t in
+    t.stack <- { o_path = path; o_start = start } :: t.stack;
+    match t.sink with Some s -> s.on_span_open path start | None -> ()
   end
 
 let reanchor t =
@@ -171,7 +182,8 @@ let reanchor t =
        a clock that stepped backward across the restart cannot produce
        a negative or wrapped duration. *)
     t.last_now <- t.clock ();
-    t.stack <- List.map (fun sp -> { sp with o_start = t.last_now }) t.stack
+    t.stack <- List.map (fun sp -> { sp with o_start = t.last_now }) t.stack;
+    match t.sink with Some s -> s.on_reanchor t.last_now | None -> ()
   end
 
 let span_close t _name =
@@ -182,12 +194,14 @@ let span_close t _name =
         t.stack <- rest;
         (* The clamp in [now] guarantees d >= 0 even if the underlying
            clock stepped backwards mid-span. *)
-        let d = Float.max 0. (now t -. o_start) in
+        let stop = now t in
+        let d = Float.max 0. (stop -. o_start) in
         let a = span_agg_for t o_path in
         a.sp_count <- a.sp_count + 1;
         a.sp_total <- a.sp_total +. d;
         if d < a.sp_min then a.sp_min <- d;
-        if d > a.sp_max then a.sp_max <- d
+        if d > a.sp_max then a.sp_max <- d;
+        (match t.sink with Some s -> s.on_span_close o_path stop | None -> ())
 
 let span_record t name ~seconds =
   if t.on then begin

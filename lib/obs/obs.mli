@@ -99,6 +99,24 @@ val reanchor : t -> unit
     backward across the restart can never yield a negative or wrapped
     duration. Ignored on {!null}. *)
 
+(** {2 Trace sink}
+
+    A registered sink sees every span transition on the registry —
+    path, clamped timestamp — which is how {!Timeline} mirrors span
+    activity into a Chrome-trace export without the registry knowing
+    about timelines. The sink is consulted only on the enabled path
+    (plus {!reanchor}), so the disabled-registry cost contract is
+    untouched. *)
+
+type sink = {
+  on_span_open : string -> float -> unit;  (** full path, start time *)
+  on_span_close : string -> float -> unit;  (** full path, stop time *)
+  on_reanchor : float -> unit;  (** the re-anchored clock reading *)
+}
+
+val set_trace_sink : t -> sink option -> unit
+(** At most one sink; [None] detaches. Ignored on {!null}. *)
+
 val span_record : t -> string -> seconds:float -> unit
 (** Record one completed span of the given duration without touching
     the registry clock, attributed under the currently open span path.

@@ -1,5 +1,6 @@
 module Record = Nt_trace.Record
 module Obs = Nt_obs.Obs
+module Timeline = Nt_obs.Timeline
 
 type 'a pass = {
   name : string;
@@ -20,8 +21,8 @@ let instrument obs pool ~shards ~tasks =
   Obs.add (Obs.counter obs ~help:"shard tasks executed" "par.tasks") tasks;
   Obs.add (Obs.counter obs ~help:"shards planned" "par.shards") shards
 
-let run_jobs ?(obs = Obs.null) pool ~(records : Record.t array) ~(slices : Shard.slice array)
-    jobs =
+let run_jobs ?(obs = Obs.null) ?timeline pool ~(records : Record.t array)
+    ~(slices : Shard.slice array) jobs =
   Shard.check ~total:(Array.length records) slices;
   let nslices = Array.length slices in
   let tasks = ref [] in
@@ -31,6 +32,15 @@ let run_jobs ?(obs = Obs.null) pool ~(records : Record.t array) ~(slices : Shard
     (fun (Job (p, k)) ->
       let accs = Array.make (max nslices 1) None in
       let times = Array.make (max nslices 1) 0. in
+      let span_name = "par.pass." ^ p.name in
+      (* Worker-private trace buffers, one per shard task: a worker
+         appends its own completed span, the coordinator absorbs them
+         in slice order at join — no cross-domain mutation. *)
+      let tbufs =
+        match timeline with
+        | None -> [||]
+        | Some _ -> Array.init (max nslices 1) (fun _ -> Timeline.buf ())
+      in
       Array.iteri
         (fun si (s : Shard.slice) ->
           incr ntasks;
@@ -43,12 +53,18 @@ let run_jobs ?(obs = Obs.null) pool ~(records : Record.t array) ~(slices : Shard
               for i = s.off to s.off + s.len - 1 do
                 p.observe acc records.(i)
               done;
-              times.(si) <- Unix.gettimeofday () -. t0;
+              let t1 = Unix.gettimeofday () in
+              times.(si) <- t1 -. t0;
+              if Array.length tbufs > 0 then
+                Timeline.buf_add tbufs.(si) ~name:span_name ~t0 ~t1;
               accs.(si) <- Some acc)
             :: !tasks)
         slices;
       finishers :=
         (fun () ->
+          (match timeline with
+          | Some tl -> Array.iter (Timeline.absorb tl) tbufs
+          | None -> ());
           for si = 0 to nslices - 1 do
             Obs.span_record obs ("par.pass." ^ p.name) ~seconds:times.(si)
           done;
@@ -73,28 +89,39 @@ let run_jobs ?(obs = Obs.null) pool ~(records : Record.t array) ~(slices : Shard
      part of the fixed plan that makes output worker-count-invariant. *)
   List.iter (fun f -> f ()) (List.rev !finishers)
 
-let run_pass ?obs pool ~records ~slices p =
+let run_pass ?obs ?timeline pool ~records ~slices p =
   let out = ref None in
-  run_jobs ?obs pool ~records ~slices [ Job (p, fun a -> out := Some a) ];
+  run_jobs ?obs ?timeline pool ~records ~slices [ Job (p, fun a -> out := Some a) ];
   match !out with Some a -> a | None -> assert false
 
-let map_chunks ?(obs = Obs.null) ?(chunk = 512) pool ~name f items =
+let map_chunks ?(obs = Obs.null) ?timeline ?(chunk = 512) pool ~name f items =
   if chunk <= 0 then invalid_arg "Driver.map_chunks: chunk must be positive";
   let n = Array.length items in
   if n = 0 then []
   else begin
     let slices = Shard.plan ~records_per_shard:chunk n in
     let times = Array.make (Array.length slices) 0. in
+    let span_name = "par.pass." ^ name in
+    let tbufs =
+      match timeline with
+      | None -> [||]
+      | Some _ -> Array.init (Array.length slices) (fun _ -> Timeline.buf ())
+    in
     let tasks =
       Array.mapi
         (fun i (s : Shard.slice) () ->
           let t0 = Unix.gettimeofday () in
           let r = f (Array.sub items s.off s.len) in
-          times.(i) <- Unix.gettimeofday () -. t0;
+          let t1 = Unix.gettimeofday () in
+          times.(i) <- t1 -. t0;
+          if Array.length tbufs > 0 then Timeline.buf_add tbufs.(i) ~name:span_name ~t0 ~t1;
           r)
         slices
     in
     let results = Pool.run_all pool tasks in
+    (match timeline with
+    | Some tl -> Array.iter (Timeline.absorb tl) tbufs
+    | None -> ());
     Array.iter (fun s -> Obs.span_record obs ("par.pass." ^ name) ~seconds:s) times;
     instrument obs pool ~shards:(Array.length slices) ~tasks:(Array.length slices);
     Array.to_list results

@@ -13,7 +13,12 @@
     [par.pass.<name>] span ({!Nt_obs.Obs.span_record}; the registry is
     single-domain), merging is timed as [par.merge], and the driver
     exports [par.jobs] / [par.queue_depth] gauges and [par.tasks] /
-    [par.shards] counters. *)
+    [par.shards] counters. With a [timeline], each shard task
+    additionally appends its completed span into a worker-private
+    {!Nt_obs.Timeline.buf} (one per task) that the coordinator absorbs
+    in slice order at join — the trace gains one [par.pass.<name>]
+    interval per shard on the executing domain's track, with no
+    cross-domain mutation. *)
 
 type 'a pass = {
   name : string;  (** span label: [par.pass.<name>] *)
@@ -30,6 +35,7 @@ type job = Job : 'a pass * ('a -> unit) -> job
 
 val run_jobs :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   Pool.t ->
   records:Nt_trace.Record.t array ->
   slices:Shard.slice array ->
@@ -42,6 +48,7 @@ val run_jobs :
 
 val run_pass :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   Pool.t ->
   records:Nt_trace.Record.t array ->
   slices:Shard.slice array ->
@@ -50,7 +57,14 @@ val run_pass :
 (** [run_jobs] for a single pass, returning the merged accumulator. *)
 
 val map_chunks :
-  ?obs:Nt_obs.Obs.t -> ?chunk:int -> Pool.t -> name:string -> ('a array -> 'b) -> 'a array -> 'b list
+  ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
+  ?chunk:int ->
+  Pool.t ->
+  name:string ->
+  ('a array -> 'b) ->
+  'a array ->
+  'b list
 (** Fan a plain array computation (terminal analyses over
     {!Nt_analysis.Io_log.sorted_files}) across the pool in fixed-size
     chunks (default 512 items), returning chunk results in chunk

@@ -45,10 +45,10 @@ let lifetime cfg =
     merge = A.Lifetime.merge;
   }
 
-let runs ?obs ?(window = 0.01) ?(gap = 30.) ?chunk ~jump_blocks pool log =
+let runs ?obs ?timeline ?(window = 0.01) ?(gap = 30.) ?chunk ~jump_blocks pool log =
   let files = A.Io_log.sorted_files log in
   let per_chunk =
-    Driver.map_chunks ?obs ?chunk pool ~name:"runs"
+    Driver.map_chunks ?obs ?timeline ?chunk pool ~name:"runs"
       (fun chunk_files ->
         List.concat_map
           (fun (_, accesses) -> A.Runs.analyze_file ~window ~gap ~jump_blocks accesses)
@@ -57,10 +57,10 @@ let runs ?obs ?(window = 0.01) ?(gap = 30.) ?chunk ~jump_blocks pool log =
   in
   List.concat per_chunk
 
-let seq_curve ?obs ?(window = 0.01) ?chunk pool log =
+let seq_curve ?obs ?timeline ?(window = 0.01) ?chunk pool log =
   let files = A.Io_log.sorted_files log in
   let tallies =
-    Driver.map_chunks ?obs ?chunk pool ~name:"seqmetric"
+    Driver.map_chunks ?obs ?timeline ?chunk pool ~name:"seqmetric"
       (fun chunk_files ->
         let t = A.Seqmetric.tally () in
         Array.iter (fun (_, accesses) -> A.Seqmetric.tally_file ~window t accesses) chunk_files;

@@ -17,6 +17,7 @@ val lifetime : Nt_analysis.Lifetime.config -> Nt_analysis.Lifetime.t Driver.pass
 
 val runs :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   ?window:float ->
   ?gap:float ->
   ?chunk:int ->
@@ -31,6 +32,7 @@ val runs :
 
 val seq_curve :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   ?window:float ->
   ?chunk:int ->
   Pool.t ->

@@ -80,8 +80,8 @@ let render_hourly h =
 
 let default_records_per_shard = 65536
 
-let run ?(obs = Obs.null) ?(jobs = 1) ?(records_per_shard = default_records_per_shard) ~sections
-    records =
+let run ?(obs = Obs.null) ?timeline ?(jobs = 1)
+    ?(records_per_shard = default_records_per_shard) ~sections records =
   let slices = Shard.plan ~records_per_shard (Array.length records) in
   Pool.with_pool ~jobs (fun pool ->
       let want s = List.mem s sections in
@@ -97,7 +97,7 @@ let run ?(obs = Obs.null) ?(jobs = 1) ?(records_per_shard = default_records_per_
             (if want `Runs then [ Driver.Job (Passes.io_log, fun a -> log := Some a) ] else []);
           ]
       in
-      Driver.run_jobs ~obs pool ~records ~slices batch;
+      Driver.run_jobs ~obs ?timeline pool ~records ~slices batch;
       List.map
         (fun s ->
           let text =
@@ -106,7 +106,7 @@ let run ?(obs = Obs.null) ?(jobs = 1) ?(records_per_shard = default_records_per_
             | `Hourly -> render_hourly (Option.get !hourly)
             | `Names -> render_names (Option.get !names)
             | `Runs ->
-                render_runs (A.Runs.table3 (Passes.runs ~obs ~jump_blocks:10 pool (Option.get !log)))
+                render_runs (A.Runs.table3 (Passes.runs ~obs ?timeline ~jump_blocks:10 pool (Option.get !log)))
           in
           (s, text))
         sections)

@@ -17,6 +17,7 @@ val default_records_per_shard : int
 
 val run :
   ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
   ?jobs:int ->
   ?records_per_shard:int ->
   sections:section list ->

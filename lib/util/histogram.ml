@@ -57,3 +57,8 @@ let cdf t =
     out := (t.edges.(i), frac) :: !out
   done;
   List.rev !out
+
+let footprint t =
+  (* Fixed shape: two parallel float arrays, no per-observation state. *)
+  let n = Array.length t.edges in
+  Nt_obs.Footprint.v ~cards:n ~words:(8 + (2 * (n + 1)))

@@ -37,3 +37,6 @@ val cdf : t -> (float * float) list
 
 val bucket_of : t -> float -> int
 (** Index of the bucket that would receive value [x]. *)
+
+val footprint : t -> Nt_obs.Footprint.t
+(** Cardinality = bucket count; words = the two parallel arrays. *)

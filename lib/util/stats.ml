@@ -71,3 +71,7 @@ let percentile data p =
   end
 
 let median data = percentile data 50.
+
+let footprint _t =
+  (* One flat record of six scalar fields regardless of sample count. *)
+  Nt_obs.Footprint.v ~cards:1 ~words:8

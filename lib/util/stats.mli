@@ -33,3 +33,6 @@ val percentile : float array -> float -> float
     interpolation between order statistics. [nan] on empty input. *)
 
 val median : float array -> float
+
+val footprint : t -> Nt_obs.Footprint.t
+(** Constant: a Welford accumulator never grows. *)

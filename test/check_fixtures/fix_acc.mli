@@ -1,5 +1,6 @@
 (* An accumulator exposing merge : t -> t -> t with NO registered
-   merge-law property: merge-law-missing must fire here. *)
+   merge-law property and NO footprint value: merge-law-missing and
+   footprint-missing must both fire here (once each). *)
 
 type t
 

@@ -3,3 +3,4 @@ type t = int list
 let empty = []
 let add t x = x :: t
 let merge a b = a @ b
+let footprint t = (List.length t, 3 * List.length t)

@@ -1,9 +1,11 @@
 (* Clean twin of Fix_acc: same shape, but Fix_testreg registers its
-   merge through prop_merge_laws, so merge-law-missing must stay
-   silent. *)
+   merge through prop_merge_laws and its footprint through
+   prop_footprint, so merge-law-missing and footprint-missing must both
+   stay silent. *)
 
 type t
 
 val empty : t
 val add : t -> int -> t
 val merge : t -> t -> t
+val footprint : t -> int * int

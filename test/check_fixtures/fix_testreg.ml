@@ -1,6 +1,9 @@
 (* The fixture project's test unit: the merge-law scanner reads
    prop_merge_laws applications out of this typedtree and credits the
-   modules whose merge they name. *)
+   modules whose merge they name; prop_footprint does the same for
+   footprint coverage. *)
 
 let prop_merge_laws _name merge = ignore merge
 let () = prop_merge_laws "acc_covered" Fix_acc_covered.merge
+let prop_footprint _name footprint = ignore footprint
+let () = prop_footprint "acc_covered" Fix_acc_covered.footprint

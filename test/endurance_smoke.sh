@@ -43,6 +43,32 @@ grep -q '^mon_evictions{' "$WORK/metrics.txt" || fail "mon_evictions series miss
 curl -sf "http://127.0.0.1:$PORT/json" | grep -q '"mon.ingested"' \
   || fail "/json scrape failed"
 
+# /series mid-run: the resource sampler's ring must be bounded, its
+# timestamps monotone, and every mon component must account non-zero
+# state-footprint words.
+curl -sf "http://127.0.0.1:$PORT/series" >"$WORK/series.json" \
+  || fail "/series scrape failed"
+grep -q '"schema": "nt_obs_series/1"' "$WORK/series.json" \
+  || fail "/series schema tag missing"
+SAMPLES=$(grep -c '"at":' "$WORK/series.json") || true
+CAP=$(grep -o '"cap": [0-9]*' "$WORK/series.json" | head -1 | tr -dc 0-9)
+[ -n "$SAMPLES" ] && [ "$SAMPLES" -ge 1 ] || fail "/series has no samples"
+[ -n "$CAP" ] && [ "$SAMPLES" -le "$CAP" ] \
+  || fail "/series ring unbounded: $SAMPLES samples over cap $CAP"
+grep -o '"at": [0-9.]*' "$WORK/series.json" | tr -dc '0-9.\n' >"$WORK/ats.txt"
+sort -nc "$WORK/ats.txt" 2>/dev/null || fail "/series timestamps not monotone"
+for comp in mon.ring mon.outstanding mon.ingest; do
+  WORDS=$(grep -o "\"$comp\": {\"cards\": [0-9]*, \"words\": [0-9]*" \
+    "$WORK/series.json" | grep -o '[0-9]*$')
+  [ -n "$WORDS" ] && [ "$WORDS" -gt 0 ] \
+    || fail "footprint for $comp missing or zero words"
+done
+echo "   /series: $SAMPLES samples (cap $CAP), footprints live"
+grep -q 'nt_state_words{component="mon_ring"}\|nt_state_words{component="mon.ring"}' \
+  "$WORK/metrics.txt" \
+  || { curl -sf "http://127.0.0.1:$PORT/metrics" \
+         | grep -q 'nt_state_words' || fail "nt_state_words gauges never exported"; }
+
 VMHWM=$(awk '/VmHWM/ {print $2}' "/proc/$PID/status")
 [ "$VMHWM" -le "$RSS_CEILING_KB" ] \
   || fail "VmHWM ${VMHWM}kB over ceiling ${RSS_CEILING_KB}kB"

@@ -319,6 +319,291 @@ let test_exporter_serves_endpoints () =
       | Ok _ -> Alcotest.fail "scrape succeeded after close"
       | Error _ -> ())
 
+(* --- timeline: Chrome trace-event export --- *)
+
+module Timeline = Nt_obs.Timeline
+
+(* Decode a trace document and enforce the three per-track invariants
+   the writer promises: timestamps monotone non-decreasing, every End
+   matches the innermost open Begin (strict nesting), and no End
+   without a Begin. Returns the event count. *)
+let check_trace_wellformed json_str =
+  let fail fmt = Alcotest.failf fmt in
+  let doc =
+    match Json.parse json_str with Ok v -> v | Error e -> fail "trace does not parse: %s" e
+  in
+  let evs =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> fail "no traceEvents array"
+  in
+  let stacks = Hashtbl.create 8 and lasts = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let str m = Option.bind (Json.member m ev) Json.to_str in
+      let num m = Option.bind (Json.member m ev) Json.to_num in
+      let ph = Option.value (str "ph") ~default:"?" in
+      let name = Option.value (str "name") ~default:"?" in
+      let tid =
+        match num "tid" with Some f -> int_of_float f | None -> fail "event without tid"
+      in
+      let ts = match num "ts" with Some f -> f | None -> fail "event without ts" in
+      let last = Option.value (Hashtbl.find_opt lasts tid) ~default:neg_infinity in
+      if ts < last then fail "track %d: ts %f after %f" tid ts last;
+      Hashtbl.replace lasts tid ts;
+      let stack = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
+      match ph with
+      | "B" -> Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+          match stack with
+          | [] -> fail "track %d: End %S with nothing open" tid name
+          | top :: rest ->
+              if top <> name then fail "track %d: End %S but innermost open is %S" tid name top;
+              Hashtbl.replace stacks tid rest)
+      | "C" -> ()
+      | ph -> fail "unknown phase %S" ph)
+    evs;
+  List.length evs
+
+(* Random op soup over three tracks with a jittery clock (steps can go
+   backwards) and interleaved reanchors: the emitted stream must stay
+   well-formed no matter the order. *)
+let prop_timeline_wellformed =
+  QCheck.Test.make ~count:200 ~name:"timeline: random ops emit a well-formed trace"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 120) (triple (int_bound 2) (int_bound 9) (int_range (-5) 20)))
+    (fun ops ->
+      let tl = Timeline.create () in
+      let clock = ref 100. in
+      List.iter
+        (fun (tid, kind, dt) ->
+          clock := !clock +. (float_of_int dt *. 0.001);
+          let ts = !clock in
+          match kind with
+          | 0 | 1 | 2 -> Timeline.span_begin tl ~tid ~name:(Printf.sprintf "s%d" kind) ~ts
+          | 3 | 4 | 5 -> Timeline.span_end tl ~tid ~name:"whatever" ~ts
+          | 6 | 7 -> Timeline.counter tl ~tid ~name:"c" ~ts ~value:(float_of_int dt) ()
+          | 8 -> Timeline.span tl ~tid ~name:"complete" ~t0:ts ~t1:(ts +. 0.0005)
+          | _ -> Timeline.reanchor tl ~ts)
+        ops;
+      let n = check_trace_wellformed (Timeline.to_json tl) in
+      n = Timeline.events tl)
+
+(* Same property with the events arriving through an attached Obs
+   registry (the production path), including a mid-run reanchor. *)
+let test_timeline_attach_reanchor () =
+  let clock = ref 10. in
+  let obs = Obs.create ~clock:(fun () -> !clock) () in
+  let tl = Timeline.create () in
+  Timeline.attach ~tid:1 tl obs;
+  Obs.span_open obs "svc";
+  clock := 11.;
+  Obs.span_open obs "svc.step";
+  clock := 500.;
+  Obs.reanchor obs;
+  clock := 500.5;
+  Obs.span_close obs "svc.step";
+  clock := 501.;
+  Obs.span_close obs "svc";
+  ignore (check_trace_wellformed (Timeline.to_json tl) : int);
+  (* reanchor closes and reopens both spans: 2B + 2E + 2B + 2E *)
+  Alcotest.(check int) "close/reopen doubles the events" 8 (Timeline.events tl);
+  Alcotest.(check int) "nothing dropped" 0 (Timeline.dropped tl)
+
+let test_timeline_cap_drops_whole_spans () =
+  let tl = Timeline.create ~cap:16 () in
+  for i = 0 to 39 do
+    let t0 = float_of_int i in
+    Timeline.span_begin tl ~tid:1 ~name:"w" ~ts:t0;
+    Timeline.span_end tl ~tid:1 ~name:"w" ~ts:(t0 +. 0.5)
+  done;
+  ignore (check_trace_wellformed (Timeline.to_json tl) : int);
+  Alcotest.(check bool) "drops counted" true (Timeline.dropped tl > 0);
+  (* Whole spans drop: at depth 1 the store holds at most cap + 1
+     events (a final balancing End may land past the cap). *)
+  Alcotest.(check bool) "bounded store" true (Timeline.events tl <= 17);
+  Alcotest.(check int) "all 80 accounted" 80 (Timeline.events tl + Timeline.dropped tl)
+
+let test_timeline_worker_buffers () =
+  let tl = Timeline.create () in
+  let b = Timeline.buf () in
+  Timeline.buf_add b ~name:"pass.summary" ~t0:1.0 ~t1:1.5;
+  Timeline.buf_add b ~name:"pass.names" ~t0:1.5 ~t1:1.9;
+  Timeline.absorb tl b;
+  Timeline.counter tl ~tid:1_000_000 ~name:"heap_words" ~ts:1.2 ~value:4096. ();
+  ignore (check_trace_wellformed (Timeline.to_json tl) : int);
+  Alcotest.(check int) "2 spans + 1 counter" 5 (Timeline.events tl);
+  Alcotest.(check int) "worker track + counter track" 2 (Timeline.tracks_count tl)
+
+(* Byte-level golden: a fixed op sequence on explicit tids must render
+   the exact Chrome trace JSON (pid normalised — it is the one
+   run-dependent field). *)
+let build_golden_timeline () =
+  let tl = Timeline.create ~cap:64 () in
+  Timeline.span_begin tl ~tid:1 ~name:"parse" ~ts:10.0;
+  Timeline.span_begin tl ~tid:1 ~name:"parse/decode" ~ts:10.001;
+  Timeline.counter tl ~tid:7 ~name:"heap_words" ~ts:10.0015 ~value:4096. ();
+  Timeline.span_end tl ~tid:1 ~name:"parse/decode" ~ts:10.002;
+  Timeline.span tl ~tid:2 ~name:"shard.0" ~t0:10.0005 ~t1:10.003;
+  Timeline.counter tl ~tid:7 ~name:"heap_words" ~ts:10.004 ~value:5120. ();
+  Timeline.span_end tl ~tid:1 ~name:"parse" ~ts:10.005;
+  tl
+
+let normalize_pid s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let key = "\"pid\": " in
+  let k = String.length key in
+  let i = ref 0 in
+  while !i < n do
+    if !i + k <= n && String.sub s !i k = key then begin
+      Buffer.add_string b "\"pid\": 0";
+      i := !i + k;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_timeline_golden () =
+  let got = normalize_pid (Timeline.to_json (build_golden_timeline ())) in
+  let want = read_file "golden/timeline.golden" in
+  Alcotest.(check string) "chrome trace bytes" want got
+
+(* --- resource sampler --- *)
+
+module Sampler = Nt_obs.Sampler
+module Footprint = Nt_obs.Footprint
+
+(* Gc counters never run backwards, so under an arbitrarily jittery
+   injected clock every successive delta must clamp non-negative and
+   the sample clock must stay monotone (the registry clamp). *)
+let prop_sampler_deltas_nonnegative =
+  QCheck.Test.make ~count:100 ~name:"sampler: deltas non-negative under clock jitter"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (int_range (-1000) 1000))
+    (fun jumps ->
+      let clock = ref 100. in
+      let obs = Obs.create ~clock:(fun () -> !clock) () in
+      let s = Sampler.create ~interval:0.01 obs in
+      let samples =
+        List.map
+          (fun jump ->
+            clock := !clock +. (float_of_int jump /. 100.);
+            ignore (Sys.opaque_identity (Array.make 64 jump));
+            Sampler.sample_now s)
+          jumps
+      in
+      List.iter2
+        (fun older newer ->
+          if newer.Sampler.at < older.Sampler.at then
+            QCheck.Test.fail_reportf "sample clock ran backwards";
+          let d = Sampler.delta ~older ~newer in
+          if
+            d.Sampler.d_seconds < 0. || d.Sampler.d_minor_words < 0.
+            || d.Sampler.d_major_words < 0.
+            || d.Sampler.d_promoted_words < 0.
+            || d.Sampler.d_minor_collections < 0
+            || d.Sampler.d_major_collections < 0
+            || d.Sampler.d_compactions < 0
+          then QCheck.Test.fail_reportf "negative delta")
+        (List.filteri (fun i _ -> i < List.length samples - 1) samples)
+        (List.tl samples);
+      true)
+
+let test_sampler_ring_bounded () =
+  let obs = Obs.create () in
+  let s = Sampler.create ~interval:0.01 ~cap:4 obs in
+  for _ = 1 to 10 do
+    ignore (Sampler.sample_now s : Sampler.sample)
+  done;
+  Alcotest.(check int) "ring holds cap" 4 (List.length (Sampler.samples s));
+  Alcotest.(check int) "baseline + 10" 11 (Sampler.taken s);
+  Alcotest.(check int) "evictions counted" 7 (Sampler.evicted s);
+  let ats = List.map (fun (smp : Sampler.sample) -> smp.Sampler.at) (Sampler.samples s) in
+  Alcotest.(check bool) "oldest first" true (List.sort compare ats = ats)
+
+let test_sampler_publishes_gauges_and_footprints () =
+  let obs = Obs.create () in
+  let s = Sampler.create ~interval:0.01 obs in
+  Sampler.set_footprints s (fun () -> [ ("acc.test", Footprint.v ~cards:3 ~words:42) ]);
+  ignore (Sampler.sample_now s : Sampler.sample);
+  let doc =
+    match Json.parse (Obs.to_json (Obs.snapshot obs)) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "snapshot does not parse: %s" e
+  in
+  let num ?labels name =
+    match Json.metric_number doc ?labels name with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  Alcotest.(check bool) "rt.heap_words live" true (num "rt.heap_words" > 0.);
+  Alcotest.(check bool) "rt.samples counts" true (num "rt.samples" >= 2.);
+  Alcotest.(check (float 0.))
+    "nt_state_cards published" 3.
+    (num ~labels:[ ("component", "acc.test") ] "nt_state_cards");
+  Alcotest.(check (float 0.))
+    "nt_state_words published" 42.
+    (num ~labels:[ ("component", "acc.test") ] "nt_state_words")
+
+let test_series_json_document () =
+  let obs = Obs.create () in
+  let s = Sampler.create ~interval:0.01 ~cap:8 obs in
+  Sampler.set_footprints s (fun () -> [ ("acc.test", Footprint.v ~cards:1 ~words:9) ]);
+  let doc =
+    match Json.parse (Sampler.series_json s) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "/series does not parse: %s" e
+  in
+  Alcotest.(check (option string))
+    "schema tag" (Some "nt_obs_series/1")
+    (Option.bind (Json.member "schema" doc) Json.to_str);
+  let samples = Option.bind (Json.member "samples" doc) Json.to_list in
+  (match samples with
+  | None -> Alcotest.fail "no samples array"
+  | Some l ->
+      Alcotest.(check bool) "never empty (baseline + refresh)" true (List.length l >= 2);
+      Alcotest.(check bool) "bounded by cap" true (List.length l <= 8);
+      let ats =
+        List.map (fun smp -> Option.bind (Json.member "at" smp) Json.to_num) l
+      in
+      Alcotest.(check bool) "timestamps monotone" true (List.sort compare ats = ats));
+  match Option.bind (Json.member "footprint" doc) (Json.member "acc.test") with
+  | None -> Alcotest.fail "footprint map missing acc.test"
+  | Some fp ->
+      Alcotest.(check (option (float 0.)))
+        "words embedded" (Some 9.)
+        (Option.bind (Json.member "words" fp) Json.to_num)
+
+let test_exporter_series_endpoint () =
+  let obs = Obs.create () in
+  let s = Sampler.create ~interval:0.01 obs in
+  Sampler.set_footprints s (fun () -> [ ("acc.test", Footprint.v ~cards:2 ~words:17) ]);
+  match Nt_obs.Exporter.create ~series:(fun () -> Sampler.series_json s) obs with
+  | Error e -> Alcotest.fail ("exporter create failed: " ^ e)
+  | Ok exp ->
+      let port = Nt_obs.Exporter.port exp in
+      let has hay needle =
+        let n = String.length needle and m = String.length hay in
+        let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      let body = fetch_interleaved exp ~port ~path:"/series" in
+      Nt_obs.Exporter.close exp;
+      Alcotest.(check bool) "/series 200" true (has body "200 OK");
+      Alcotest.(check bool) "schema tag served" true (has body "nt_obs_series/1");
+      Alcotest.(check bool) "footprints embedded" true (has body "\"acc.test\"")
+
 (* --- Pipeline integration: conservation from the exported JSON --- *)
 
 let test_pipeline_conservation_from_json () =
@@ -390,6 +675,23 @@ let () =
           Alcotest.test_case "json parser rejects garbage" `Quick test_json_parser_rejects_garbage;
           Alcotest.test_case "prometheus" `Quick test_prometheus_export;
           Alcotest.test_case "socket exporter" `Quick test_exporter_serves_endpoints;
+        ] );
+      ( "timeline",
+        [
+          QCheck_alcotest.to_alcotest prop_timeline_wellformed;
+          Alcotest.test_case "attach + reanchor stays balanced" `Quick test_timeline_attach_reanchor;
+          Alcotest.test_case "cap drops whole spans" `Quick test_timeline_cap_drops_whole_spans;
+          Alcotest.test_case "worker buffers absorb" `Quick test_timeline_worker_buffers;
+          Alcotest.test_case "golden chrome trace" `Quick test_timeline_golden;
+        ] );
+      ( "sampler",
+        [
+          QCheck_alcotest.to_alcotest prop_sampler_deltas_nonnegative;
+          Alcotest.test_case "ring bounded" `Quick test_sampler_ring_bounded;
+          Alcotest.test_case "gauges + footprints published" `Quick
+            test_sampler_publishes_gauges_and_footprints;
+          Alcotest.test_case "/series document" `Quick test_series_json_document;
+          Alcotest.test_case "/series endpoint" `Quick test_exporter_series_endpoint;
         ] );
       ( "pipeline",
         [ Alcotest.test_case "conservation from exported JSON" `Quick test_pipeline_conservation_from_json ] );

@@ -573,6 +573,83 @@ let law_win =
   prop_merge_laws "win" ~symmetric:true ~build ~build_shard:build ~empty ~empty_shard:empty
     ~merge:Win.merge ~eq:check_win_eq
 
+(* --- footprint accounting ---
+
+   ntcheck's footprint-missing rule requires every merge-bearing
+   interface to expose state-footprint accounting and have it
+   registered through [prop_footprint]; each call below names the
+   module's footprint directly so the typedtree scan can attribute the
+   coverage.  The invariant is deliberately weak: [words] is a
+   structural estimate and is NOT monotone over record prefixes (Names
+   resolves orphans away, shrinking words), but an accumulator that
+   reports zero words or fewer words than tracked entries is lying to
+   the nt_state_* gauges. *)
+
+let prop_footprint name ~build ~footprint =
+  QCheck.Test.make ~count:40 ~name:(name ^ ": footprint honesty (words >= cards, > 0)")
+    workload_arb
+    (fun (n, _cut, seed) ->
+      let records = gen_records ~seed ~n in
+      let fp = footprint (build records) in
+      if fp.Nt_obs.Footprint.words <= 0 then
+        QCheck.Test.fail_reportf "%s: words = %d, state invisible to gauges" name
+          fp.Nt_obs.Footprint.words;
+      if fp.Nt_obs.Footprint.cards < 0 then
+        QCheck.Test.fail_reportf "%s: negative cardinality %d" name fp.Nt_obs.Footprint.cards;
+      if fp.Nt_obs.Footprint.words < fp.Nt_obs.Footprint.cards then
+        QCheck.Test.fail_reportf "%s: %d entries in %d words undercounts heap" name
+          fp.Nt_obs.Footprint.cards fp.Nt_obs.Footprint.words;
+      true)
+
+let fp_summary =
+  prop_footprint "summary"
+    ~build:(build_with Summary.create Summary.observe)
+    ~footprint:Summary.footprint
+
+let fp_hourly =
+  prop_footprint "hourly"
+    ~build:(build_with Hourly.create Hourly.observe)
+    ~footprint:Hourly.footprint
+
+let fp_io_log =
+  prop_footprint "io_log"
+    ~build:(build_with Io_log.create Io_log.observe)
+    ~footprint:Io_log.footprint
+
+let fp_names =
+  prop_footprint "names"
+    ~build:(build_with Names.create Names.observe)
+    ~footprint:Names.footprint
+
+let fp_lifetime =
+  prop_footprint "lifetime"
+    ~build:(build_with (fun () -> Lifetime.create lifetime_cfg) Lifetime.observe)
+    ~footprint:Lifetime.footprint
+
+let fp_histogram =
+  prop_footprint "histogram"
+    ~build:(fun records ->
+      let h = Histogram.log2_buckets ~lo:1. ~hi:(2. ** 24.) in
+      Array.iter
+        (fun (r : Record.t) -> Histogram.add h (r.Record.time -. Tw.week_start +. 1.))
+        records;
+      h)
+    ~footprint:Histogram.footprint
+
+let fp_stats =
+  prop_footprint "stats"
+    ~build:(fun records ->
+      let t = Stats.create () in
+      Array.iter (fun (r : Record.t) -> Stats.add t (r.Record.time -. Tw.week_start)) records;
+      t)
+    ~footprint:Stats.footprint
+
+let fp_win =
+  let win_caps = { Win.client_cap = 3; uid_cap = 3; fs_cap = 2; proc_cap = 4 } in
+  prop_footprint "win"
+    ~build:(build_with (fun () -> Win.create ~caps:win_caps ()) Win.observe)
+    ~footprint:Win.footprint
+
 (* --- shard-boundary unit tests --- *)
 
 let fh_a = Fh.make ~fsid:9 ~fileid:201
@@ -863,6 +940,17 @@ let () =
           QCheck_alcotest.to_alcotest law_histogram;
           QCheck_alcotest.to_alcotest law_stats;
           QCheck_alcotest.to_alcotest law_win;
+        ] );
+      ( "footprints",
+        [
+          QCheck_alcotest.to_alcotest fp_summary;
+          QCheck_alcotest.to_alcotest fp_hourly;
+          QCheck_alcotest.to_alcotest fp_io_log;
+          QCheck_alcotest.to_alcotest fp_names;
+          QCheck_alcotest.to_alcotest fp_lifetime;
+          QCheck_alcotest.to_alcotest fp_histogram;
+          QCheck_alcotest.to_alcotest fp_stats;
+          QCheck_alcotest.to_alcotest fp_win;
         ] );
       ( "shard-boundary",
         [
