@@ -52,18 +52,25 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
       let obs = Nt_obs.Obs.create () in
       let timeline = Obs_cli.timeline obs_opts obs in
       let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
-      let ic = if input = "-" then stdin else open_in input in
       let prog = Obs_cli.progress obs_opts "nfslint" in
+      let tick () =
+        Obs_cli.tick prog ~stage:"lint" 1;
+        Nt_obs.Sampler.tick sampler
+      in
+      (* stdin stays a lazy stream; file sources (text or tbin:) load
+         through the pipeline's format-sniffing reader *)
+      let ic = if input = "-" then Some stdin else None in
       let records =
-        Seq.map
-          (fun r ->
-            Obs_cli.tick prog ~stage:"lint" 1;
-            Nt_obs.Sampler.tick sampler;
-            r)
-          (Nt_trace.Record.read_channel ic)
+        match ic with
+        | Some ic ->
+            Seq.map
+              (fun r ->
+                tick ();
+                r)
+              (Nt_trace.Record.read_channel ic)
+        | None -> List.to_seq (Nt_core.Pipeline.load_trace ~obs ~tick input)
       in
       let t = Nt_obs.Obs.with_span obs "lint.run" (fun () -> Lint.run ~obs config records) in
-      if input <> "-" then close_in ic;
       Obs_cli.finish prog;
       let findings = Lint.findings t in
       if json then print_endline (Nt_lint.Finding.list_to_json findings)
@@ -91,7 +98,12 @@ let run input json fail_on anonymized enabled_only disabled reorder_window xid_w
     end
 
 let input =
-  Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Input trace file (- for stdin).")
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "Input trace: - for stdin (text), a sniffed path, or an explicit trace:PATH / \
+           tbin:PATH.")
 
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array.")
 

@@ -18,6 +18,7 @@ let parse_source obs s ~sim_start ~sim_stop ~speedup ~slice =
     match kind with
     | `Trace -> Ok (Nt_mon.Feed.trace_tail ~obs path)
     | `Pcap -> Ok (Nt_mon.Feed.pcap_tail ~obs path)
+    | `Tbin -> Ok (Nt_mon.Feed.tbin_tail ~obs path)
   in
   match String.index_opt s ':' with
   | Some i -> (
@@ -26,6 +27,7 @@ let parse_source obs s ~sim_start ~sim_stop ~speedup ~slice =
       match kind with
       | "trace" -> feed_of_path `Trace rest
       | "pcap" -> feed_of_path `Pcap rest
+      | "tbin" -> feed_of_path `Tbin rest
       | "sim" -> (
           let mk workload =
             Ok
@@ -36,9 +38,11 @@ let parse_source obs s ~sim_start ~sim_stop ~speedup ~slice =
           | "campus" -> mk Nt_core.Live_feed.Campus
           | "eecs" -> mk Nt_core.Live_feed.Eecs
           | w -> Error (Printf.sprintf "unknown workload %S (campus or eecs)" w))
-      | _ -> Error (Printf.sprintf "unknown source kind %S (trace:, pcap:, sim:)" kind))
+      | _ -> Error (Printf.sprintf "unknown source kind %S (trace:, pcap:, tbin:, sim:)" kind))
   | None ->
-      if Filename.check_suffix s ".pcap" then feed_of_path `Pcap s else feed_of_path `Trace s
+      if Filename.check_suffix s ".pcap" then feed_of_path `Pcap s
+      else if Filename.check_suffix s ".ntb" then feed_of_path `Tbin s
+      else feed_of_path `Trace s
 
 let parse_listen s =
   match String.rindex_opt s ':' with
@@ -158,8 +162,9 @@ let source =
     & info [] ~docv:"SOURCE"
         ~doc:
           "Record source: $(b,trace:PATH) (tail a text trace), $(b,pcap:PATH) (tail a pcap \
-           capture), or $(b,sim:campus)/$(b,sim:eecs) (live simulated workload). A bare path \
-           picks trace or pcap by extension.")
+           capture), $(b,tbin:PATH) (tail an nttb/1 binary trace), or \
+           $(b,sim:campus)/$(b,sim:eecs) (live simulated workload). A bare path picks the \
+           format by extension (.pcap, .ntb, else text).")
 
 let window =
   Arg.(value & opt float 10. & info [ "window" ] ~docv:"SECONDS" ~doc:"Window length.")

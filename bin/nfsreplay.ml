@@ -99,18 +99,14 @@ let run input obs_opts =
   let timeline = Obs_cli.timeline obs_opts obs in
   let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfsreplay" in
-  let ic = if input = "-" then stdin else open_in input in
   let records =
     Nt_obs.Obs.with_span obs "load" (fun () ->
-        List.of_seq
-          (Seq.map
-             (fun r ->
-               Obs_cli.tick prog ~stage:"load" 1;
-               Nt_obs.Sampler.tick sampler;
-               r)
-             (Record.read_channel ic)))
+        Nt_core.Pipeline.load_trace ~obs
+          ~tick:(fun () ->
+            Obs_cli.tick prog ~stage:"load" 1;
+            Nt_obs.Sampler.tick sampler)
+          input)
   in
-  if input <> "-" then close_in ic;
   Printf.eprintf "nfsreplay: %d records loaded\n%!" (List.length records);
   let results =
     List.map
@@ -159,7 +155,11 @@ let run input obs_opts =
 
 let input =
   Arg.(
-    required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Input trace (- for stdin).")
+    required & pos 0 (some string) None
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "Input trace: - for stdin (text), a sniffed path, or an explicit trace:PATH / \
+           tbin:PATH.")
 
 let cmd =
   Cmd.v

@@ -4,26 +4,19 @@
 
 open Cmdliner
 
-let load prog sampler input =
-  let ic = if input = "-" then stdin else open_in input in
-  let records =
-    List.of_seq
-      (Seq.map
-         (fun r ->
-           Obs_cli.tick prog ~stage:"load" 1;
-           Nt_obs.Sampler.tick sampler;
-           r)
-         (Nt_trace.Record.read_channel ic))
-  in
-  if input <> "-" then close_in ic;
-  records
+let load ~obs prog sampler input =
+  Nt_core.Pipeline.load_trace ~obs
+    ~tick:(fun () ->
+      Obs_cli.tick prog ~stage:"load" 1;
+      Nt_obs.Sampler.tick sampler)
+    input
 
 let run input analyses jobs shard_records lint obs_opts =
   let obs = Nt_obs.Obs.create () in
   let timeline = Obs_cli.timeline obs_opts obs in
   let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
   let prog = Obs_cli.progress obs_opts "nfsstats" in
-  let records = Nt_obs.Obs.with_span obs "load" (fun () -> load prog sampler input) in
+  let records = Nt_obs.Obs.with_span obs "load" (fun () -> load ~obs prog sampler input) in
   Nt_obs.Obs.add
     (Nt_obs.Obs.counter obs ~help:"trace records loaded" "stats.records")
     (List.length records);
@@ -64,7 +57,11 @@ let run input analyses jobs shard_records lint obs_opts =
 
 let input =
   Arg.(
-    required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Input trace (- for stdin).")
+    required & pos 0 (some string) None
+    & info [] ~docv:"TRACE"
+        ~doc:
+          "Input trace: - for stdin (text), a path (format sniffed: .ntb extension or nttb/1 \
+           magic means binary), or an explicit trace:PATH / tbin:PATH.")
 
 let analyses =
   let kind =

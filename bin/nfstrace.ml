@@ -6,7 +6,7 @@
 open Cmdliner
 module Obs = Nt_obs.Obs
 
-let run input output salvage lint obs_opts =
+let run input output out_tbin salvage lint obs_opts =
   let ic = if input = "-" then stdin else open_in_bin input in
   let obs = Obs.create () in
   let timeline = Obs_cli.timeline obs_opts obs in
@@ -15,6 +15,13 @@ let run input output salvage lint obs_opts =
   let decode () =
     let reader = Nt_net.Pcap.reader_of_channel ~obs ~salvage ic in
     let oc = if output = "-" then stdout else open_out output in
+    let tbin =
+      match out_tbin with
+      | None -> None
+      | Some path ->
+          let toc = open_out_bin path in
+          Some (toc, Nt_tbin.Writer.create (output_string toc))
+    in
     let linter =
       if lint then
         (* Streamed records are not globally call-time sorted (lost calls
@@ -27,6 +34,7 @@ let run input output salvage lint obs_opts =
     let emit r =
       output_string oc (Nt_trace.Record.to_line r);
       output_char oc '\n';
+      Option.iter (fun (_, w) -> Nt_tbin.Writer.add w r) tbin;
       Option.iter (fun l -> Nt_lint.Engine.observe l r) linter;
       Nt_obs.Sampler.tick sampler;
       Obs_cli.tick prog ~stage:"decode" 1
@@ -36,6 +44,11 @@ let run input output salvage lint obs_opts =
     Obs.with_span obs "capture.decode" (fun () ->
         Nt_trace.Capture.feed_pcap capture reader);
     let stats, _ = Nt_trace.Capture.finish capture in
+    Option.iter
+      (fun (toc, w) ->
+        Nt_tbin.Writer.close w;
+        close_out toc)
+      tbin;
     if output <> "-" then close_out oc;
     Printf.eprintf "nfstrace: %s\n%!" (Nt_trace.Capture.stats_to_string stats);
     Option.iter
@@ -76,6 +89,13 @@ let output =
     value & opt string "-"
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file (- for stdout).")
 
+let out_tbin =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-tbin" ] ~docv:"FILE"
+        ~doc:"Also write the decoded records to $(docv) as an nttb/1 binary trace.")
+
 let salvage =
   Arg.(
     value & flag
@@ -95,6 +115,6 @@ let lint =
 let cmd =
   Cmd.v
     (Cmd.info "nfstrace" ~doc:"Decode a pcap capture into NFS trace records")
-    Term.(const run $ input $ output $ salvage $ lint $ Obs_cli.term)
+    Term.(const run $ input $ output $ out_tbin $ salvage $ lint $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

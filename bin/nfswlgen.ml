@@ -7,7 +7,14 @@
 
 open Cmdliner
 
-let run system users start_hour hours format loss fault fault_seed output obs_opts =
+let run system users start_hour hours format loss fault fault_seed output out_tbin obs_opts =
+  if format = `Pcap && out_tbin <> None then begin
+    Printf.eprintf
+      "nfswlgen: --out-tbin requires --format trace or tbin (the pcap path emits packets, not \
+       records)\n\
+       %!";
+    exit 2
+  end;
   let obs = Nt_obs.Obs.create () in
   let timeline = Obs_cli.timeline obs_opts obs in
   let sampler = Nt_obs.Sampler.create ~interval:0.05 obs in
@@ -22,22 +29,57 @@ let run system users start_hour hours format loss fault fault_seed output obs_op
         let oc = open_out_bin path in
         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
   in
-  let emit_trace oc =
-    let n = ref 0 in
-    let sink r =
-      output_string oc (Nt_trace.Record.to_line r);
-      output_char oc '\n';
-      incr n;
-      Nt_obs.Sampler.tick sampler;
-      Obs_cli.tick prog ~stage:"simulate" 1
-    in
-    (match system with
+  (* Optional side copy of the record stream in the compact binary
+     format, written alongside whatever the primary format is. *)
+  let tbin_copy =
+    match out_tbin with
+    | None -> None
+    | Some path ->
+        let oc = open_out_bin path in
+        Some (oc, Nt_tbin.Writer.create (output_string oc))
+  in
+  let copy r = match tbin_copy with Some (_, w) -> Nt_tbin.Writer.add w r | None -> () in
+  let close_copy () =
+    match tbin_copy with
+    | Some (oc, w) ->
+        Nt_tbin.Writer.close w;
+        close_out oc
+    | None -> ()
+  in
+  let simulate sink =
+    match system with
     | `Campus ->
         let config = { Nt_workload.Email.default_config with users } in
         ignore (Nt_core.Pipeline.simulate_campus ~obs ~config ~start ~stop ~sink ())
     | `Eecs ->
         let config = { Nt_workload.Research.default_config with users } in
-        ignore (Nt_core.Pipeline.simulate_eecs ~obs ~config ~start ~stop ~sink ()));
+        ignore (Nt_core.Pipeline.simulate_eecs ~obs ~config ~start ~stop ~sink ())
+  in
+  let emit_trace oc =
+    let n = ref 0 in
+    let sink r =
+      output_string oc (Nt_trace.Record.to_line r);
+      output_char oc '\n';
+      copy r;
+      incr n;
+      Nt_obs.Sampler.tick sampler;
+      Obs_cli.tick prog ~stage:"simulate" 1
+    in
+    simulate sink;
+    Printf.eprintf "nfswlgen: wrote %d records\n%!" !n
+  in
+  let emit_tbin oc =
+    let w = Nt_tbin.Writer.create (output_string oc) in
+    let n = ref 0 in
+    let sink r =
+      Nt_tbin.Writer.add w r;
+      copy r;
+      incr n;
+      Nt_obs.Sampler.tick sampler;
+      Obs_cli.tick prog ~stage:"simulate" 1
+    in
+    simulate sink;
+    Nt_tbin.Writer.close w;
     Printf.eprintf "nfswlgen: wrote %d records\n%!" !n
   in
   let emit_pcap oc =
@@ -67,7 +109,8 @@ let run system users start_hour hours format loss fault fault_seed output obs_op
     Printf.eprintf "nfswlgen: %d records, %d packets written, %d dropped at monitor\n%!"
       stats.run.records stats.packets_written stats.packets_dropped
   in
-  with_out (match format with `Trace -> emit_trace | `Pcap -> emit_pcap);
+  with_out (match format with `Trace -> emit_trace | `Tbin -> emit_tbin | `Pcap -> emit_pcap);
+  close_copy ();
   ignore (Nt_obs.Sampler.sample_now sampler : Nt_obs.Sampler.sample);
   Obs_cli.finish prog;
   Obs_cli.dump obs_opts obs;
@@ -94,9 +137,10 @@ let hours =
 let format =
   Arg.(
     value
-    & opt (enum [ ("trace", `Trace); ("pcap", `Pcap) ]) `Trace
+    & opt (enum [ ("trace", `Trace); ("tbin", `Tbin); ("pcap", `Pcap) ]) `Trace
     & info [ "f"; "format" ] ~docv:"FMT"
-        ~doc:"Output format: trace (text records) or pcap (packets).")
+        ~doc:"Output format: trace (text records), tbin (compact nttb/1 binary records), or \
+              pcap (packets).")
 
 let loss =
   Arg.(
@@ -121,11 +165,20 @@ let output =
   Arg.(
     value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (- for stdout).")
 
+let out_tbin =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-tbin" ] ~docv:"FILE"
+        ~doc:
+          "Also write the generated records to $(docv) as an nttb/1 binary trace (trace and \
+           tbin formats only; the pcap path never materializes records).")
+
 let cmd =
   Cmd.v
     (Cmd.info "nfswlgen" ~doc:"Generate a synthetic NFS workload trace or capture")
     Term.(
       const run $ system $ users $ start_hour $ hours $ format $ loss $ fault $ fault_seed
-      $ output $ Obs_cli.term)
+      $ output $ out_tbin $ Obs_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -198,3 +198,56 @@ let eecs_degraded ?config ?seed ?mangle_flips ~plan ~start ~stop () =
     collect_records (fun ~sink -> simulate_eecs ?config ~start ~stop ~sink ())
   in
   run_degraded ?seed ?mangle_flips ~transport:Packet_pipe.Udp_transport ~plan records
+
+(* --- binary trace container (nttb/1) --- *)
+
+let read_tbin ?obs path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Nt_tbin.read_channel ?obs ic)
+
+let iter_tbin ?obs path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Nt_tbin.iter_channel ?obs ic f)
+
+let load_trace ?obs ?(tick = fun () -> ()) spec =
+  let text ic =
+    List.of_seq (Seq.map (fun r -> tick (); r) (Nt_trace.Record.read_channel ic))
+  in
+  let tbin ic =
+    let acc = ref [] in
+    let stats = Nt_tbin.iter_channel ?obs ic (fun r -> tick (); acc := r :: !acc) in
+    ignore (stats : Nt_tbin.stats);
+    List.rev !acc
+  in
+  if String.equal spec "-" then text stdin
+  else begin
+    let path, forced =
+      if String.starts_with ~prefix:"trace:" spec then
+        (String.sub spec 6 (String.length spec - 6), Some `Text)
+      else if String.starts_with ~prefix:"tbin:" spec then
+        (String.sub spec 5 (String.length spec - 5), Some `Tbin)
+      else (spec, None)
+    in
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        let kind =
+          match forced with
+          | Some k -> k
+          | None ->
+              if String.ends_with ~suffix:".ntb" path then `Tbin
+              else begin
+                (* sniff the 7-byte nttb magic *)
+                let n = String.length Nt_tbin.magic in
+                let buf = Bytes.create n in
+                let got = input ic buf 0 n in
+                seek_in ic 0;
+                if got = n && String.equal (Bytes.sub_string buf 0 n) Nt_tbin.magic then
+                  `Tbin
+                else `Text
+              end
+        in
+        match kind with `Text -> text ic | `Tbin -> tbin ic)
+  end
+
+let analyze_stream ?obs ?timeline ?jobs ?records_per_shard ~sections produce =
+  Nt_par.Report.run_stream ?obs ?timeline ?jobs ?records_per_shard ~sections produce

@@ -166,3 +166,35 @@ val eecs_degraded :
   unit ->
   degraded_run
 (** EECS (UDP) differential run over a simulated interval. *)
+
+(** {1 Binary trace container (nttb/1)} *)
+
+val read_tbin : ?obs:Nt_obs.Obs.t -> string -> Nt_tbin.stats * Nt_trace.Record.t list
+(** Decode a [.ntb] file; decode failures are counted in the stats
+    (and on [obs] under [tbin.*]), never raised. *)
+
+val iter_tbin :
+  ?obs:Nt_obs.Obs.t -> string -> (Nt_trace.Record.t -> unit) -> Nt_tbin.stats
+(** Stream a [.ntb] file record by record without materializing it —
+    the out-of-core reading path. *)
+
+val load_trace :
+  ?obs:Nt_obs.Obs.t -> ?tick:(unit -> unit) -> string -> Nt_trace.Record.t list
+(** Load a trace from a source spec: [-] reads text records from
+    stdin; [trace:PATH] / [tbin:PATH] force the format; a bare path is
+    sniffed ([.ntb] extension or the [nttb/1] magic mean binary, text
+    otherwise). [tick] fires once per record for progress meters. *)
+
+val analyze_stream :
+  ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
+  ?jobs:int ->
+  ?records_per_shard:int ->
+  sections:Nt_par.Report.section list ->
+  ((Nt_trace.Record.t -> unit) -> unit) ->
+  (Nt_par.Report.section * string) list * int
+(** {!analyze_records} without the list: the producer pushes records
+    (e.g. straight from a simulator sink or {!iter_tbin}) and the
+    report folds over fixed-size chunks with peak state of one chunk —
+    see {!Nt_par.Report.run_stream}. Byte-identical with the
+    materialized path at any [jobs]. *)

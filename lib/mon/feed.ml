@@ -326,3 +326,46 @@ let pcap_tail ?obs path =
       ignore (Nt_trace.Capture.finish cap);
       tail_close t)
     pull_fn
+
+(* --- tbin tail --- *)
+
+let tbin_tail ?obs path =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let t = tail_create ~obs path in
+  (* The frame decoder owns resync and failure counting; its failure
+     total is mirrored onto mon.feed.parse_errors so feed dashboards
+     need not know the source format. Replay offsets come from the
+     decoder: frame end for the last record of a frame, frame start
+     before that — at-least-once at frame granularity. *)
+  let d = Nt_tbin.Decoder.create ~obs () in
+  let failures_seen = ref 0 in
+  let mirror_failures () =
+    let f = Nt_tbin.failures (Nt_tbin.Decoder.stats d) in
+    if f > !failures_seen then begin
+      Obs.add t.cs.c_parse_errors (f - !failures_seen);
+      failures_seen := f
+    end
+  in
+  let rec pull_fn () =
+    match Nt_tbin.Decoder.next d with
+    | Some (r, off) ->
+        t.delivered <- off;
+        `Record r
+    | None ->
+        if tail_fill t then begin
+          let chunk = t.pending in
+          tail_consume t (String.length chunk);
+          Nt_tbin.Decoder.feed d chunk;
+          mirror_failures ();
+          pull_fn ()
+        end
+        else `Idle
+  in
+  of_fn ~describe:("tbin:" ^ path)
+    ~pos:(fun () -> Some t.delivered)
+    ~seek:(fun off ->
+      let ok = tail_seek t off in
+      Nt_tbin.Decoder.reset_at d off;
+      ok)
+    ~close:(fun () -> tail_close t)
+    pull_fn

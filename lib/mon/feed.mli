@@ -59,3 +59,10 @@ val pcap_tail : ?obs:Nt_obs.Obs.t -> string -> t
     complete pcap records arrive (both endiannesses, micro- and
     nanosecond variants). Frames held back mid-write are picked up on
     the next pull. *)
+
+val tbin_tail : ?obs:Nt_obs.Obs.t -> string -> t
+(** Tail an nttb/1 binary trace (see {!Nt_tbin}), decoding complete
+    frames as they arrive. Decode failures are counted (mirrored onto
+    [mon.feed.parse_errors] besides the decoder's own [tbin.*]
+    counters), and the reported position replays at frame granularity:
+    at-least-once, never lossy. *)

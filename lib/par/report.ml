@@ -110,3 +110,93 @@ let run ?(obs = Obs.null) ?timeline ?(jobs = 1)
           in
           (s, text))
         sections)
+
+(* Streaming variant: the producer pushes records and never holds the
+   trace in memory. Chunks are exactly [records_per_shard] long, so
+   the fold replays the materialized shard plan — chunk 0 takes the
+   root accumulator, later chunks the shard-mode one, and merges
+   left-fold in chunk order — and the rendered text is byte-identical
+   with {!run} at any worker count. Within a chunk the wanted passes
+   fan across the pool (pass-parallel rather than shard-parallel), and
+   each pass's chunk time still lands on [par.pass.<name>]. *)
+
+type fold = Fold : 'a Driver.pass * 'a option ref -> fold
+
+let run_stream ?(obs = Obs.null) ?timeline ?(jobs = 1)
+    ?(records_per_shard = default_records_per_shard) ~sections produce =
+  if records_per_shard <= 0 then
+    invalid_arg "Report.run_stream: records_per_shard must be positive";
+  Pool.with_pool ~jobs (fun pool ->
+      let want s = List.mem s sections in
+      let summary = ref None and hourly = ref None and names = ref None and log = ref None in
+      let folds =
+        List.concat
+          [
+            (if want `Summary then [ Fold (Passes.summary, summary) ] else []);
+            (if want `Hourly then [ Fold (Passes.hourly, hourly) ] else []);
+            (if want `Names then [ Fold (Passes.names, names) ] else []);
+            (if want `Runs then [ Fold (Passes.io_log, log) ] else []);
+          ]
+      in
+      let process chunk ~first =
+        let tasks =
+          List.map
+            (fun (Fold (p, slot)) () ->
+              let t0 = Unix.gettimeofday () in
+              let acc = if first then p.Driver.init () else p.Driver.init_shard () in
+              Array.iter (p.Driver.observe acc) chunk;
+              let dt = Unix.gettimeofday () -. t0 in
+              let commit () =
+                slot := Some (match !slot with None -> acc | Some prev -> p.Driver.merge prev acc)
+              in
+              (p.Driver.name, dt, commit))
+            folds
+        in
+        let done_ = Pool.run_all pool (Array.of_list tasks) in
+        Array.iter
+          (fun (name, dt, commit) ->
+            Obs.span_record obs ("par.pass." ^ name) ~seconds:dt;
+            commit ())
+          done_
+      in
+      let chunk = ref [||] in
+      let fill = ref 0 in
+      let first = ref true in
+      let total = ref 0 in
+      let flush () =
+        if !fill > 0 then begin
+          let c = if !fill = Array.length !chunk then !chunk else Array.sub !chunk 0 !fill in
+          process c ~first:!first;
+          first := false;
+          fill := 0
+        end
+      in
+      let push r =
+        if Array.length !chunk = 0 then chunk := Array.make records_per_shard r;
+        !chunk.(!fill) <- r;
+        incr fill;
+        incr total;
+        if !fill = records_per_shard then flush ()
+      in
+      produce push;
+      flush ();
+      (* an empty stream still yields root accumulators, like {!run} *)
+      if !first then process [||] ~first:true;
+      chunk := [||];
+      let texts =
+        List.map
+          (fun s ->
+            let text =
+              match s with
+              | `Summary -> render_summary (Option.get !summary)
+              | `Hourly -> render_hourly (Option.get !hourly)
+              | `Names -> render_names (Option.get !names)
+              | `Runs ->
+                  render_runs
+                    (A.Runs.table3
+                       (Passes.runs ~obs ?timeline ~jump_blocks:10 pool (Option.get !log)))
+            in
+            (s, text))
+          sections
+      in
+      (texts, !total))

@@ -36,3 +36,20 @@ val render_names : Nt_analysis.Names.t -> string
 val render_hourly : Nt_analysis.Hourly.t -> string
 (** The individual section renderers, exposed for tests that build
     accumulators by hand. *)
+
+val run_stream :
+  ?obs:Nt_obs.Obs.t ->
+  ?timeline:Nt_obs.Timeline.t ->
+  ?jobs:int ->
+  ?records_per_shard:int ->
+  sections:section list ->
+  ((Nt_trace.Record.t -> unit) -> unit) ->
+  (section * string) list * int
+(** [run_stream ~sections produce] is {!run} without the array:
+    [produce push] drives the trace through [push] record by record,
+    the report folds over fixed [records_per_shard] chunks that replay
+    the materialized shard plan exactly (root accumulator for chunk 0,
+    shard-mode after, merges in chunk order), and the rendered text is
+    byte-identical with {!run} on the same records at any [jobs].
+    Peak state is one chunk plus the pass accumulators — the out-of-core
+    path. Also returns the record count. *)

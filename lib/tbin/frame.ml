@@ -1,0 +1,80 @@
+let adler_base = 65521
+let adler_nmax = 5552 (* max bytes before the sums can overflow 63 bits *)
+
+let adler32 s ~pos ~len =
+  let a = ref 1 and b = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i < stop do
+    let batch = min adler_nmax (stop - !i) in
+    for j = !i to !i + batch - 1 do
+      a := !a + Char.code (String.unsafe_get s j);
+      b := !b + !a
+    done;
+    a := !a mod adler_base;
+    b := !b mod adler_base;
+    i := !i + batch
+  done;
+  (!b lsl 16) lor !a
+
+let min_run = 3
+let max_run = 130
+let max_literal = 128
+
+let compress s =
+  let n = String.length s in
+  let out = Buffer.create (n / 2) in
+  let lit_start = ref 0 in
+  let flush_literals stop =
+    let i = ref !lit_start in
+    while !i < stop do
+      let chunk = min max_literal (stop - !i) in
+      Buffer.add_char out (Char.unsafe_chr (chunk - 1));
+      Buffer.add_substring out s !i chunk;
+      i := !i + chunk
+    done;
+    lit_start := stop
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = String.unsafe_get s !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < max_run && String.unsafe_get s (!i + !run) = c do
+      incr run
+    done;
+    if !run >= min_run then begin
+      flush_literals !i;
+      Buffer.add_char out (Char.unsafe_chr (128 + (!run - min_run)));
+      Buffer.add_char out c;
+      i := !i + !run;
+      lit_start := !i
+    end
+    else i := !i + !run
+  done;
+  flush_literals n;
+  Buffer.contents out
+
+let decompress s ~pos ~len ~expect =
+  let out = Bytes.create expect in
+  let stop = pos + len in
+  let i = ref pos and o = ref 0 in
+  while !i < stop do
+    let c = Char.code (String.unsafe_get s !i) in
+    incr i;
+    if c < 128 then begin
+      let chunk = c + 1 in
+      if !i + chunk > stop || !o + chunk > expect then raise Varint.Corrupt;
+      Bytes.blit_string s !i out !o chunk;
+      i := !i + chunk;
+      o := !o + chunk
+    end
+    else begin
+      let run = c - 128 + min_run in
+      if !i >= stop || !o + run > expect then raise Varint.Corrupt;
+      Bytes.fill out !o run (String.unsafe_get s !i);
+      incr i;
+      o := !o + run
+    end
+  done;
+  if !o <> expect then raise Varint.Corrupt;
+  Bytes.unsafe_to_string out

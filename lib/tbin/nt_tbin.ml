@@ -1,0 +1,6 @@
+(* Library root: the codec surface lives in Tbin; Varint and Frame are
+   exposed for the round-trip/fuzz test batteries. *)
+
+module Varint = Varint
+module Frame = Frame
+include Tbin

@@ -1,0 +1,126 @@
+(** nttb/1: the compact binary trace container.
+
+    A tbin stream is a 7-byte magic ["nttb/1\n"] followed by
+    self-contained frames. Each frame opens with a 4-byte sync marker
+    (F5 4E 54 B1), a flags byte (bit 0: payload RLE-compressed), and
+    three little-endian u32s — uncompressed payload length, stored
+    payload length, Adler-32 of the uncompressed payload. The payload
+    interns every string the frame's records mention (file handles,
+    names, symlink targets) into an atom dictionary, then varint-packs
+    the records themselves: times as XOR-delta float bit patterns,
+    ints zigzag-coded, atoms as dictionary indices (see DESIGN.md
+    section 15 for the byte-level grammar).
+
+    Unlike the text format, the record codec is lossless for every
+    field the in-memory {!Nt_trace.Record.t} carries — full [fattr]s,
+    readdir entry lists, sattr masks — so
+    [decode (encode r) = r] structurally.
+
+    The reader follows the {!Nt_trace.Capture} discipline: decode
+    failures are counted, never raised. A damaged frame is charged to
+    exactly one labeled [tbin.decode_failure] counter and the stream
+    resynchronises on the next sync marker; frames are independent
+    (per-frame dictionaries, per-frame time deltas), so corruption
+    never propagates past the frame that absorbed it. *)
+
+val magic : string
+(** ["nttb/1\n"], the 7-byte stream header. *)
+
+val sync : string
+(** The 4-byte frame marker the reader rescans for after damage. *)
+
+val max_payload : int
+(** Per-frame payload bound (16 MiB); larger claimed lengths are
+    treated as corruption. *)
+
+type stats = {
+  frames : int;  (** frames decoded clean *)
+  records : int;  (** records delivered *)
+  skipped_bytes : int;  (** bytes passed over while resynchronising *)
+  missing_header : int;  (** streams that did not open with {!magic} *)
+  bad_frames : int;  (** header-bounds, checksum or decompression failures *)
+  bad_records : int;  (** checksummed frames with undecodable records *)
+  lost_sync : int;  (** spontaneous resync episodes *)
+  truncated_tails : int;  (** partial frame bytes left at end of stream *)
+}
+
+val failures : stats -> int
+(** Sum of the five failure classes — every decode failure lands in
+    exactly one of them. *)
+
+val stats_to_string : stats -> string
+
+(** {1 Writing} *)
+
+module Writer : sig
+  type t
+
+  val create : ?frame_records:int -> (string -> unit) -> t
+  (** [create sink] emits {!magic} immediately, then one frame per
+      [frame_records] records (default 4096, clamped to >= 1; a frame
+      also closes early when its payload reaches 1 MiB). *)
+
+  val add : t -> Nt_trace.Record.t -> unit
+
+  val flush : t -> unit
+  (** Close the open frame, if any; the stream stays appendable. *)
+
+  val close : t -> unit
+  (** {!flush}; the writer must not be used afterwards. *)
+
+  val written : t -> int
+  (** Records accepted so far. *)
+end
+
+val write_channel : ?frame_records:int -> out_channel -> Nt_trace.Record.t Seq.t -> int
+(** Write a whole stream; returns the record count. *)
+
+val encode_string : ?frame_records:int -> Nt_trace.Record.t list -> string
+
+(** {1 Reading} *)
+
+module Decoder : sig
+  (** Incremental push decoder: feed byte chunks of any size (one byte
+      at a time works), pull decoded records. Failures are counted on
+      the registry ([tbin.*] namespace), never raised. *)
+
+  type t
+
+  val create : ?obs:Nt_obs.Obs.t -> unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> (Nt_trace.Record.t * int64) option
+  (** Next record plus its replay offset: the end of its frame for the
+      last record of a frame, the frame's start for earlier ones — so
+      resuming a tail from the reported offset is at-least-once at
+      frame granularity. *)
+
+  val pull : t -> Nt_trace.Record.t option
+  (** {!next} without the offset. *)
+
+  val finish : t -> unit
+  (** Mark end of stream: leftover partial-frame bytes are counted as
+      a truncated tail. Idempotent. *)
+
+  val reset_at : t -> int64 -> unit
+  (** Forget buffered bytes and queued records and resume as if the
+      stream position were [off] (0 re-expects the magic). Counters
+      keep accumulating. *)
+
+  val consumed : t -> int64
+  (** Stream offset of the next unparsed byte. *)
+
+  val stats : t -> stats
+
+  val footprint : t -> Nt_obs.Footprint.t
+  (** Buffered-bytes + queued-records estimate for the state-footprint
+      gauges. *)
+end
+
+val iter_channel : ?obs:Nt_obs.Obs.t -> in_channel -> (Nt_trace.Record.t -> unit) -> stats
+(** Stream-decode a channel without materializing the record set —
+    the out-of-core path. *)
+
+val read_channel : ?obs:Nt_obs.Obs.t -> in_channel -> stats * Nt_trace.Record.t list
+val decode_string : ?obs:Nt_obs.Obs.t -> string -> stats * Nt_trace.Record.t list

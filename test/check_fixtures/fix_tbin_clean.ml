@@ -1,0 +1,9 @@
+(* Clean twin of Fix_tbin: the same varint decode shape with a typed
+   project exception as its only failure channel, which is exactly the
+   contract lib/tbin's real decoders keep. *)
+
+exception Corrupt
+
+let decode_uv (s : string) (pos : int) =
+  if pos >= String.length s then raise Corrupt
+  else Char.code (String.unsafe_get s pos) land 0x7f

@@ -1,0 +1,861 @@
+(* nttb/1 codec battery: qcheck round-trips over the full Record.t
+   constructor space, frame-split robustness down to one-byte feeds, a
+   seeded corruption storm with exactly-one-counter accounting, the
+   byte-exact golden wire lock, and the text/pcap/tbin/streaming
+   analysis differential. *)
+
+module T = Nt_nfs.Types
+module Ops = Nt_nfs.Ops
+module Fh = Nt_nfs.Fh
+module Ip = Nt_net.Ip_addr
+module Record = Nt_trace.Record
+module Tbin = Nt_tbin
+module V = Nt_tbin.Varint
+module Frame = Nt_tbin.Frame
+module G = QCheck.Gen
+
+(* ---------- record builders ---------- *)
+
+let time0 = 1_048_000_000.
+
+let mk ?(time = time0) ?reply_time ?(client = Ip.v 10 1 2 3) ?(server = Ip.v 10 9 9 9)
+    ?(version = 3) ?(xid = 0xdeadbe) ?(uid = 1000) ?(gid = 100) ?result call =
+  { Record.time; reply_time; client; server; version; xid; uid; gid; call; result }
+
+let fh_bytes n seed = Fh.of_raw (String.init n (fun i -> Char.chr ((i * 131 + seed) land 0xff)))
+let fh0 = Fh.of_raw ""
+let fh64 = fh_bytes 64 5
+let fh_a = Fh.make ~fsid:3 ~fileid:42
+let fh_b = Fh.make ~fsid:3 ~fileid:43
+let t1 = { T.seconds = 1_048_000_123; nanos = 999_999_999 }
+
+let fattr1 =
+  {
+    T.default_fattr with
+    T.ftype = T.Dir;
+    mode = 0o755;
+    nlink = 3;
+    size = 123_456_789_012L;
+    used = 4096L;
+    fsid = 7L;
+    fileid = 424_242L;
+    atime = t1;
+    mtime = { t1 with T.nanos = 0 };
+    ctime = t1;
+  }
+
+let fattr_extreme =
+  {
+    T.ftype = T.Fifo;
+    mode = max_int;
+    nlink = min_int;
+    uid = -1;
+    gid = max_int;
+    size = Int64.max_int;
+    used = Int64.min_int;
+    fsid = -1L;
+    fileid = 0L;
+    atime = { T.seconds = min_int; nanos = max_int };
+    mtime = { T.seconds = 0; nanos = 0 };
+    ctime = { T.seconds = -1; nanos = -1 };
+  }
+
+let sattr_full =
+  {
+    T.set_mode = Some 0o600;
+    set_uid = Some 0;
+    set_gid = Some (-1);
+    set_size = Some Int64.max_int;
+    set_atime = Some t1;
+    set_mtime = Some { T.seconds = 1; nanos = 2 };
+  }
+
+let huge_name = String.make 5000 'n'
+
+(* One record per call constructor, one per success constructor, plus
+   the value extremes (empty and 64-byte handles, empty and huge names,
+   int/int64 boundaries, missing replies, error replies, v2 records).
+   This list is the golden fixture input, so it must stay deterministic
+   — extend it only together with the goldens. *)
+let menagerie () =
+  let entries n =
+    List.init n (fun i ->
+        {
+          Ops.entry_fileid = Int64.of_int (i * 7);
+          entry_name = Printf.sprintf "e%04d" i;
+          entry_cookie = Int64.of_int (i + 1);
+        })
+  in
+  [
+    mk Ops.Null ~result:(Ok Ops.R_null) ~reply_time:(time0 +. 0.001);
+    mk (Ops.Getattr fh_a) ~result:(Ok (Ops.R_attr fattr1));
+    mk (Ops.Setattr { fh = fh_a; attrs = sattr_full }) ~result:(Ok (Ops.R_attr fattr_extreme));
+    mk (Ops.Setattr { fh = fh0; attrs = T.empty_sattr });
+    mk
+      (Ops.Lookup { dir = fh_a; name = "mbox" })
+      ~result:(Ok (Ops.R_lookup { fh = fh_b; obj = Some fattr1; dir = None }));
+    mk (Ops.Lookup { dir = fh64; name = "" }) ~result:(Error T.Err_noent);
+    mk (Ops.Lookup { dir = fh_a; name = huge_name }) ~result:(Error (T.Err_unknown 31337));
+    mk (Ops.Access { fh = fh_a; access = 0x3f }) ~result:(Ok (Ops.R_access 0x1f));
+    mk (Ops.Readlink fh_b) ~result:(Ok (Ops.R_readlink "../target/elsewhere"));
+    mk
+      (Ops.Read { fh = fh_a; offset = 0L; count = 8192 })
+      ~result:(Ok (Ops.R_read { attr = Some fattr1; count = 8192; eof = false }));
+    mk
+      (Ops.Read { fh = fh_a; offset = Int64.max_int; count = max_int })
+      ~result:(Ok (Ops.R_read { attr = None; count = 0; eof = true }));
+    mk
+      (Ops.Write { fh = fh_a; offset = 65536L; count = 4096; stable = T.Unstable })
+      ~result:(Ok (Ops.R_write { count = 4096; committed = T.File_sync; attr = Some fattr1 }));
+    mk (Ops.Write { fh = fh_b; offset = -1L; count = 0; stable = T.Data_sync }) ~version:2;
+    mk
+      (Ops.Create { dir = fh_a; name = "#comp1#"; mode = 0o644; exclusive = true })
+      ~result:(Ok (Ops.R_create { fh = Some fh_b; attr = Some fattr1 }));
+    mk
+      (Ops.Create { dir = fh_a; name = "x"; mode = 0; exclusive = false })
+      ~result:(Ok (Ops.R_create { fh = None; attr = None }));
+    mk
+      (Ops.Mkdir { dir = fh_a; name = "dir"; mode = 0o700 })
+      ~result:(Ok (Ops.R_create { fh = Some fh_a; attr = None }));
+    mk (Ops.Symlink { dir = fh_a; name = "ln"; target = "/very/long/target" })
+      ~result:(Ok Ops.R_empty);
+    mk (Ops.Mknod { dir = fh_a; name = "dev" }) ~result:(Error T.Err_notsupp);
+    mk (Ops.Remove { dir = fh_a; name = "user1.lock" }) ~result:(Ok Ops.R_empty);
+    mk (Ops.Rmdir { dir = fh_a; name = "dir" }) ~result:(Error T.Err_notempty);
+    mk (Ops.Rename { from_dir = fh_a; from_name = "a"; to_dir = fh_b; to_name = "b" })
+      ~result:(Ok Ops.R_empty);
+    mk (Ops.Link { fh = fh_b; to_dir = fh_a; to_name = "hard" }) ~result:(Ok Ops.R_empty);
+    mk
+      (Ops.Readdir { dir = fh_a; cookie = 0L; count = 4096 })
+      ~result:(Ok (Ops.R_readdir { entries = entries 3; eof = true }));
+    mk
+      (Ops.Readdirplus { dir = fh_a; cookie = Int64.min_int; count = 8192 })
+      ~result:(Ok (Ops.R_readdir { entries = entries 1000; eof = false }));
+    mk (Ops.Statfs fh_a)
+      ~result:(Ok (Ops.R_statfs { total_bytes = Int64.max_int; free_bytes = 0L }));
+    mk (Ops.Fsinfo fh_a) ~result:(Ok (Ops.R_fsinfo { rtmax = 32768; wtmax = 32768 }));
+    mk (Ops.Pathconf fh_a) ~result:(Ok (Ops.R_pathconf { name_max = 255 }));
+    mk (Ops.Commit { fh = fh_a; offset = 0L; count = 0 }) ~result:(Ok Ops.R_empty);
+    mk Ops.Null ~time:0. ~xid:min_int ~uid:(-1) ~gid:max_int ~version:2;
+    mk (Ops.Getattr fh0) ~time:(-1.5) ~reply_time:infinity
+      ~result:(Ok (Ops.R_attr T.default_fattr));
+  ]
+
+(* Deterministic plain records for the corruption battery: varied
+   enough to exercise atoms and deltas, small enough that a damaged
+   frame costs exactly one [frame_records] slice of them. *)
+let simple i =
+  let fh = Fh.make ~fsid:(i land 3) ~fileid:(1000 + (i land 31)) in
+  mk
+    ~time:(time0 +. (0.01 *. float_of_int i))
+    ~reply_time:(time0 +. 0.005 +. (0.01 *. float_of_int i))
+    ~xid:(i * 7919) ~uid:(i land 15) ~gid:2
+    (Ops.Read { fh; offset = Int64.of_int (i * 8192); count = 8192 })
+    ~result:(Ok (Ops.R_read { attr = None; count = 8192; eof = false }))
+
+(* ---------- decode helpers ---------- *)
+
+let drain d =
+  let out = ref [] in
+  let rec go () =
+    match Tbin.Decoder.pull d with
+    | Some r ->
+        out := r :: !out;
+        go ()
+    | None -> ()
+  in
+  go ();
+  List.rev !out
+
+let decode_chunked chunk s =
+  let d = Tbin.Decoder.create () in
+  let n = String.length s in
+  let pos = ref 0 in
+  let out = ref [] in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    Tbin.Decoder.feed d (String.sub s !pos len);
+    pos := !pos + len;
+    out := !out @ drain d
+  done;
+  Tbin.Decoder.finish d;
+  out := !out @ drain d;
+  (Tbin.Decoder.stats d, !out)
+
+let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let check_roundtrip ?frame_records msg rs =
+  let st, out = Tbin.decode_string (Tbin.encode_string ?frame_records rs) in
+  Alcotest.(check int) (msg ^ ": no failures") 0 (Tbin.failures st);
+  Alcotest.(check int) (msg ^ ": record count") (List.length rs) (List.length out);
+  if out <> rs then Alcotest.failf "%s: records changed across encode/decode" msg
+
+(* ---------- varint ---------- *)
+
+let test_varint_bounds () =
+  let rt_uv v =
+    let b = Buffer.create 16 in
+    V.write_uv b v;
+    let c = V.cursor (Buffer.contents b) in
+    Alcotest.(check int) (Printf.sprintf "uv %d" v) v (V.read_uv c);
+    Alcotest.(check int) "uv consumed all" (Buffer.length b) c.V.pos
+  in
+  let rt_zz v =
+    let b = Buffer.create 16 in
+    V.write_zz b v;
+    Alcotest.(check int) (Printf.sprintf "zz %d" v) v (V.read_zz (V.cursor (Buffer.contents b)))
+  in
+  let rt_uv64 v =
+    let b = Buffer.create 16 in
+    V.write_uv64 b v;
+    Alcotest.(check int64) (Printf.sprintf "uv64 %Ld" v) v
+      (V.read_uv64 (V.cursor (Buffer.contents b)))
+  in
+  List.iter rt_uv [ 0; 1; 127; 128; 129; 16383; 16384; 0x7FFFFFFF; max_int; min_int; -1 ];
+  List.iter rt_zz [ 0; 1; -1; 63; -64; 64; -65; 8191; -8192; max_int; min_int ];
+  List.iter rt_uv64
+    [ 0L; 1L; 127L; 128L; 16383L; 16384L; 0xFFFFFFFFL; Int64.max_int; Int64.min_int; -1L ]
+
+let test_varint_corrupt () =
+  Alcotest.check_raises "truncated uv" V.Corrupt (fun () ->
+      ignore (V.read_uv (V.cursor "\x80")));
+  Alcotest.check_raises "overlong uv" V.Corrupt (fun () ->
+      ignore (V.read_uv (V.cursor "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01")));
+  Alcotest.check_raises "overlong uv64" V.Corrupt (fun () ->
+      ignore (V.read_uv64 (V.cursor "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01")));
+  Alcotest.check_raises "empty u8" V.Corrupt (fun () -> ignore (V.u8 (V.cursor "")))
+
+(* ---------- frame services ---------- *)
+
+let test_adler32 () =
+  (* RFC 1950 reference value *)
+  Alcotest.(check int) "adler32(Wikipedia)" 0x11E60398
+    (Frame.adler32 "Wikipedia" ~pos:0 ~len:9);
+  Alcotest.(check int) "adler32 empty" 1 (Frame.adler32 "" ~pos:0 ~len:0)
+
+let rle_roundtrip s =
+  let c = Frame.compress s in
+  Frame.decompress c ~pos:0 ~len:(String.length c) ~expect:(String.length s) = s
+
+let prop_rle_roundtrip =
+  QCheck.Test.make ~name:"frame RLE round-trips arbitrary bytes" ~count:500
+    QCheck.(string_of_size G.(0 -- 500))
+    rle_roundtrip
+
+let prop_rle_roundtrip_runs =
+  QCheck.Test.make ~name:"frame RLE round-trips run-heavy bytes" ~count:300
+    (QCheck.make (fun st ->
+         let l = G.generate1 ~rand:st (G.list_size (G.int_range 0 20) (G.pair (G.int_range 0 300) G.char)) in
+         String.concat "" (List.map (fun (n, c) -> String.make n c) l)))
+    rle_roundtrip
+
+let test_rle_rejects () =
+  let c = Frame.compress (String.make 40 'a') in
+  Alcotest.check_raises "wrong expected length" V.Corrupt (fun () ->
+      ignore (Frame.decompress c ~pos:0 ~len:(String.length c) ~expect:41));
+  Alcotest.check_raises "truncated control stream" V.Corrupt (fun () ->
+      ignore (Frame.decompress "\x05ab" ~pos:0 ~len:3 ~expect:6))
+
+(* ---------- qcheck record generators ---------- *)
+
+let gen_name =
+  G.oneof
+    [
+      G.return "";
+      G.string_size ~gen:G.printable (G.int_range 1 40);
+      G.map (fun n -> String.make n 'z') (G.int_range 1000 3000);
+    ]
+
+let gen_fh = G.map Fh.of_raw (G.string_size ~gen:G.char (G.int_range 0 64))
+
+let gen_bint =
+  G.oneof [ G.oneofl [ 0; 1; -1; 127; 128; 16383; 16384; max_int; min_int ]; G.int ]
+
+let gen_nat = G.oneof [ G.oneofl [ 0; 1; 127; 128; 65535; max_int ]; G.small_nat ]
+
+let gen_i64 =
+  G.oneof
+    [
+      G.oneofl [ 0L; 1L; -1L; 127L; 128L; Int64.max_int; Int64.min_int ];
+      G.map Int64.of_int G.int;
+    ]
+
+let gen_f =
+  G.oneof
+    [
+      G.oneofl [ 0.; -0.; 1.; -1.; infinity; neg_infinity; 1e-300; 1.7976931348623157e308 ];
+      G.map2
+        (fun s us -> float_of_int s +. (float_of_int us /. 1e6))
+        (G.int_range 0 2_000_000_000) (G.int_range 0 999_999);
+    ]
+
+let gen_time_t = G.map2 (fun s n -> { T.seconds = s; nanos = n }) gen_bint gen_nat
+let gen_ftype = G.oneofl [ T.Reg; T.Dir; T.Blk; T.Chr; T.Lnk; T.Sock; T.Fifo ]
+let gen_stable = G.oneofl [ T.Unstable; T.Data_sync; T.File_sync ]
+
+let gen_fattr =
+  G.map3
+    (fun (ftype, mode, nlink, uid) (gid, size, used, fsid) (fileid, atime, mtime, ctime) ->
+      { T.ftype; mode; nlink; uid; gid; size; used; fsid; fileid; atime; mtime; ctime })
+    (G.quad gen_ftype gen_bint gen_bint gen_bint)
+    (G.quad gen_bint gen_i64 gen_i64 gen_i64)
+    (G.quad gen_i64 gen_time_t gen_time_t gen_time_t)
+
+let gen_sattr =
+  G.map2
+    (fun (set_mode, set_uid, set_gid) (set_size, set_atime, set_mtime) ->
+      { T.set_mode; set_uid; set_gid; set_size; set_atime; set_mtime })
+    (G.triple (G.opt gen_bint) (G.opt gen_bint) (G.opt gen_bint))
+    (G.triple (G.opt gen_i64) (G.opt gen_time_t) (G.opt gen_time_t))
+
+let gen_entry =
+  G.map3
+    (fun entry_fileid entry_name entry_cookie -> { Ops.entry_fileid; entry_name; entry_cookie })
+    gen_i64 gen_name gen_i64
+
+let gen_call =
+  G.oneof
+    [
+      G.return Ops.Null;
+      G.map (fun fh -> Ops.Getattr fh) gen_fh;
+      G.map2 (fun fh attrs -> Ops.Setattr { fh; attrs }) gen_fh gen_sattr;
+      G.map2 (fun dir name -> Ops.Lookup { dir; name }) gen_fh gen_name;
+      G.map2 (fun fh access -> Ops.Access { fh; access }) gen_fh gen_nat;
+      G.map (fun fh -> Ops.Readlink fh) gen_fh;
+      G.map3 (fun fh offset count -> Ops.Read { fh; offset; count }) gen_fh gen_i64 gen_nat;
+      G.map
+        (fun (fh, offset, count, stable) -> Ops.Write { fh; offset; count; stable })
+        (G.quad gen_fh gen_i64 gen_nat gen_stable);
+      G.map
+        (fun (dir, name, mode, exclusive) -> Ops.Create { dir; name; mode; exclusive })
+        (G.quad gen_fh gen_name gen_nat G.bool);
+      G.map3 (fun dir name mode -> Ops.Mkdir { dir; name; mode }) gen_fh gen_name gen_nat;
+      G.map3 (fun dir name target -> Ops.Symlink { dir; name; target }) gen_fh gen_name gen_name;
+      G.map2 (fun dir name -> Ops.Mknod { dir; name }) gen_fh gen_name;
+      G.map2 (fun dir name -> Ops.Remove { dir; name }) gen_fh gen_name;
+      G.map2 (fun dir name -> Ops.Rmdir { dir; name }) gen_fh gen_name;
+      G.map
+        (fun (from_dir, from_name, to_dir, to_name) ->
+          Ops.Rename { from_dir; from_name; to_dir; to_name })
+        (G.quad gen_fh gen_name gen_fh gen_name);
+      G.map3 (fun fh to_dir to_name -> Ops.Link { fh; to_dir; to_name }) gen_fh gen_fh gen_name;
+      G.map3 (fun dir cookie count -> Ops.Readdir { dir; cookie; count }) gen_fh gen_i64 gen_nat;
+      G.map3
+        (fun dir cookie count -> Ops.Readdirplus { dir; cookie; count })
+        gen_fh gen_i64 gen_nat;
+      G.map (fun fh -> Ops.Statfs fh) gen_fh;
+      G.map (fun fh -> Ops.Fsinfo fh) gen_fh;
+      G.map (fun fh -> Ops.Pathconf fh) gen_fh;
+      G.map3 (fun fh offset count -> Ops.Commit { fh; offset; count }) gen_fh gen_i64 gen_nat;
+    ]
+
+(* Statuses are generated through [nfsstat_of_int] so the value is
+   always the canonical constructor for its wire code — the codec
+   stores the code, so only canonical values can round-trip. *)
+let gen_nfsstat = G.map T.nfsstat_of_int (G.oneof [ G.int_range 0 120; G.int_range 10000 10010 ])
+
+let gen_success =
+  G.oneof
+    [
+      G.return Ops.R_null;
+      G.map (fun a -> Ops.R_attr a) gen_fattr;
+      G.map3
+        (fun fh obj dir -> Ops.R_lookup { fh; obj; dir })
+        gen_fh (G.opt gen_fattr) (G.opt gen_fattr);
+      G.map (fun a -> Ops.R_access a) gen_nat;
+      G.map (fun s -> Ops.R_readlink s) gen_name;
+      G.map3 (fun attr count eof -> Ops.R_read { attr; count; eof }) (G.opt gen_fattr) gen_nat
+        G.bool;
+      G.map3
+        (fun count committed attr -> Ops.R_write { count; committed; attr })
+        gen_nat gen_stable (G.opt gen_fattr);
+      G.map2 (fun fh attr -> Ops.R_create { fh; attr }) (G.opt gen_fh) (G.opt gen_fattr);
+      G.return Ops.R_empty;
+      G.map2
+        (fun entries eof -> Ops.R_readdir { entries; eof })
+        (G.list_size (G.int_range 0 20) gen_entry)
+        G.bool;
+      G.map2
+        (fun total_bytes free_bytes -> Ops.R_statfs { total_bytes; free_bytes })
+        gen_i64 gen_i64;
+      G.map2 (fun rtmax wtmax -> Ops.R_fsinfo { rtmax; wtmax }) gen_nat gen_nat;
+      G.map (fun name_max -> Ops.R_pathconf { name_max }) gen_nat;
+    ]
+
+let gen_result =
+  G.opt (G.oneof [ G.map (fun s -> Ok s) gen_success; G.map (fun e -> Error e) gen_nfsstat ])
+
+let gen_record =
+  G.map3
+    (fun (time, reply_time, client, server) (version, xid, uid, gid) (call, result) ->
+      { Record.time; reply_time; client; server; version; xid; uid; gid; call; result })
+    (G.quad gen_f (G.opt gen_f) gen_bint gen_bint)
+    (G.quad (G.oneofl [ 2; 3 ]) gen_bint gen_bint gen_bint)
+    (G.pair gen_call gen_result)
+
+let arb_record = QCheck.make ~print:Record.to_line gen_record
+
+let arb_records =
+  QCheck.make
+    ~print:(fun rs -> String.concat "\n" (List.map Record.to_line rs))
+    (G.list_size (G.int_range 0 40) gen_record)
+
+(* ---------- round trips ---------- *)
+
+let prop_roundtrip_one =
+  QCheck.Test.make ~name:"decode (encode r) = r over the full record space" ~count:1000
+    arb_record (fun r ->
+      let st, out = Tbin.decode_string (Tbin.encode_string [ r ]) in
+      Tbin.failures st = 0 && out = [ r ])
+
+let prop_roundtrip_list =
+  QCheck.Test.make ~name:"record lists round-trip at every frame size" ~count:200
+    QCheck.(pair arb_records (int_range 1 5))
+    (fun (rs, frame_records) ->
+      let st, out = Tbin.decode_string (Tbin.encode_string ~frame_records rs) in
+      Tbin.failures st = 0 && out = rs)
+
+let prop_one_byte_feed =
+  QCheck.Test.make ~name:"one-byte feeding decodes identically" ~count:40 arb_records
+    (fun rs ->
+      let s = Tbin.encode_string ~frame_records:3 rs in
+      QCheck.assume (String.length s < 4096);
+      let d = Tbin.Decoder.create () in
+      String.iter (fun ch -> Tbin.Decoder.feed d (String.make 1 ch)) s;
+      Tbin.Decoder.finish d;
+      let out = drain d in
+      Tbin.failures (Tbin.Decoder.stats d) = 0 && out = rs)
+
+let test_menagerie_roundtrip () =
+  let rs = menagerie () in
+  check_roundtrip "menagerie" rs;
+  check_roundtrip ~frame_records:1 "menagerie, one record per frame" rs;
+  check_roundtrip ~frame_records:7 "menagerie, frame splits inside records" rs
+
+let test_split_at_every_offset () =
+  (* A small diverse stream, cut into two feeds at every byte offset:
+     framing must never depend on chunk boundaries. *)
+  let rs = List.init 12 simple in
+  let s = Tbin.encode_string ~frame_records:5 rs in
+  for i = 0 to String.length s do
+    let d = Tbin.Decoder.create () in
+    Tbin.Decoder.feed d (String.sub s 0 i);
+    Tbin.Decoder.feed d (String.sub s i (String.length s - i));
+    Tbin.Decoder.finish d;
+    let out = drain d in
+    if Tbin.failures (Tbin.Decoder.stats d) <> 0 then
+      Alcotest.failf "split at %d: decode failures" i;
+    if out <> rs then Alcotest.failf "split at %d: records differ" i
+  done
+
+(* ---------- decoder mechanics ---------- *)
+
+let test_empty_and_magic_only () =
+  let st, out = Tbin.decode_string "" in
+  Alcotest.(check int) "empty: no failures" 0 (Tbin.failures st);
+  Alcotest.(check int) "empty: no records" 0 (List.length out);
+  let st, out = Tbin.decode_string Tbin.magic in
+  Alcotest.(check int) "magic only: no failures" 0 (Tbin.failures st);
+  Alcotest.(check int) "magic only: no records" 0 (List.length out);
+  let st, out = Tbin.decode_string (Tbin.encode_string []) in
+  Alcotest.(check int) "empty stream: no failures" 0 (Tbin.failures st);
+  Alcotest.(check int) "empty stream: no records" 0 (List.length out)
+
+let test_garbage_is_missing_header () =
+  let st, out = Tbin.decode_string "hello, this is not a tbin stream at all" in
+  Alcotest.(check int) "one failure" 1 (Tbin.failures st);
+  Alcotest.(check int) "counted as missing header" 1 st.Tbin.missing_header;
+  Alcotest.(check int) "no records" 0 (List.length out)
+
+let test_chunked_equals_whole () =
+  let rs = menagerie () in
+  let s = Tbin.encode_string ~frame_records:4 rs in
+  let st_whole, out_whole = Tbin.decode_string s in
+  List.iter
+    (fun chunk ->
+      let st_c, out_c = decode_chunked chunk s in
+      if st_c <> st_whole then Alcotest.failf "chunk %d: stats differ" chunk;
+      if out_c <> out_whole then Alcotest.failf "chunk %d: records differ" chunk)
+    [ 1; 2; 3; 7; 64; 4096 ]
+
+let test_offsets_and_reset () =
+  let rs = List.init 100 simple in
+  let s = Tbin.encode_string ~frame_records:10 rs in
+  let d = Tbin.Decoder.create () in
+  Tbin.Decoder.feed d s;
+  Tbin.Decoder.finish d;
+  let pairs = ref [] in
+  let rec go () =
+    match Tbin.Decoder.next d with
+    | Some (r, off) ->
+        pairs := (r, off) :: !pairs;
+        go ()
+    | None -> ()
+  in
+  go ();
+  let pairs = List.rev !pairs in
+  Alcotest.(check int) "all records delivered" 100 (List.length pairs);
+  Alcotest.(check int64) "consumed the whole stream"
+    (Int64.of_int (String.length s))
+    (Tbin.Decoder.consumed d);
+  let offs = List.map snd pairs in
+  List.iteri
+    (fun i off ->
+      if Int64.compare off 0L < 0 || Int64.compare off (Int64.of_int (String.length s)) > 0
+      then Alcotest.failf "offset %Ld out of range at %d" off i)
+    offs;
+  ignore
+    (List.fold_left
+       (fun prev off ->
+         if Int64.compare off prev < 0 then Alcotest.failf "offsets not monotone";
+         off)
+       0L offs);
+  (* Resume from the offset reported mid-stream: at-least-once at frame
+     granularity, so the replayed records are a frame-aligned suffix
+     that contains everything from the resume point on. *)
+  let off55 = List.nth offs 55 in
+  let d2 = Tbin.Decoder.create () in
+  Tbin.Decoder.reset_at d2 off55;
+  let at = Int64.to_int off55 in
+  Tbin.Decoder.feed d2 (String.sub s at (String.length s - at));
+  Tbin.Decoder.finish d2;
+  let replay = drain d2 in
+  Alcotest.(check int) "replay decodes clean" 0 (Tbin.failures (Tbin.Decoder.stats d2));
+  let k = 100 - List.length replay in
+  if k > 55 then Alcotest.failf "replay from offset of record 55 starts at %d" k;
+  if replay <> drop k rs then Alcotest.failf "replay is not a suffix of the stream"
+
+let test_writer_flush_appendable () =
+  let b = Buffer.create 256 in
+  let w = Tbin.Writer.create ~frame_records:100 (Buffer.add_string b) in
+  let rs = List.init 10 simple in
+  List.iteri (fun i r -> if i = 5 then Tbin.Writer.flush w; Tbin.Writer.add w r) rs;
+  Alcotest.(check int) "written counts records" 10 (Tbin.Writer.written w);
+  Tbin.Writer.close w;
+  let st, out = Tbin.decode_string (Buffer.contents b) in
+  Alcotest.(check int) "no failures" 0 (Tbin.failures st);
+  Alcotest.(check int) "two frames" 2 st.Tbin.frames;
+  if out <> rs then Alcotest.failf "flush changed the record stream"
+
+let test_obs_mirror () =
+  let obs = Nt_obs.Obs.create () in
+  let d = Tbin.Decoder.create ~obs () in
+  let rs = List.init 64 simple in
+  let s = Tbin.encode_string ~frame_records:32 rs in
+  (* damage the second frame: flip a byte comfortably past the header *)
+  let m = Bytes.of_string s in
+  let mid = String.length s - 40 in
+  Bytes.set m mid (Char.chr (Char.code (Bytes.get m mid) lxor 0xff));
+  Tbin.Decoder.feed d (Bytes.to_string m);
+  Tbin.Decoder.finish d;
+  ignore (drain d);
+  let st = Tbin.Decoder.stats d in
+  let v name = Nt_obs.Obs.value (Nt_obs.Obs.counter obs name) in
+  Alcotest.(check int) "frames mirrored" st.Tbin.frames (v "tbin.frames");
+  Alcotest.(check int) "records mirrored" st.Tbin.records (v "tbin.records");
+  Alcotest.(check int) "skipped bytes mirrored" st.Tbin.skipped_bytes (v "tbin.skipped_bytes");
+  Alcotest.(check int) "one failure" 1 (Tbin.failures st);
+  ignore (Tbin.Decoder.footprint d : Nt_obs.Footprint.t)
+
+(* ---------- corruption ---------- *)
+
+let test_single_bit_flips () =
+  let rs = List.init 320 simple in
+  let s = Tbin.encode_string ~frame_records:32 rs in
+  let rng = Random.State.make [| 0x7b17; 1 |] in
+  for _ = 1 to 300 do
+    let pos = Random.State.int rng (String.length s) in
+    let bit = Random.State.int rng 8 in
+    let m = Bytes.of_string s in
+    Bytes.set m pos (Char.chr (Char.code (Bytes.get m pos) lxor (1 lsl bit)));
+    let st, out = Tbin.decode_string (Bytes.to_string m) in
+    let f = Tbin.failures st in
+    if f <> 1 then
+      Alcotest.failf "flip at %d bit %d: %d failures, want exactly 1 (%s)" pos bit f
+        (Tbin.stats_to_string st);
+    if List.length out < 320 - 32 then
+      Alcotest.failf "flip at %d bit %d: lost more than one frame (%d records)" pos bit
+        (List.length out)
+  done
+
+let test_truncations () =
+  let rs = List.init 320 simple in
+  let s = Tbin.encode_string ~frame_records:32 rs in
+  let len = String.length s in
+  let k = ref 0 in
+  while !k <= len do
+    let st, out = Tbin.decode_string (String.sub s 0 !k) in
+    if Tbin.failures st > 1 then
+      Alcotest.failf "truncation at %d: %d failures (%s)" !k (Tbin.failures st)
+        (Tbin.stats_to_string st);
+    if List.length out mod 32 <> 0 then
+      Alcotest.failf "truncation at %d: %d records, not whole frames" !k (List.length out);
+    k := !k + 7
+  done;
+  let st, out = Tbin.decode_string s in
+  Alcotest.(check int) "untruncated: clean" 0 (Tbin.failures st);
+  Alcotest.(check int) "untruncated: all records" 320 (List.length out);
+  let st, _ = Tbin.decode_string (String.sub s 0 (len - 3)) in
+  Alcotest.(check int) "mid-frame cut is a truncated tail" 1 st.Tbin.truncated_tails
+
+let test_concat_resync () =
+  let rs = List.init 320 simple in
+  let s = Tbin.encode_string ~frame_records:32 rs in
+  let rng = Random.State.make [| 0xc0; 2 |] in
+  let garbage = String.init 137 (fun _ -> Char.chr (Random.State.int rng 256)) in
+  let st, out = Tbin.decode_string (s ^ garbage ^ s) in
+  Alcotest.(check int) "both streams recovered" 640 (List.length out);
+  Alcotest.(check int) "one desync episode" 1 (Tbin.failures st);
+  Alcotest.(check int) "counted as lost sync" 1 st.Tbin.lost_sync;
+  if st.Tbin.skipped_bytes < String.length garbage then
+    Alcotest.failf "skipped %d bytes, garbage was %d" st.Tbin.skipped_bytes
+      (String.length garbage)
+
+let test_mutation_storm () =
+  let rs = List.init 320 simple in
+  let s = Tbin.encode_string ~frame_records:32 rs in
+  let len = String.length s in
+  let rng = Random.State.make [| 0x6d75; 7 |] in
+  let rand_slice () =
+    let a = Random.State.int rng len in
+    let l = min (1 + Random.State.int rng 64) (len - a) in
+    (a, l)
+  in
+  for i = 1 to 10_000 do
+    let m =
+      match Random.State.int rng 6 with
+      | 0 ->
+          let b = Bytes.of_string s in
+          for _ = 0 to Random.State.int rng 8 do
+            let p = Random.State.int rng len in
+            Bytes.set b p
+              (Char.chr (Char.code (Bytes.get b p) lxor (1 lsl Random.State.int rng 8)))
+          done;
+          Bytes.to_string b
+      | 1 -> String.sub s 0 (Random.State.int rng (len + 1))
+      | 2 ->
+          let p = Random.State.int rng (len + 1) in
+          let ins = String.init (1 + Random.State.int rng 64) (fun _ -> Char.chr (Random.State.int rng 256)) in
+          String.sub s 0 p ^ ins ^ String.sub s p (len - p)
+      | 3 ->
+          let a, l = rand_slice () in
+          String.sub s 0 a ^ String.sub s (a + l) (len - a - l)
+      | 4 ->
+          let a, l = rand_slice () in
+          let b = Bytes.of_string s in
+          for j = a to a + l - 1 do
+            Bytes.set b j (Char.chr (Random.State.int rng 256))
+          done;
+          Bytes.to_string b
+      | _ ->
+          let a, l = rand_slice () in
+          String.sub s 0 a ^ String.sub s a l ^ String.sub s a (len - a)
+    in
+    (* Totality: counted, never raised; delivery never exceeds the
+       input's record population; the queue count agrees with stats. *)
+    let st, out = Tbin.decode_string m in
+    if List.length out <> st.Tbin.records then
+      Alcotest.failf "mutation %d: delivered %d <> stats %d" i (List.length out) st.Tbin.records;
+    if st.Tbin.records > 320 then Alcotest.failf "mutation %d: invented records" i;
+    (* Differential oracle on a subsample: whole-buffer decode and
+       13-byte chunked feeding must agree bit-for-bit on any input. *)
+    if i mod 100 = 0 then begin
+      let st_c, out_c = decode_chunked 13 m in
+      if st_c <> st || out_c <> out then
+        Alcotest.failf "mutation %d: chunked decode diverges (%s vs %s)" i
+          (Tbin.stats_to_string st_c) (Tbin.stats_to_string st)
+    end
+  done
+
+(* ---------- golden wire lock ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_ntb = "golden/tbin_fixture.ntb"
+let golden_lines = "golden/tbin_fixture.lines"
+let fixture_bytes () = Tbin.encode_string ~frame_records:8 (menagerie ())
+
+(* NT_TBIN_GOLDEN_UPDATE=<dir> rewrites the source-tree goldens. *)
+let () =
+  match Sys.getenv_opt "NT_TBIN_GOLDEN_UPDATE" with
+  | None -> ()
+  | Some dir ->
+      let write path s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      write (Filename.concat dir "tbin_fixture.ntb") (fixture_bytes ());
+      write
+        (Filename.concat dir "tbin_fixture.lines")
+        (String.concat "" (List.map (fun r -> Record.to_line r ^ "\n") (menagerie ())))
+
+let test_golden_encode () =
+  Alcotest.(check string)
+    "encoding the fixture records reproduces the checked-in bytes" (read_file golden_ntb)
+    (fixture_bytes ())
+
+let test_golden_decode () =
+  let st, out = Tbin.decode_string (read_file golden_ntb) in
+  Alcotest.(check int) "fixture decodes clean" 0 (Tbin.failures st);
+  Alcotest.(check string) "fixture decodes to the locked text rendering"
+    (read_file golden_lines)
+    (String.concat "" (List.map (fun r -> Record.to_line r ^ "\n") out))
+
+(* ---------- analysis differential ---------- *)
+
+let sections = [ `Summary; `Runs; `Names; `Hourly ]
+
+let render label texts =
+  String.concat "\n"
+    (List.map
+       (fun (s, text) -> Printf.sprintf "== %s %s ==\n%s" label (Nt_par.Report.section_name s) text)
+       texts)
+
+let with_temp suffix f =
+  let path = Filename.temp_file "nt_tbin_test" suffix in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let simulated_records () =
+  let start = Nt_util.Trace_week.time_of ~day:Nt_util.Trace_week.Wed ~hour:9 ~minute:0 in
+  let out = ref [] in
+  let config = { Nt_workload.Email.default_config with Nt_workload.Email.users = 3 } in
+  ignore
+    (Nt_core.Pipeline.simulate_campus ~config ~start ~stop:(start +. 300.)
+       ~sink:(fun r -> out := r :: !out)
+       ());
+  List.rev !out
+
+let test_differential_text_tbin_stream () =
+  let records = simulated_records () in
+  Alcotest.(check bool) "workload produced records" true (List.length records > 100);
+  with_temp ".trace" (fun text_path ->
+      with_temp ".ntb" (fun tbin_path ->
+          let oc = open_out_bin text_path in
+          ignore (Record.write_channel oc (List.to_seq records));
+          close_out oc;
+          let oc = open_out_bin tbin_path in
+          ignore (Tbin.write_channel ~frame_records:64 oc (List.to_seq records));
+          close_out oc;
+          let from_text = Nt_core.Pipeline.load_trace text_path in
+          let from_tbin = Nt_core.Pipeline.load_trace ("tbin:" ^ tbin_path) in
+          let from_sniff = Nt_core.Pipeline.load_trace tbin_path in
+          if from_tbin <> records then Alcotest.failf "tbin: load changed the records";
+          if from_sniff <> records then Alcotest.failf "sniffed load changed the records";
+          List.iter
+            (fun jobs ->
+              let label = Printf.sprintf "jobs %d" jobs in
+              let base =
+                render label
+                  (Nt_core.Pipeline.analyze_records ~jobs ~records_per_shard:64 ~sections
+                     from_text)
+              in
+              let tbin =
+                render label
+                  (Nt_core.Pipeline.analyze_records ~jobs ~records_per_shard:64 ~sections
+                     from_tbin)
+              in
+              let streamed, n =
+                Nt_core.Pipeline.analyze_stream ~jobs ~records_per_shard:64 ~sections
+                  (fun emit -> ignore (Nt_core.Pipeline.iter_tbin tbin_path emit))
+              in
+              Alcotest.(check int)
+                (label ^ ": streamed record count")
+                (List.length records) n;
+              Alcotest.(check string) (label ^ ": text vs tbin") base tbin;
+              Alcotest.(check string) (label ^ ": text vs streamed") base
+                (render label streamed))
+            [ 1; 4 ]))
+
+let test_differential_pcap_leg () =
+  (* The capture path: pcap -> records, then those records through the
+     text and tbin containers must analyze identically. *)
+  let start = Nt_util.Trace_week.time_of ~day:Nt_util.Trace_week.Wed ~hour:9 ~minute:0 in
+  with_temp ".pcap" (fun pcap_path ->
+      let oc = open_out_bin pcap_path in
+      let writer = Nt_net.Pcap.writer_to_channel oc in
+      let config = { Nt_workload.Email.default_config with Nt_workload.Email.users = 2 } in
+      ignore
+        (Nt_core.Pipeline.campus_to_pcap ~config ~start ~stop:(start +. 120.) ~writer ());
+      close_out oc;
+      let ic = open_in_bin pcap_path in
+      let reader = Nt_net.Pcap.reader_of_channel ic in
+      let capture = Nt_trace.Capture.create () in
+      Nt_trace.Capture.feed_pcap capture reader;
+      let _, captured = Nt_trace.Capture.finish capture in
+      close_in ic;
+      Alcotest.(check bool) "capture produced records" true (List.length captured > 50);
+      let st, out = Tbin.decode_string (Tbin.encode_string ~frame_records:64 captured) in
+      Alcotest.(check int) "captured records round-trip clean" 0 (Tbin.failures st);
+      if out <> captured then Alcotest.failf "tbin changed the captured records";
+      let base =
+        render "pcap" (Nt_core.Pipeline.analyze_records ~jobs:4 ~records_per_shard:64 ~sections captured)
+      in
+      let via_tbin =
+        render "pcap" (Nt_core.Pipeline.analyze_records ~jobs:4 ~records_per_shard:64 ~sections out)
+      in
+      Alcotest.(check string) "pcap records via tbin analyze identically" base via_tbin)
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "nt_tbin"
+    [
+      ( "varint",
+        [
+          Alcotest.test_case "boundary values round-trip" `Quick test_varint_bounds;
+          Alcotest.test_case "truncated and overlong raise Corrupt" `Quick test_varint_corrupt;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "adler32 reference values" `Quick test_adler32;
+          QCheck_alcotest.to_alcotest prop_rle_roundtrip;
+          QCheck_alcotest.to_alcotest prop_rle_roundtrip_runs;
+          Alcotest.test_case "decompress rejects bad shapes" `Quick test_rle_rejects;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "menagerie of every constructor" `Quick test_menagerie_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip_one;
+          QCheck_alcotest.to_alcotest prop_roundtrip_list;
+          QCheck_alcotest.to_alcotest prop_one_byte_feed;
+          Alcotest.test_case "frame split at every byte offset" `Quick
+            test_split_at_every_offset;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "empty and header-only streams" `Quick test_empty_and_magic_only;
+          Alcotest.test_case "garbage counts one missing header" `Quick
+            test_garbage_is_missing_header;
+          Alcotest.test_case "chunked feeding equals whole-buffer" `Quick
+            test_chunked_equals_whole;
+          Alcotest.test_case "replay offsets and reset_at" `Quick test_offsets_and_reset;
+          Alcotest.test_case "writer flush keeps the stream appendable" `Quick
+            test_writer_flush_appendable;
+          Alcotest.test_case "decoder mirrors stats onto obs" `Quick test_obs_mirror;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "single bit flips cost exactly one counter" `Quick
+            test_single_bit_flips;
+          Alcotest.test_case "truncations lose only the cut frame" `Quick test_truncations;
+          Alcotest.test_case "concatenated streams resync" `Quick test_concat_resync;
+          Alcotest.test_case "10k-mutation storm: total, conservative" `Slow
+            test_mutation_storm;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "encode matches checked-in bytes" `Quick test_golden_encode;
+          Alcotest.test_case "fixture decodes to locked text" `Quick test_golden_decode;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "text vs tbin vs streamed, jobs 1 and 4" `Slow
+            test_differential_text_tbin_stream;
+          Alcotest.test_case "pcap-derived records via tbin" `Slow test_differential_pcap_leg;
+        ] );
+    ]
