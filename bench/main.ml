@@ -981,7 +981,7 @@ let obs_overhead () =
   let oc = open_out "BENCH_obs.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nt_bench_obs/1\",\n\
+    \  \"schema\": %S,\n\
     \  \"workload\": \"lint_stream\",\n\
     \  \"records\": %d,\n\
     \  \"seconds\": {\"compiled_out\": %.6f, \"disabled\": %.6f, \"enabled\": %.6f},\n\
@@ -992,7 +992,8 @@ let obs_overhead () =
     \  \"rss_hwm_bytes\": %d,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
-    n compiled_out disabled enabled (rate compiled_out) (rate disabled) (rate enabled)
+    Nt_formats.Formats.bench_obs n compiled_out disabled enabled (rate compiled_out)
+    (rate disabled) (rate enabled)
     enabled_vs_disabled disabled_vs_compiled heap_words rss_hwm pass snapshot_json;
   close_out oc;
   print_endline "wrote BENCH_obs.json";
@@ -1163,7 +1164,7 @@ let par_speedup () =
   let oc = open_out "BENCH_par.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nt_bench_par/2\",\n\
+    \  \"schema\": %S,\n\
     \  \"workload\": \"lint_stream/week\",\n\
     \  \"records\": %d,\n\
     \  \"available_domains\": %d,\n\
@@ -1183,7 +1184,8 @@ let par_speedup () =
     \  \"rss_hwm_bytes\": %d,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
-    n domains t1 t4 (rate t1) (rate t4) speedup min_speedup enforced skip_json
+    Nt_formats.Formats.bench_par n domains t1 t4 (rate t1) (rate t4) speedup min_speedup
+    enforced skip_json
     (json_rates (List.sort compare pass_rates))
     (json_rates pass_baseline) pass_slack pass_gate_enforced
     (String.concat ", " (List.map (Printf.sprintf "%S") regressed))
@@ -1325,7 +1327,7 @@ let mon_soak () =
   let oc = open_out "BENCH_mon.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nt_bench_mon/1\",\n\
+    \  \"schema\": %S,\n\
     \  \"workload\": \"lint_stream/3days\",\n\
     \  \"records\": %d,\n\
     \  \"seconds\": %.6f,\n\
@@ -1341,7 +1343,7 @@ let mon_soak () =
     \  \"footprint_within_2x_heap\": %b,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
-    n dt
+    Nt_formats.Formats.bench_mon n dt
     (float_of_int n /. dt)
     !reports
     (Ring.rotations (Service.ring svc))
@@ -1549,7 +1551,7 @@ let scale () =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nt_bench_scale/1\",\n\
+    \  \"schema\": %S,\n\
     \  \"workload\": \"campus/tbin-stream\",\n\
     \  \"base_users\": %d,\n\
     \  \"hours\": %d,\n\
@@ -1563,7 +1565,7 @@ let scale () =
     \  \"rps_flatness_budget\": 0.8,\n\
     \  \"pass\": %b,\n\
     \  \"snapshot\": %s}\n"
-    base_users hours
+    Nt_formats.Formats.bench_scale base_users hours
     (String.concat ",\n    " (List.map row_json rows))
     rss_growth min_rps max_rps pass snapshot_json;
   close_out oc;

@@ -80,7 +80,7 @@ let run source window windows topn report_every json checkpoint checkpoint_every
       let series () =
         match !service_cell with
         | Some svc -> Nt_obs.Sampler.series_json (Mon.sampler svc)
-        | None -> "{\"schema\": \"nt_obs_series/1\", \"samples\": []}"
+        | None -> "{\"schema\": \"" ^ Nt_formats.Formats.obs_series ^ "\", \"samples\": []}"
       in
       let exporter =
         match listen with

@@ -24,8 +24,18 @@ let rule_rows () =
       })
     Rule.all
 
-let run build_dir json json_out fail_on enabled_only disabled roots excludes max_per_rule
-    verbose list =
+(* The exn-report artifact: one JSON object per reachable function with
+   its residual may-raise set, under the registered schema tag. *)
+let exn_report_json rows =
+  let row (display, file, line, exns) =
+    Printf.sprintf {|{"function":%S,"file":%S,"line":%d,"may_raise":[%s]}|} display file line
+      (String.concat "," (List.map (Printf.sprintf "%S") exns))
+  in
+  Printf.sprintf {|{"schema": %S, "functions": [%s]}|} Nt_formats.Formats.exn_report
+    (String.concat "," (List.map row rows))
+
+let run build_dir format json json_out exn_report_out fail_on enabled_only disabled roots
+    excludes max_per_rule verbose list =
   if list then begin
     Rules_cli.print (rule_rows ());
     0
@@ -74,8 +84,17 @@ let run build_dir json json_out fail_on enabled_only disabled roots excludes max
             output_char oc '\n';
             close_out oc
         | None -> ());
-        if json then print_endline (Finding.list_to_json findings)
-        else List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+        (match exn_report_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (exn_report_json (Engine.exn_report t));
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        (match if json then `Json else format with
+        | `Json -> print_endline (Finding.list_to_json findings)
+        | `Sarif -> print_endline (Finding.list_to_sarif findings)
+        | `Text -> List.iter (fun f -> print_endline (Finding.to_string f)) findings);
         if verbose then begin
           Printf.eprintf "ntcheck: reachable from roots: %s\n%!"
             (String.concat ", " (Engine.reachable t));
@@ -88,7 +107,12 @@ let run build_dir json json_out fail_on enabled_only disabled roots excludes max
             | [] -> "(none)"
             | l ->
                 String.concat ", "
-                  (List.map (fun (id, n) -> Printf.sprintf "%s=%d" id n) l))
+                  (List.map (fun (id, n) -> Printf.sprintf "%s=%d" id n) l));
+          List.iter
+            (fun (display, _file, _line, exns) ->
+              Printf.eprintf "ntcheck: may-raise %s: {%s}\n%!" display
+                (String.concat ", " exns))
+            (List.filter (fun (_, _, _, exns) -> exns <> []) (Engine.exn_report t))
         end;
         List.iter
           (fun (path, err) -> Printf.eprintf "ntcheck: unreadable %s: %s\n%!" path err)
@@ -119,7 +143,26 @@ let build_dir =
     value & pos 0 string "_build/default"
     & info [] ~docv:"BUILD_DIR" ~doc:"Dune build directory holding the .cmt files.")
 
-let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array on stdout.")
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Findings output format: text (default), json, or sarif (SARIF 2.1.0).")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit findings as a JSON array on stdout (same as --format json).")
+
+let exn_report_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "exn-report" ] ~docv:"PATH"
+        ~doc:
+          "Write the per-function may-raise report (every binding reachable from an \
+           exn-escape root) as JSON to $(docv).")
 
 let json_out =
   Arg.(
@@ -177,7 +220,7 @@ let cmd =
     (Cmd.info "ntcheck"
        ~doc:"Statically check compiled typedtrees for domain-safety, merge-law and purity invariants")
     Term.(
-      const run $ build_dir $ json $ json_out $ fail_on $ enabled_only $ disabled $ roots
-      $ excludes $ max_per_rule $ verbose $ Rules_cli.term)
+      const run $ build_dir $ format $ json $ json_out $ exn_report_out $ fail_on
+      $ enabled_only $ disabled $ roots $ excludes $ max_per_rule $ verbose $ Rules_cli.term)
 
 let () = exit (Cmd.eval' cmd)

@@ -61,9 +61,9 @@ let series t =
   let hours = Hashtbl.fold (fun h _ acc -> h :: acc) t.buckets [] in
   match hours with
   | [] -> []
-  | _ ->
-      let lo = List.fold_left min (List.hd hours) hours in
-      let hi = List.fold_left max (List.hd hours) hours in
+  | h0 :: _ ->
+      let lo = List.fold_left min h0 hours in
+      let hi = List.fold_left max h0 hours in
       List.init (hi - lo + 1) (fun i ->
           let hour = lo + i in
           match Hashtbl.find_opt t.buckets hour with

@@ -312,6 +312,9 @@ let merge a b =
   if b.t_min < a.t_min then a.t_min <- b.t_min;
   if b.t_max > a.t_max then a.t_max <- b.t_max;
   a
+[@@nt.raise_ok
+  "the parallel driver always folds shard accumulators into the root one, so a non-root left \
+   argument is a programming error at the merge call site"]
 
 let lifetime info =
   match (info.created, info.deleted) with

@@ -60,6 +60,9 @@ let classify ?(block = 8192) ~jump_blocks (run : Io_log.access array) =
       else Sequential
     else Random
   end
+[@@nt.raise_ok
+  "split only ever emits non-empty runs, and run_of_accesses is its sole other caller; an \
+   empty run is a programming error"]
 
 let run_of_accesses ~jump_blocks (accesses : Io_log.access array) =
   let bytes = Array.fold_left (fun acc (a : Io_log.access) -> acc + a.count) 0 accesses in

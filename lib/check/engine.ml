@@ -8,6 +8,9 @@ type config = {
   merge_prop_fn : string;
   footprint_prop_fn : string;
   excludes : string list;
+  exn_roots : string list;
+  codecs : (string * string list * string) list;
+  formats_unit : string;
   enabled_only : string list option;
   disabled : string list;
   max_per_rule : int;
@@ -24,6 +27,27 @@ let default_config =
     merge_prop_fn = "prop_merge_laws";
     footprint_prop_fn = "prop_footprint";
     excludes = [ "check_fixtures" ];
+    exn_roots =
+      [
+        "Nt_trace.Capture.create";
+        "Nt_trace.Capture.feed_packet";
+        "Nt_trace.Capture.feed_pcap";
+        "Nt_trace.Capture.finish";
+        "Nt_tbin.Tbin.Decoder.*";
+        "Nt_mon.Feed.*";
+        "Nt_mon.Checkpoint.*";
+        "Nt_mon.Service.step";
+        "Nt_mon.Service.run";
+        "Nt_mon.Service.drain";
+        "Nt_mon.Service.restore";
+        "Nt_mon.Service.shutdown";
+        "Nt_mon.Service.conservation";
+        "Nt_lint.Engine.observe";
+        "Nt_lint.Engine.observe_stats";
+        "Nt_core.Pipeline.analyze_stream";
+      ];
+    codecs = [ ("Nt_nfs__Ops", [ "call"; "success" ], "Nt_tbin__Tbin") ];
+    formats_unit = "Nt_formats__Formats";
     enabled_only = None;
     disabled = [];
     max_per_rule = 100;
@@ -38,6 +62,7 @@ type t = {
   reachable : string list;
   merge_required : string list;
   merge_covered : string list;
+  exn_report : (string * string * int * string list) list;
   load_errors : (string * string) list;
 }
 
@@ -49,6 +74,7 @@ let units_scanned t = t.units_scanned
 let reachable t = t.reachable
 let merge_required t = t.merge_required
 let merge_covered t = t.merge_covered
+let exn_report t = t.exn_report
 let load_errors t = t.load_errors
 
 let severity_count t sev =
@@ -181,6 +207,10 @@ let run config root =
     config_finding
       (Printf.sprintf "no test unit matched [%s]; merge-law and footprint coverage never ran"
          (String.concat "; " config.test_units));
+  (* --- interprocedural exception flow and codec drift --- *)
+  let exn_report = Exn_check.check sink ~roots:config.exn_roots ~units ~config_finding in
+  Codec_check.check sink ~codecs:config.codecs ~formats_unit:config.formats_unit ~units
+    ~config_finding;
   {
     findings = List.sort Finding.compare !findings;
     allowed = !allowed;
@@ -191,5 +221,6 @@ let run config root =
     reachable = Reach.to_list reach;
     merge_required;
     merge_covered;
+    exn_report;
     load_errors;
   }

@@ -24,6 +24,16 @@ type config = {
   footprint_prop_fn : string;
       (** name of the registration function the footprint rule looks for *)
   excludes : string list;  (** path substrings to skip while walking *)
+  exn_roots : string list;
+      (** display-name patterns ("Nt_tbin.Decoder.*" or exact
+          "Nt_core.Pipeline.analyze_stream") of exported bindings the
+          exn-escape rule treats as counted-never-raised entry points *)
+  codecs : (string * string list * string) list;
+      (** (type unit, variant type names, codec unit) triples the
+          codec-arm-missing rule checks for full encode/decode dispatch *)
+  formats_unit : string;
+      (** compilation unit whose top-level string bindings are the
+          version-tag registry for the format-drift rules *)
   enabled_only : string list option;
   disabled : string list;
   max_per_rule : int;  (** finding cap per rule; excess counts as overflow *)
@@ -54,6 +64,12 @@ val units_scanned : t -> int
 val reachable : t -> string list
 val merge_required : t -> string list
 val merge_covered : t -> string list
+
+val exn_report : t -> (string * string * int * string list) list
+(** Per-function may-raise rows [(display, file, line, exns)] for every
+    binding reachable from an exn root; [["*"]] marks an unknown (Top)
+    set.  Feeds the CI artifact. *)
+
 val load_errors : t -> (string * string) list
 val severity_count : t -> Rule.severity -> int
 val rule_count : t -> string -> int

@@ -55,4 +55,40 @@ let to_json f =
 
 let list_to_json fs = "[" ^ String.concat "," (List.map to_json fs) ^ "]"
 
+(* SARIF 2.1.0, one run, one result per finding.  The rule registry
+   becomes the driver's rules array so viewers can show family + doc;
+   severities map Info/Warn/Error -> note/warning/error.  Lines and
+   columns are clamped to 1 because SARIF forbids 0 (synthesized
+   whole-unit findings anchor at line 1). *)
+let sarif_level (s : Rule.severity) =
+  match s with Rule.Info -> "note" | Rule.Warn -> "warning" | Rule.Error -> "error"
+
+let list_to_sarif fs =
+  let rules =
+    String.concat ","
+      (List.map
+         (fun (r : Rule.t) ->
+           Printf.sprintf
+             {|{"id":"%s","shortDescription":{"text":"%s"},"properties":{"family":"%s"},"defaultConfiguration":{"level":"%s"}}|}
+             (json_escape r.Rule.id)
+             (json_escape r.Rule.doc)
+             (json_escape (Rule.family_to_string r.Rule.family))
+             (sarif_level r.Rule.severity))
+         Rule.all)
+  in
+  let results =
+    String.concat ","
+      (List.map
+         (fun f ->
+           Printf.sprintf
+             {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+             (json_escape f.rule.Rule.id)
+             (sarif_level f.rule.Rule.severity)
+             (json_escape f.detail) (json_escape f.file) (max 1 f.line) (max 1 (f.col + 1)))
+         fs)
+  in
+  Printf.sprintf
+    {|{"version":"2.1.0","$schema":"https://json.schemastore.org/sarif-2.1.0.json","runs":[{"tool":{"driver":{"name":"ntcheck","rules":[%s]}},"results":[%s]}]}|}
+    rules results
+
 type sink = { emit : Rule.t -> Location.t -> string -> unit; allow : Rule.t -> unit }

@@ -16,6 +16,11 @@ val to_string : t -> string
 val to_json : t -> string
 val list_to_json : t list -> string
 
+val list_to_sarif : t list -> string
+(** SARIF 2.1.0 log: one run, the whole rule registry as the driver's
+    rules array, one result per finding (Info/Warn/Error mapped to
+    note/warning/error, positions clamped to SARIF's 1-based minima). *)
+
 type sink = { emit : Rule.t -> Location.t -> string -> unit; allow : Rule.t -> unit }
 (** How rule passes report: [emit] records a finding (subject to the
     engine's enable set and per-rule cap), [allow] counts a violation

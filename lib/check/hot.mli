@@ -6,6 +6,12 @@
 
 type graph
 
+val module_aliases : Typedtree.structure -> (string, string) Hashtbl.t
+(** Top-level [module X = Path] aliases of a structure, one level. *)
+
+val expand_alias : (string, string) Hashtbl.t -> string -> string
+(** Rewrite a dotted name's head component through the alias table. *)
+
 val build : Loader.unit_info list -> graph
 (** Collect every implementation unit's top-level bindings and resolve
     cross-unit references (direct, wrapped-dotted, or through one-level

@@ -3,7 +3,17 @@ type severity = Info | Warn | Error
 let severity_to_string = function Info -> "info" | Warn -> "warn" | Error -> "error"
 let severity_rank = function Info -> 0 | Warn -> 1 | Error -> 2
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Footprint | Config
+type family =
+  | Domain_safety
+  | Merge_law
+  | Decode_purity
+  | Hygiene
+  | Alloc
+  | Bound
+  | Footprint
+  | Exn_flow
+  | Codec_drift
+  | Config
 
 let family_to_string = function
   | Domain_safety -> "domain-safety"
@@ -13,6 +23,8 @@ let family_to_string = function
   | Alloc -> "alloc"
   | Bound -> "bound"
   | Footprint -> "footprint"
+  | Exn_flow -> "exn-flow"
+  | Codec_drift -> "codec-drift"
   | Config -> "config"
 
 type t = { id : string; family : family; severity : severity; doc : string }
@@ -109,6 +121,31 @@ let footprint_missing =
      value over t, or its footprint has no registered property in the test suite — the \
      state-accounting gauges would silently omit this component"
 
+(* --- interprocedural exception flow --- *)
+
+let exn_escape =
+  rule "exn-escape" Exn_flow Error
+    "a counted-never-raised root (decode entry, streaming monitor surface, analyze_stream) \
+     can transitively raise: its residual may-raise set after try-handler subtraction is \
+     non-empty ([@@nt.raise_ok \"reason\"] accepts and counts the escape)"
+
+(* --- codec / format drift --- *)
+
+let codec_arm_missing =
+  rule "codec-arm-missing" Codec_drift Error
+    "a record call/success constructor has no encode (match) or decode (construct) arm in \
+     the binary codec dispatch — the two halves of the wire format have forked"
+
+let format_literal_drift =
+  rule "format-literal-drift" Codec_drift Error
+    "a string literal duplicates or version-forks a registered on-disk format tag instead \
+     of referencing the Nt_formats registry"
+
+let format_unregistered =
+  rule "format-unregistered" Codec_drift Error
+    "a version-tag-shaped string literal (name/N) names a format absent from the \
+     Nt_formats registry"
+
 (* --- configuration drift --- *)
 
 let config_drift =
@@ -135,6 +172,10 @@ let all =
     bound_table;
     bound_list;
     footprint_missing;
+    exn_escape;
+    codec_arm_missing;
+    format_literal_drift;
+    format_unregistered;
     config_drift;
   ]
 

@@ -10,7 +10,17 @@ type severity = Info | Warn | Error
 val severity_to_string : severity -> string
 val severity_rank : severity -> int
 
-type family = Domain_safety | Merge_law | Decode_purity | Hygiene | Alloc | Bound | Footprint | Config
+type family =
+  | Domain_safety
+  | Merge_law
+  | Decode_purity
+  | Hygiene
+  | Alloc
+  | Bound
+  | Footprint
+  | Exn_flow
+  | Codec_drift
+  | Config
 
 val family_to_string : family -> string
 
@@ -33,6 +43,10 @@ val alloc_poly_compare : t
 val bound_table : t
 val bound_list : t
 val footprint_missing : t
+val exn_escape : t
+val codec_arm_missing : t
+val format_literal_drift : t
+val format_unregistered : t
 val config_drift : t
 
 val all : t list

@@ -71,6 +71,8 @@ let first_token s =
    binding; [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] allowlist
    the bound family (the first documents a cap the analyzer cannot see,
    the second an accepted unbounded growth);
+   [@@nt.raise_ok "reason"] accepts an exception escape on one binding
+   (the exn-flow family empties its summary and counts the suppression);
    [@@nt.allow "<rule-id>: reason"] allowlists one rule ("*" for all).
    A reason string is required: a bare attribute suppresses nothing, so
    undocumented exemptions do not accumulate. *)
@@ -91,6 +93,7 @@ let allows (attrs : Typedtree.attributes) =
           ]
       | ("nt.bounded" | "nt.unbounded"), Some _ ->
           [ Rule.bound_table.Rule.id; Rule.bound_list.Rule.id ]
+      | "nt.raise_ok", Some _ -> [ Rule.exn_escape.Rule.id ]
       | "nt.allow", Some reason -> [ first_token reason ]
       | _ -> [])
     attrs

@@ -21,7 +21,8 @@ val unit_matches : unit:string -> string -> bool
 val allows : Typedtree.attributes -> string list
 (** Rule ids allowlisted by [@@nt.domain_safe "reason"],
     [@@nt.alloc_ok "reason"] (whole alloc family),
-    [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] (bound family) or
+    [@@nt.bounded "cap"] / [@@nt.unbounded "reason"] (bound family),
+    [@@nt.raise_ok "reason"] (exn-escape) or
     [@@nt.allow "<rule-id>: reason"] attributes.  Attributes with no
     reason string suppress nothing. *)
 

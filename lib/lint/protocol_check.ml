@@ -112,12 +112,15 @@ let resolve_suspect t s =
       "%s on fh %s never introduced" (Proc.to_string s.s_proc) (Fh.to_hex s.s_fh)
 
 let flush_pending t ~now =
-  while
-    (not (Queue.is_empty t.pending))
-    && (Queue.peek t.pending).s_time <= now -. t.cfg.reorder_window
-  do
-    resolve_suspect t (Queue.pop t.pending)
-  done
+  let rec loop () =
+    match Queue.peek_opt t.pending with
+    | Some s when s.s_time <= now -. t.cfg.reorder_window ->
+        ignore (Queue.take_opt t.pending);
+        resolve_suspect t s;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
 
 let finalize t = flush_pending t ~now:infinity
 
@@ -137,8 +140,10 @@ let check_fh t ~index ~time (r : Record.t) =
         | _ -> ()
       end
       else if is_io proc && (not (Bounded.mem t.seen fh)) && not t.seen_saturated then begin
-        if Queue.length t.pending >= t.cfg.max_tracked then
-          resolve_suspect t (Queue.pop t.pending);
+        if Queue.length t.pending >= t.cfg.max_tracked then (
+          match Queue.take_opt t.pending with
+          | Some s -> resolve_suspect t s
+          | None -> ());
         Queue.push { s_index = index; s_time = time; s_fh = fh; s_proc = proc } t.pending
       end
 

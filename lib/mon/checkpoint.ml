@@ -6,7 +6,7 @@ type t = {
   pending : string list;
 }
 
-let version = "ntmon-ckpt/1"
+let version = Nt_formats.Formats.checkpoint_version
 let f2s = Printf.sprintf "%h"
 
 let payload t =

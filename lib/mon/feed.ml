@@ -178,12 +178,12 @@ let trace_tail ?obs path =
     done
   in
   let rec pull_fn () =
-    if not (Queue.is_empty queue) then begin
-      let r, off = Queue.pop queue in
-      t.delivered <- off;
-      `Record r
-    end
-    else if tail_fill t then begin
+    match Queue.take_opt queue with
+    | Some (r, off) ->
+        t.delivered <- off;
+        `Record r
+    | None ->
+    if tail_fill t then begin
       parse_complete_lines ();
       if Queue.is_empty queue then `Idle else pull_fn ()
     end
@@ -281,12 +281,12 @@ let pcap_tail ?obs path =
     done
   in
   let rec pull_fn () =
-    if not (Queue.is_empty queue) then begin
-      let r, off = Queue.pop queue in
-      t.delivered <- off;
-      `Record r
-    end
-    else if tail_fill t then begin
+    match Queue.take_opt queue with
+    | Some (r, off) ->
+        t.delivered <- off;
+        `Record r
+    | None ->
+    if tail_fill t then begin
       if not st.header_seen then try_header ();
       if st.header_seen then parse_records ();
       if Queue.is_empty queue then `Idle else pull_fn ()

@@ -16,6 +16,9 @@ let dummy = { expiry = 0.; proc = ""; reply_lost = false }
 let create ?(cap = 4096) ?(timeout = 60.) () =
   if cap <= 0 then invalid_arg "Outstanding.create: cap <= 0";
   { cap; timeout; heap = Array.make (min cap 64) dummy; len = 0; lost = 0; dropped = 0 }
+[@@nt.raise_ok
+  "cap is operator configuration validated at construction; a non-positive cap is a setup \
+   error, not a runtime condition"]
 
 let swap t i j =
   let tmp = t.heap.(i) in

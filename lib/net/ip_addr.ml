@@ -3,6 +3,9 @@ type t = int
 let v a b c d =
   assert (a land 0xFF = a && b land 0xFF = b && c land 0xFF = c && d land 0xFF = d);
   (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+[@@nt.raise_ok
+  "every caller range-checks or masks the four bytes first (of_string guards 0..255, wire \
+   decoders read single bytes)"]
 
 let to_string t =
   Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)

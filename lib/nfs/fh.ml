@@ -6,6 +6,9 @@ let v2_size = 32
 let of_raw s =
   assert (String.length s <= 64);
   s
+[@@nt.raise_ok
+  "every wire decoder bounds the handle first: v2 reads a fixed 32 bytes, v3 and the tbin \
+   codec reject anything past NFS3_FHSIZE before constructing"]
 
 let to_raw t = t
 

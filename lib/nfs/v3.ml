@@ -32,7 +32,12 @@ let decode_time d : Types.time =
   { seconds; nanos }
 
 let encode_fh e fh = E.opaque e (Fh.to_raw fh)
-let decode_fh d = Fh.of_raw (D.opaque d)
+(* NFS3_FHSIZE caps handles at 64 bytes; an oversized opaque is a
+   malformed packet, not a bigger handle. *)
+let decode_fh d =
+  let s = D.opaque d in
+  if String.length s > 64 then raise (D.Error "file handle longer than NFS3_FHSIZE");
+  Fh.of_raw s
 
 let encode_fattr e (a : Types.fattr) =
   E.uint32 e (ftype_code a.ftype);

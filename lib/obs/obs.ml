@@ -112,6 +112,9 @@ let counter t ?(labels = []) ?(help = "") name =
   match register t ~labels ~help name (fun () -> M_counter { c_reg = t; c_v = 0 }) with
   | M_counter c -> c
   | M_gauge _ | M_hist _ -> invalid_arg ("Obs.counter: " ^ name ^ " is not a counter")
+[@@nt.raise_ok
+  "metric names are static strings chosen at wiring time; a kind clash is a programming error \
+   the first registration surfaces"]
 
 let inc c = if c.c_reg.on then c.c_v <- c.c_v + 1
 let add c n = if c.c_reg.on && n > 0 then c.c_v <- c.c_v + n
@@ -121,6 +124,9 @@ let gauge t ?(labels = []) ?(help = "") name =
   match register t ~labels ~help name (fun () -> M_gauge { g_reg = t; g_v = 0. }) with
   | M_gauge g -> g
   | M_counter _ | M_hist _ -> invalid_arg ("Obs.gauge: " ^ name ^ " is not a gauge")
+[@@nt.raise_ok
+  "metric names are static strings chosen at wiring time; a kind clash is a programming error \
+   the first registration surfaces"]
 
 let set g v = if g.g_reg.on then g.g_v <- v
 let set_max g v = if g.g_reg.on && v > g.g_v then g.g_v <- v
@@ -137,6 +143,9 @@ let histogram t ?(labels = []) ?(help = "") ~buckets name =
   match register t ~labels ~help name make with
   | M_hist h -> h
   | M_counter _ | M_gauge _ -> invalid_arg ("Obs.histogram: " ^ name ^ " is not a histogram")
+[@@nt.raise_ok
+  "metric names and bucket lists are static wiring-time values; a kind clash or unsorted \
+   buckets is a programming error the first registration surfaces"]
 
 let observe h v =
   if h.h_reg.on then begin
@@ -340,7 +349,9 @@ let buf_labels b labels =
 
 let to_json snap =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"nt_obs/1\",\n  \"taken_at\": ";
+  Buffer.add_string b "{\n  \"schema\": \"";
+  Buffer.add_string b Nt_formats.Formats.obs_snapshot;
+  Buffer.add_string b "\",\n  \"taken_at\": ";
   Buffer.add_string b (json_float snap.taken_at);
   Buffer.add_string b ",\n  \"enabled\": ";
   Buffer.add_string b (if snap.snap_enabled then "true" else "false");

@@ -78,7 +78,7 @@ let proc_status_kb () =
                if starts_with "VmRSS:" line then rss := kb_of line
                else if starts_with "VmHWM:" line then hwm := kb_of line
              done
-           with End_of_file -> ());
+           with End_of_file | Sys_error _ -> ());
           (!rss, !hwm))
 
 let raw_sample obs =
@@ -255,7 +255,9 @@ let series_json ?(refresh = true) t =
   if refresh then ignore (sample_now t : sample);
   let fps = publish_footprints t in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"schema\": \"nt_obs_series/1\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"";
+  Buffer.add_string b Nt_formats.Formats.obs_series;
+  Buffer.add_string b "\",\n";
   Buffer.add_string b (Printf.sprintf "  \"interval_seconds\": %s,\n" (json_float t.interval));
   Buffer.add_string b (Printf.sprintf "  \"cap\": %d,\n  \"taken\": %d,\n  \"evicted\": %d,\n"
        t.cap t.taken t.evicted);

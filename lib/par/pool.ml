@@ -14,12 +14,14 @@ let recommended () = Domain.recommended_domain_count ()
 let rec worker t =
   Mutex.lock t.m;
   let rec next () =
-    if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
-    else if t.closed then None
-    else begin
-      Condition.wait t.work_ready t.m;
-      next ()
-    end
+    match Queue.take_opt t.q with
+    | Some task -> Some task
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.work_ready t.m;
+          next ()
+        end
   in
   match next () with
   | None -> Mutex.unlock t.m
@@ -86,6 +88,10 @@ let run_all t fns =
     | Some e -> raise e
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
+[@@nt.raise_ok
+  "re-raises whatever a task closure raised on the caller's own domain; the closure bodies \
+   are charged to each call site's summary, so this channel only replays exceptions already \
+   accounted for there"]
 
 let shutdown t =
   Mutex.lock t.m;

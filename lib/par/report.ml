@@ -200,3 +200,6 @@ let run_stream ?(obs = Obs.null) ?timeline ?(jobs = 1)
           sections
       in
       (texts, !total))
+[@@nt.raise_ok
+  "records_per_shard is caller configuration rejected up front; each Option.get reads a slot \
+   the matching fold above is guaranteed to have committed"]

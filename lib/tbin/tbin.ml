@@ -6,7 +6,7 @@ module Intern = Nt_util.Intern
 module Obs = Nt_obs.Obs
 module V = Varint
 
-let magic = "nttb/1\n"
+let magic = Nt_formats.Formats.tbin_magic
 let sync = "\xf5NT\xb1"
 let max_payload = 16 * 1024 * 1024
 let magic_len = String.length magic

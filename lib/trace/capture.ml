@@ -330,6 +330,9 @@ let feed_pcap t reader =
   t.salvaged_records <- t.salvaged_records + rs.salvaged;
   t.skipped_pcap_bytes <- t.skipped_pcap_bytes + rs.skipped_bytes;
   if rs.truncated_tail then t.truncated_pcap_tails <- t.truncated_pcap_tails + 1
+[@@nt.raise_ok
+  "propagates the reader's own Sys_error/Bad_format by contract: a caller-supplied pcap that \
+   cannot be read is the caller's error to handle, not something to swallow mid-trace"]
 
 let finish t =
   (* Whatever is still pending never got a reply. *)

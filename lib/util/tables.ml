@@ -31,6 +31,9 @@ let render ?title ~header rows =
   Buffer.add_char buf '\n';
   List.iter emit_row rows;
   Buffer.contents buf
+[@@nt.raise_ok
+  "every caller builds rows with a literal list per column of its literal header, so a width \
+   mismatch is a programming error, not data-dependent"]
 
 let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 let fmt_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals x

@@ -1,0 +1,11 @@
+(* Seeded codec-drift violations: [Beta] has an encode arm but no
+   decode arm (codec-arm-missing), [forked_tag] version-forks a
+   registered tag (format-literal-drift) and [rogue_tag] names a format
+   the registry has never heard of (format-unregistered). *)
+
+type op = Alpha | Beta
+
+let encode = function Alpha -> 'a' | Beta -> 'b'
+let decode = function 'a' -> Some Alpha | _ -> None
+let forked_tag = "fixfmt/2"
+let rogue_tag = "fixrogue/1"

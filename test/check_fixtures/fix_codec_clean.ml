@@ -1,0 +1,9 @@
+(* Clean twin of fix_codec: every constructor has both an encode
+   pattern and a decode construction, and the version tag is a registry
+   reference rather than a literal. *)
+
+type op = Alpha | Beta
+
+let encode = function Alpha -> 'a' | Beta -> 'b'
+let decode = function 'a' -> Some Alpha | 'b' -> Some Beta | _ -> None
+let tag = Fix_formats.fixfmt

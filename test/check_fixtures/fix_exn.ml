@@ -1,0 +1,7 @@
+(* Seeded exn-escape violation: [entry] is configured as a
+   counted-never-raised root, but the Failure raised two calls down
+   passes straight through its Not_found handler. *)
+
+let deep () = failwith "boom"
+let middle () = deep ()
+let entry () = try middle () with Not_found -> ()

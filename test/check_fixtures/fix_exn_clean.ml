@@ -1,0 +1,6 @@
+(* Clean twin of fix_exn: the same raising chain, but the root handler
+   subtracts exactly the exception that escapes. *)
+
+let deep () = failwith "boom"
+let middle () = deep ()
+let entry () = try middle () with Failure _ -> ()

@@ -1,0 +1,8 @@
+(* Allowlisted twin of fix_exn: the escape through [spill] is accepted
+   with [@@nt.raise_ok], so the root stays silent and the suppression
+   shows up in the census instead. *)
+
+let spill () = failwith "spill"
+[@@nt.raise_ok "fixture: deliberate escape, accepted and counted"]
+
+let entry () = spill ()

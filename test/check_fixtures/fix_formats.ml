@@ -1,0 +1,5 @@
+(* Fixture registry twin of Nt_formats: the codec-drift family resolves
+   version tags against these bindings. *)
+
+let fixfmt = "fixfmt/1"
+let fixaux = "fixaux/3"

@@ -18,6 +18,9 @@ let fixture_config =
     acc_prefixes = [ "Fix_bound" ];
     test_units = [ "Fix_testreg" ];
     excludes = [];
+    exn_roots = [ "Fix_exn.entry"; "Fix_exn_clean.entry"; "Fix_exn_ok.entry" ];
+    codecs = [ ("Fix_codec", [ "op" ], "Fix_codec"); ("Fix_codec_clean", [ "op" ], "Fix_codec_clean") ];
+    formats_unit = "Fix_formats";
   }
 
 (* dune runtest runs with cwd _build/default/test; dune exec from the
@@ -30,7 +33,7 @@ let run ?(config = fixture_config) () = Engine.run config fixture_dir
 let test_loads_cleanly () =
   let t = run () in
   Alcotest.(check (list (pair string string))) "no unreadable cmts" [] (Engine.load_errors t);
-  Alcotest.(check int) "all fixture units scanned" 19 (Engine.units_scanned t)
+  Alcotest.(check int) "all fixture units scanned" 25 (Engine.units_scanned t)
 
 (* decode-raise is seeded twice: once in fix_decode and once in the
    tbin-shaped fixture; every other rule fires on exactly one line. *)
@@ -62,17 +65,19 @@ let test_clean_twins_stay_silent () =
             Alcotest.failf "finding %s in clean twin %s" f.Finding.rule.Rule.id f.Finding.file)
         [
           "fix_unreachable"; "fix_acc_covered"; "fix_driver"; "fix_testreg"; "fix_hot_clean";
-          "fix_hot_ok"; "fix_bound_clean"; "fix_bound_ok"; "fix_tbin_clean";
+          "fix_hot_ok"; "fix_bound_clean"; "fix_bound_ok"; "fix_tbin_clean"; "fix_exn_clean";
+          "fix_exn_ok"; "fix_codec_clean"; "fix_formats";
         ])
     (Engine.findings t)
 
 let test_suppression_counts () =
   let t = run () in
-  Alcotest.(check int) "allowlisted violations counted, not reported" 4 (Engine.allowed t);
+  Alcotest.(check int) "allowlisted violations counted, not reported" 5 (Engine.allowed t);
   Alcotest.(check (list (pair string int)))
     "one suppression per allowlist attribute, under the right rule"
     [
       ("alloc-hot-string", 1); ("bound-list", 1); ("bound-table", 1); ("dom-top-mutable", 1);
+      ("exn-escape", 1);
     ]
     (Engine.allowed_by_rule t)
 
@@ -95,7 +100,7 @@ let test_per_rule_cap () =
   Alcotest.(check int) "every violation counted as overflow"
     (List.length Rule.all + 1)
     (Engine.overflow t);
-  Alcotest.(check int) "suppression is not capped" 4 (Engine.allowed t)
+  Alcotest.(check int) "suppression is not capped" 5 (Engine.allowed t)
 
 let test_disabled_rule () =
   let t = run ~config:{ fixture_config with Engine.disabled = [ "lib-stdout" ] } () in
@@ -127,6 +132,97 @@ let test_findings_are_sorted_and_json_escapes () =
   Alcotest.(check bool) "json array" true
     (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
 
+let test_exn_report_rows () =
+  let t = run () in
+  let rows = Engine.exn_report t in
+  let row d = List.find_opt (fun (display, _, _, _) -> display = d) rows in
+  (match row "Fix_exn.entry" with
+  | Some (_, file, _, may) ->
+      Alcotest.(check (list string)) "entry residual is the escaping Failure" [ "Failure" ] may;
+      Alcotest.(check bool) "row points at the fixture source" true (contains file "fix_exn")
+  | None -> Alcotest.fail "Fix_exn.entry missing from the may-raise report");
+  (match row "Fix_exn_clean.entry" with
+  | Some (_, _, _, may) ->
+      Alcotest.(check (list string)) "handler subtraction empties the clean twin" [] may
+  | None -> Alcotest.fail "Fix_exn_clean.entry missing from the may-raise report");
+  (* the closure is the un-annotated graph: the accepted spill still shows *)
+  Alcotest.(check bool) "annotated callee still censused" true
+    (List.exists (fun (d, _, _, _) -> d = "Fix_exn_ok.spill") rows)
+
+let test_sarif_output () =
+  let t = run () in
+  let sarif = Finding.list_to_sarif (Engine.findings t) in
+  Alcotest.(check bool) "sarif envelope" true
+    (contains sarif {|"version":"2.1.0"|} && contains sarif {|"name":"ntcheck"|});
+  (* one rule entry per registered rule, one result per finding *)
+  let count needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let n = ref 0 in
+    for i = 0 to nh - nn do
+      if String.sub hay i nn = needle then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "every registered rule listed" (List.length Rule.all)
+    (count {|"shortDescription"|} sarif);
+  Alcotest.(check int) "one result per finding"
+    (List.length (Engine.findings t))
+    (count {|"ruleId"|} sarif)
+
+(* --- may-raise fixpoint properties on random call graphs --- *)
+
+module Exnflow = Nt_check.Exnflow
+
+let gen_graph =
+  let open QCheck.Gen in
+  let exn_name = oneofl [ "Failure"; "Not_found"; "Invalid_argument" ] in
+  int_range 1 8 >>= fun n ->
+  let names = List.init n (fun i -> "n" ^ string_of_int i) in
+  let gen_item =
+    oneof
+      [
+        map (fun e -> Exnflow.Prim (e, ())) exn_name;
+        map (fun t -> Exnflow.Call t) (oneofl names);
+        return (Exnflow.Prim_top ());
+      ]
+  in
+  let gen_catch =
+    oneof
+      [
+        return Exnflow.Catch_all;
+        map (fun l -> Exnflow.Catch_names l) (list_size (int_range 0 2) exn_name);
+      ]
+  in
+  let gen_guard =
+    map2 (fun c items -> Exnflow.Guard (c, items)) gen_catch (list_size (int_range 0 3) gen_item)
+  in
+  let gen_summary = list_size (int_range 0 4) (oneof [ gen_item; gen_guard ]) in
+  flatten_l (List.map (fun name -> map (fun s -> (name, s)) gen_summary) names)
+
+let lookup sol id = match Hashtbl.find_opt sol id with Some e -> e | None -> Exnflow.bot
+
+let prop_solve_is_fixpoint =
+  QCheck.Test.make ~name:"solve terminates on a fixpoint of eval" ~count:300
+    (QCheck.make gen_graph) (fun g ->
+      let sol = Exnflow.solve g in
+      List.for_all
+        (fun (id, items) -> Exnflow.equal_exns (Exnflow.eval (lookup sol) items) (lookup sol id))
+        g)
+
+let prop_solve_monotone =
+  QCheck.Test.make ~name:"adding a raise never shrinks any solution" ~count:300
+    QCheck.(pair (make gen_graph) small_nat)
+    (fun (g, k) ->
+      let i = k mod List.length g in
+      let g' =
+        List.mapi
+          (fun j (id, items) ->
+            if j = i then (id, Exnflow.Prim ("Extra", ()) :: items) else (id, items))
+          g
+      in
+      let s1 = Exnflow.solve g and s2 = Exnflow.solve g' in
+      List.for_all (fun (id, _) -> Exnflow.leq (lookup s1 id) (lookup s2 id)) g)
+
 let () =
   Alcotest.run "nt_check"
     [
@@ -149,5 +245,12 @@ let () =
             test_missing_test_unit_fails_loudly;
           Alcotest.test_case "findings sorted, json well-formed" `Quick
             test_findings_are_sorted_and_json_escapes;
+          Alcotest.test_case "may-raise report rows" `Quick test_exn_report_rows;
+          Alcotest.test_case "sarif output well-formed" `Quick test_sarif_output;
+        ] );
+      ( "exnflow",
+        [
+          QCheck_alcotest.to_alcotest prop_solve_is_fixpoint;
+          QCheck_alcotest.to_alcotest prop_solve_monotone;
         ] );
     ]

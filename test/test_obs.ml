@@ -217,7 +217,7 @@ let test_json_roundtrip () =
     | Error e -> Alcotest.failf "export does not parse: %s" e
   in
   Alcotest.(check (option string))
-    "schema tag" (Some "nt_obs/1")
+    "schema tag" (Some Nt_formats.Formats.obs_snapshot)
     (Option.bind (Json.member "schema" doc) Json.to_str);
   Alcotest.(check (option (float 0.)))
     "labeled counter via metric_number" (Some 7.)
@@ -566,7 +566,7 @@ let test_series_json_document () =
     | Error e -> Alcotest.failf "/series does not parse: %s" e
   in
   Alcotest.(check (option string))
-    "schema tag" (Some "nt_obs_series/1")
+    "schema tag" (Some Nt_formats.Formats.obs_series)
     (Option.bind (Json.member "schema" doc) Json.to_str);
   let samples = Option.bind (Json.member "samples" doc) Json.to_list in
   (match samples with
@@ -601,7 +601,7 @@ let test_exporter_series_endpoint () =
       let body = fetch_interleaved exp ~port ~path:"/series" in
       Nt_obs.Exporter.close exp;
       Alcotest.(check bool) "/series 200" true (has body "200 OK");
-      Alcotest.(check bool) "schema tag served" true (has body "nt_obs_series/1");
+      Alcotest.(check bool) "schema tag served" true (has body Nt_formats.Formats.obs_series);
       Alcotest.(check bool) "footprints embedded" true (has body "\"acc.test\"")
 
 (* --- Pipeline integration: conservation from the exported JSON --- *)
